@@ -1,0 +1,1 @@
+bench/ablation.ml: Array Bench_util Interweave Iw_arch Iw_client Iw_mem Iw_server Iw_types List Printf Shapes

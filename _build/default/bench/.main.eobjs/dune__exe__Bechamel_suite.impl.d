@@ -1,0 +1,1 @@
+bench/bechamel_suite.ml: Analyze Array Bechamel Benchmark Hashtbl Instance Interweave Iw_arch Iw_client Iw_mem Iw_seqmine Iw_types List Measure Printf Staged Test Time Toolkit

@@ -1,0 +1,1 @@
+bench/bench_util.ml: Iw_client List Printf String Unix

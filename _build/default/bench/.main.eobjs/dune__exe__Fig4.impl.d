@@ -1,0 +1,1 @@
+bench/fig4.ml: Array Bench_util Interweave Iw_arch Iw_client Iw_server Iw_types Iw_wire Iw_xdr List Printf Shapes

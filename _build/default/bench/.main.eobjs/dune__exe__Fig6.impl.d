@@ -1,0 +1,1 @@
+bench/fig6.ml: Array Bench_util Interweave Iw_arch Iw_client Iw_types List Printf Shapes

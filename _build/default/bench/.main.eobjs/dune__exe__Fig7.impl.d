@@ -1,0 +1,1 @@
+bench/fig7.ml: Bench_util Interweave Iw_arch Iw_client Iw_proto Iw_seqmine List Printf

@@ -1,0 +1,1 @@
+bench/main.ml: Ablation Arg Bechamel_suite Cmd Cmdliner Fig4 Fig5 Fig6 Fig7 Term

@@ -1,0 +1,1 @@
+bench/shapes.ml: Array Char Hashtbl Iw_arch Iw_client Iw_mem Iw_types List Printf String

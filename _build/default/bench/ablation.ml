@@ -1,0 +1,202 @@
+(* Ablations for the Section 3.3 optimizations DESIGN.md calls out: no-diff
+   mode, diff run splicing, isomorphic type descriptors, last-block
+   prediction, and server diff caching.  Each is measured with the
+   optimization on and off on the workload it targets. *)
+
+open Bench_util
+
+let fresh_pair () =
+  let server = Interweave.start_server () in
+  let a = Interweave.direct_client ~arch:Iw_arch.x86_32 server in
+  let b = Interweave.direct_client ~arch:Iw_arch.x86_32 server in
+  (Iw_client.options a).Iw_client.auto_no_diff <- false;
+  (server, a, b)
+
+let int_array_segment c name words =
+  let seg = Interweave.open_segment c name in
+  Iw_client.wl_acquire seg;
+  let addr = Interweave.malloc seg (Iw_types.Array (Prim Iw_arch.Int, words)) ~name:"data" in
+  let sp = Iw_client.space c in
+  for i = 0 to words - 1 do
+    Iw_mem.store_prim sp Iw_arch.Int (addr + (i * 4)) i
+  done;
+  Iw_client.wl_release seg;
+  (seg, addr)
+
+(* Modify every [ratio]-th word, release, return client-side collect stats. *)
+let one_release c seg addr ~words ~ratio ~iter =
+  let sp = Iw_client.space c in
+  Iw_client.wl_acquire seg;
+  let i = ref 0 in
+  while !i < words do
+    Iw_mem.store_prim sp Iw_arch.Int (addr + (!i * 4)) (!i + iter);
+    i := !i + ratio
+  done;
+  client_delta c (fun () -> Iw_client.wl_release seg)
+
+let splicing () =
+  (* Ratio 2 is where splicing matters most: with it, the whole array is one
+     run; without it, every other word is its own run. *)
+  let words = (1 lsl 20) / 4 in
+  let measure gap =
+    let _server, a, _b = fresh_pair () in
+    Iw_mem.set_splice_gap (Iw_client.space a) gap;
+    let seg, addr = int_array_segment a "bench/splice" words in
+    let samples =
+      List.init 4 (fun iter -> one_release a seg addr ~words ~ratio:2 ~iter:(iter + 1))
+    in
+    let med f = List.nth (List.sort compare (List.map f samples)) 2 in
+    (med (fun d -> d.d_translate), med (fun d -> d.d_bytes_sent))
+  in
+  let t_on, bytes_on = measure 2 in
+  let t_off, bytes_off = measure 0 in
+  print_header "Ablation: diff run splicing (1MB int array, every 2nd word modified)"
+    [ "translate ms"; "KB sent" ];
+  print_row "splicing on" [ ms t_on; string_of_int (bytes_on / 1024) ];
+  print_row "splicing off" [ ms t_off; string_of_int (bytes_off / 1024) ]
+
+let isomorphic () =
+  (* A 32-int-field struct collapses to int[32] under the optimization,
+     making block translation a tight array loop. *)
+  let count = (1 lsl 20) / 128 in
+  let measure enabled =
+    let _server, a, _b = fresh_pair () in
+    (Iw_client.options a).Iw_client.isomorphic <- enabled;
+    let seg = Interweave.open_segment a "bench/iso" in
+    Iw_client.wl_acquire seg;
+    let addr =
+      Interweave.malloc seg (Iw_types.Array (Shapes.struct_of 32 Iw_arch.Int, count))
+        ~name:"data"
+    in
+    Iw_client.wl_release seg;
+    Iw_client.set_no_diff seg true;
+    let prep = Shapes.prepare a addr in
+    let samples =
+      List.init 4 (fun iter ->
+          Iw_client.wl_acquire seg;
+          Shapes.fill a prep ~targets:[| 0 |] ~iter;
+          client_delta a (fun () -> Iw_client.wl_release seg))
+    in
+    List.nth (List.sort compare (List.map (fun d -> d.d_translate) samples)) 2
+  in
+  let t_on = measure true in
+  let t_off = measure false in
+  print_header "Ablation: isomorphic type descriptors (1MB of 32-int structs, no-diff mode)"
+    [ "translate ms" ];
+  print_row "isomorphic on" [ ms t_on ];
+  print_row "isomorphic off" [ ms t_off ]
+
+let prediction () =
+  (* Many small blocks updated in order: exactly the access pattern block
+     prediction serves.  Compare apply-side prediction hit rates and time. *)
+  let nblocks = 4096 in
+  let measure enabled =
+    let server, a, b = fresh_pair () in
+    Iw_server.set_prediction server enabled;
+    (Iw_client.options b).Iw_client.prediction <- enabled;
+    let seg = Interweave.open_segment a "bench/pred" in
+    Iw_client.wl_acquire seg;
+    let addrs =
+      Array.init nblocks (fun _ ->
+          Interweave.malloc seg (Iw_types.Array (Prim Iw_arch.Int, 4)))
+    in
+    Iw_client.wl_release seg;
+    let seg_b = Interweave.open_segment ~create:false b "bench/pred" in
+    Iw_client.rl_acquire seg_b;
+    Iw_client.rl_release seg_b;
+    Iw_client.reset_stats b;
+    let sp = Iw_client.space a in
+    let samples =
+      List.init 4 (fun iter ->
+          Iw_client.wl_acquire seg;
+          Array.iter (fun a_ -> Iw_mem.store_prim sp Iw_arch.Int a_ (iter + 1)) addrs;
+          Iw_client.wl_release seg;
+          client_delta b (fun () ->
+              Iw_client.rl_acquire seg_b;
+              Iw_client.rl_release seg_b))
+    in
+    let apply = List.nth (List.sort compare (List.map (fun d -> d.d_apply) samples)) 2 in
+    let st = Iw_client.stats b in
+    let hits = st.Iw_client.pred_hits and misses = st.Iw_client.pred_misses in
+    (apply, hits, misses)
+  in
+  let on_apply, on_hits, on_misses = measure true in
+  let off_apply, off_hits, off_misses = measure false in
+  print_header
+    (Printf.sprintf "Ablation: last-block prediction (%d small blocks updated in order)" nblocks)
+    [ "apply ms"; "pred hits"; "pred misses" ];
+  print_row "prediction on" [ ms on_apply; string_of_int on_hits; string_of_int on_misses ];
+  print_row "prediction off" [ ms off_apply; string_of_int off_hits; string_of_int off_misses ]
+
+let diff_caching () =
+  (* Several readers requesting the same update: the first miss builds the
+     diff, the rest are served from the server's cache. *)
+  let words = (1 lsl 20) / 4 in
+  let measure capacity =
+    let server = Iw_server.create ~diff_cache_capacity:capacity () in
+    let a = Interweave.direct_client ~arch:Iw_arch.x86_32 server in
+    (Iw_client.options a).Iw_client.auto_no_diff <- false;
+    let seg, addr = int_array_segment a "bench/cache" words in
+    let readers =
+      List.init 4 (fun _ ->
+          let c = Interweave.direct_client server in
+          let s = Interweave.open_segment ~create:false c "bench/cache" in
+          Iw_client.rl_acquire s;
+          Iw_client.rl_release s;
+          (c, s))
+    in
+    ignore (one_release a seg addr ~words ~ratio:64 ~iter:7 : client_delta);
+    let t0 = now () in
+    List.iter
+      (fun (_, s) ->
+        Iw_client.rl_acquire s;
+        Iw_client.rl_release s)
+      readers;
+    let elapsed = now () -. t0 in
+    let st = Iw_server.stats server in
+    (elapsed, st.Iw_server.diff_cache_hits, st.Iw_server.diff_cache_misses)
+  in
+  let t_on, hits_on, misses_on = measure 64 in
+  let t_off, hits_off, misses_off = measure 0 in
+  print_header "Ablation: server diff caching (4 readers fetch the same update)"
+    [ "total ms"; "cache hits"; "cache misses" ];
+  print_row "cache on"
+    [ ms t_on; string_of_int hits_on; string_of_int misses_on ];
+  print_row "cache off"
+    [ ms t_off; string_of_int hits_off; string_of_int misses_off ]
+
+let no_diff_mode () =
+  (* The headline Fig. 4 comparison, isolated: whole-segment modification
+     with and without diffing machinery. *)
+  let words = (1 lsl 20) / 4 in
+  let _server, a, _b = fresh_pair () in
+  let seg, addr = int_array_segment a "bench/nodiff" words in
+  let diff_samples =
+    List.init 4 (fun iter -> one_release a seg addr ~words ~ratio:1 ~iter:(iter + 1))
+  in
+  Iw_client.set_no_diff seg true;
+  let block_samples =
+    List.init 4 (fun iter -> one_release a seg addr ~words ~ratio:1 ~iter:(iter + 100))
+  in
+  let med l f = List.nth (List.sort compare (List.map f l)) 2 in
+  print_header "Ablation: no-diff mode (1MB int array, fully modified)"
+    [ "word diff ms"; "translate ms"; "total ms" ];
+  print_row "diffing"
+    [
+      ms (med diff_samples (fun d -> d.d_word_diff));
+      ms (med diff_samples (fun d -> d.d_translate));
+      ms (med diff_samples (fun d -> d.d_word_diff +. d.d_translate));
+    ];
+  print_row "no-diff mode"
+    [
+      ms (med block_samples (fun d -> d.d_word_diff));
+      ms (med block_samples (fun d -> d.d_translate));
+      ms (med block_samples (fun d -> d.d_word_diff +. d.d_translate));
+    ]
+
+let run () =
+  no_diff_mode ();
+  splicing ();
+  isomorphic ();
+  prediction ();
+  diff_caching ()

@@ -1,0 +1,70 @@
+(* Shared benchmark plumbing: timing, medians, table rendering. *)
+
+let now () = Unix.gettimeofday ()
+
+(* Run [f] repeatedly (at least [min_runs], at most [max_runs], stopping
+   early once [min_total] seconds have been spent) and return the median of
+   per-run results extracted by [measure]. *)
+let median_of ?(min_runs = 3) ?(max_runs = 15) ?(min_total = 0.5) ~measure f =
+  let samples = ref [] in
+  let started = now () in
+  let runs = ref 0 in
+  while
+    !runs < min_runs || (!runs < max_runs && now () -. started < min_total)
+  do
+    samples := measure f :: !samples;
+    incr runs
+  done;
+  let sorted = List.sort compare !samples in
+  List.nth sorted (List.length sorted / 2)
+
+let median_time ?min_runs ?max_runs ?min_total f =
+  median_of ?min_runs ?max_runs ?min_total f ~measure:(fun f ->
+      let t0 = now () in
+      f ();
+      now () -. t0)
+
+(* Client-stat deltas around one run of [f]. *)
+type client_delta = {
+  d_word_diff : float;
+  d_translate : float;
+  d_apply : float;
+  d_bytes_sent : int;
+  d_bytes_received : int;
+}
+
+let client_delta c f =
+  let s = Iw_client.stats c in
+  let w0 = s.Iw_client.word_diff_seconds
+  and t0 = s.Iw_client.translate_seconds
+  and a0 = s.Iw_client.apply_seconds
+  and bs0 = s.Iw_client.bytes_sent
+  and br0 = s.Iw_client.bytes_received in
+  f ();
+  {
+    d_word_diff = s.Iw_client.word_diff_seconds -. w0;
+    d_translate = s.Iw_client.translate_seconds -. t0;
+    d_apply = s.Iw_client.apply_seconds -. a0;
+    d_bytes_sent = s.Iw_client.bytes_sent - bs0;
+    d_bytes_received = s.Iw_client.bytes_received - br0;
+  }
+
+(* Table rendering in the style of the paper's figures. *)
+
+let print_header title columns =
+  Printf.printf "\n%s\n" title;
+  Printf.printf "%s\n" (String.make (String.length title) '=');
+  Printf.printf "%-16s" "";
+  List.iter (fun c -> Printf.printf "%14s" c) columns;
+  print_newline ()
+
+let print_row label cells =
+  Printf.printf "%-16s" label;
+  List.iter (fun c -> Printf.printf "%14s" c) cells;
+  print_newline ()
+
+let ms v = Printf.sprintf "%.2f" (v *. 1000.)
+
+let usec v = Printf.sprintf "%.3f" (v *. 1e6)
+
+let mb bytes = Printf.sprintf "%.2f" (float_of_int bytes /. 1024. /. 1024.)

@@ -1,0 +1,135 @@
+(* Figure 4: client cost to translate 1 MB of data, per data shape, for
+   RPC/XDR marshaling and for InterWeave's collect/apply in both block
+   (no-diff) and diff modes.  Also reports the server-side costs the TR
+   version tabulates (wall time of the direct server call minus the
+   client-side share). *)
+
+open Bench_util
+
+type row = {
+  r_shape : string;
+  r_xdr : float;
+  r_collect_block : float;
+  r_collect_diff : float;
+  r_apply_block : float;
+  r_apply_diff : float;
+  r_server_apply : float;
+  r_server_collect : float;
+}
+
+let bench_shape ~size (shape : Shapes.t) =
+  (* Diff cache off: we want the server's real collect/apply costs, not a
+     cache forward; the diff-caching ablation measures the cache itself. *)
+  let server = Iw_server.create ~diff_cache_capacity:0 () in
+  let a = Interweave.direct_client ~arch:Iw_arch.x86_32 server in
+  let b = Interweave.direct_client ~arch:Iw_arch.x86_32 server in
+  (Iw_client.options a).Iw_client.auto_no_diff <- false;
+  (Iw_client.options b).Iw_client.auto_no_diff <- false;
+  let seg_name = "bench/fig4/" ^ shape.Shapes.name in
+  let seg = Interweave.open_segment a seg_name in
+  Iw_client.wl_acquire seg;
+  let targets =
+    if shape.Shapes.needs_target then
+      Array.init 64 (fun i ->
+          Interweave.malloc seg (Iw_types.Prim Iw_arch.Int)
+            ~name:(Printf.sprintf "target%d" i))
+    else [| 0 |]
+  in
+  let addr = Interweave.malloc seg (shape.Shapes.desc size) ~name:"data" in
+  let prep = Shapes.prepare a addr in
+  Shapes.fill a prep ~targets ~iter:0;
+  Iw_client.wl_release seg;
+  (* Reader caches the segment. *)
+  let seg_b = Interweave.open_segment ~create:false b seg_name in
+  Iw_client.rl_acquire seg_b;
+  Iw_client.rl_release seg_b;
+
+  (* XDR baseline: marshal the same local-format value. *)
+  let registry = Iw_types.Registry.create () in
+  Iw_types.Registry.define_name registry "int" (Iw_types.Prim Iw_arch.Int);
+  let lay =
+    Iw_types.layout (Iw_types.local (Iw_client.arch a)) (shape.Shapes.desc size)
+  in
+  let xdr_buf = Iw_wire.Buf.create ~capacity:(2 * size) () in
+  let r_xdr =
+    median_time (fun () ->
+        Iw_wire.Buf.clear xdr_buf;
+        Iw_xdr.marshal xdr_buf (Iw_client.space a) ~registry ~addr lay)
+  in
+
+  (* One measured round: A rewrites everything and releases; B read-locks.
+     Client-side costs come from the library's internal timers, so the fill
+     itself is excluded; server costs are the remaining wall time of the
+     direct call. *)
+  let iter = ref 0 in
+  let measure_mode () =
+    let collects = ref [] and applies = ref [] and svr_applies = ref [] and svr_collects = ref [] in
+    for _ = 1 to 5 do
+      incr iter;
+      Iw_client.wl_acquire seg;
+      Shapes.fill a prep ~targets ~iter:!iter;
+      let t0 = now () in
+      let d = client_delta a (fun () -> Iw_client.wl_release seg) in
+      let wall_release = now () -. t0 in
+      let collect = d.d_word_diff +. d.d_translate in
+      collects := collect :: !collects;
+      svr_applies := (wall_release -. collect) :: !svr_applies;
+      let t1 = now () in
+      let db =
+        client_delta b (fun () ->
+            Iw_client.rl_acquire seg_b;
+            Iw_client.rl_release seg_b)
+      in
+      let wall_read = now () -. t1 in
+      applies := db.d_apply :: !applies;
+      svr_collects := (wall_read -. db.d_apply) :: !svr_collects
+    done;
+    let med l = List.nth (List.sort compare !l) (List.length !l / 2) in
+    (med collects, med applies, med svr_applies, med svr_collects)
+  in
+  (* Diff mode. *)
+  let c_diff, a_diff, sa_diff, sc_diff = measure_mode () in
+  ignore sa_diff;
+  ignore sc_diff;
+  (* Block (no-diff) mode. *)
+  Iw_client.set_no_diff seg true;
+  let c_block, a_block, sa_block, sc_block = measure_mode () in
+  Iw_client.disconnect a;
+  Iw_client.disconnect b;
+  {
+    r_shape = shape.Shapes.name;
+    r_xdr;
+    r_collect_block = c_block;
+    r_collect_diff = c_diff;
+    r_apply_block = a_block;
+    r_apply_diff = a_diff;
+    r_server_apply = sa_block;
+    r_server_collect = sc_block;
+  }
+
+let run ?(size = 1 lsl 20) () =
+  print_header
+    (Printf.sprintf "Figure 4: basic translation costs (ms per %d KB operation)"
+       (size / 1024))
+    [ "RPC XDR"; "collect blk"; "collect diff"; "apply blk"; "apply diff"; "svr apply"; "svr collect" ];
+  let rows = List.map (bench_shape ~size) Shapes.all in
+  List.iter
+    (fun r ->
+      print_row r.r_shape
+        [
+          ms r.r_xdr;
+          ms r.r_collect_block;
+          ms r.r_collect_diff;
+          ms r.r_apply_block;
+          ms r.r_apply_diff;
+          ms r.r_server_apply;
+          ms r.r_server_collect;
+        ])
+    rows;
+  let avg f = List.fold_left (fun acc r -> acc +. f r) 0. rows /. float_of_int (List.length rows) in
+  Printf.printf "\nAverages: XDR %.2f ms, collect block %.2f ms (%.0f%% of XDR), collect diff %.2f ms\n"
+    (1000. *. avg (fun r -> r.r_xdr))
+    (1000. *. avg (fun r -> r.r_collect_block))
+    (100. *. avg (fun r -> r.r_collect_block) /. avg (fun r -> r.r_xdr))
+    (1000. *. avg (fun r -> r.r_collect_diff));
+  rows

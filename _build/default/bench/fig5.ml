@@ -1,0 +1,113 @@
+(* Figure 5: diff management cost as a function of modification granularity.
+   A 1 MB array of integers; every k-th word is modified for k = 1 .. 16384.
+   Curves: client collect diff (split into word diffing and translation),
+   client apply diff, server collect diff, server apply diff, plus the
+   bandwidth actually used. *)
+
+open Bench_util
+
+type point = {
+  p_ratio : int;
+  p_word_diff : float;
+  p_translate : float;
+  p_collect : float;
+  p_apply : float;
+  p_server_apply : float;
+  p_server_collect : float;
+  p_bytes : int;
+}
+
+let ratios = [ 1; 2; 4; 8; 16; 32; 64; 128; 256; 512; 1024; 2048; 4096; 8192; 16384 ]
+
+let bench_ratio ~words a b seg seg_b addr iter ratio =
+  let sp = Iw_client.space a in
+  let samples = ref [] in
+  for _ = 1 to 4 do
+    incr iter;
+    Iw_client.wl_acquire seg;
+    let i = ref 0 in
+    while !i < words do
+      Iw_mem.store_prim sp Iw_arch.Int (addr + (!i * 4)) (!i + !iter);
+      i := !i + ratio
+    done;
+    let t0 = now () in
+    let d = client_delta a (fun () -> Iw_client.wl_release seg) in
+    let wall_release = now () -. t0 in
+    let t1 = now () in
+    let db =
+      client_delta b (fun () ->
+          Iw_client.rl_acquire seg_b;
+          Iw_client.rl_release seg_b)
+    in
+    let wall_read = now () -. t1 in
+    samples :=
+      {
+        p_ratio = ratio;
+        p_word_diff = d.d_word_diff;
+        p_translate = d.d_translate;
+        p_collect = d.d_word_diff +. d.d_translate;
+        p_apply = db.d_apply;
+        p_server_apply = wall_release -. d.d_word_diff -. d.d_translate;
+        p_server_collect = wall_read -. db.d_apply;
+        p_bytes = d.d_bytes_sent;
+      }
+      :: !samples
+  done;
+  let med f =
+    let sorted = List.sort compare (List.map f !samples) in
+    List.nth sorted (List.length sorted / 2)
+  in
+  {
+    p_ratio = ratio;
+    p_word_diff = med (fun p -> p.p_word_diff);
+    p_translate = med (fun p -> p.p_translate);
+    p_collect = med (fun p -> p.p_collect);
+    p_apply = med (fun p -> p.p_apply);
+    p_server_apply = med (fun p -> p.p_server_apply);
+    p_server_collect = med (fun p -> p.p_server_collect);
+    p_bytes = med (fun p -> p.p_bytes);
+  }
+
+let run ?(size = 1 lsl 20) () =
+  let words = size / 4 in
+  (* Diff cache off, as in Fig. 4: measure real server-side collection, which
+     is where the paper's subblock-granularity plateau (ratios 1..16) comes
+     from. *)
+  let server = Iw_server.create ~diff_cache_capacity:0 () in
+  let a = Interweave.direct_client ~arch:Iw_arch.x86_32 server in
+  let b = Interweave.direct_client ~arch:Iw_arch.x86_32 server in
+  (Iw_client.options a).Iw_client.auto_no_diff <- false;
+  let seg = Interweave.open_segment a "bench/fig5" in
+  Iw_client.wl_acquire seg;
+  let addr =
+    Interweave.malloc seg (Iw_types.Array (Prim Iw_arch.Int, words)) ~name:"data"
+  in
+  let sp = Iw_client.space a in
+  for i = 0 to words - 1 do
+    Iw_mem.store_prim sp Iw_arch.Int (addr + (i * 4)) i
+  done;
+  Iw_client.wl_release seg;
+  let seg_b = Interweave.open_segment ~create:false b "bench/fig5" in
+  Iw_client.rl_acquire seg_b;
+  Iw_client.rl_release seg_b;
+  print_header
+    (Printf.sprintf "Figure 5: diff cost vs modification granularity (%d KB int array, ms)"
+       (size / 1024))
+    [ "word diff"; "translate"; "collect"; "apply"; "svr collect"; "svr apply"; "KB sent" ];
+  let iter = ref 0 in
+  List.map
+    (fun ratio ->
+      let p = bench_ratio ~words a b seg seg_b addr iter ratio in
+      print_row
+        (Printf.sprintf "ratio %d" ratio)
+        [
+          ms p.p_word_diff;
+          ms p.p_translate;
+          ms p.p_collect;
+          ms p.p_apply;
+          ms p.p_server_collect;
+          ms p.p_server_apply;
+          Printf.sprintf "%d" (p.p_bytes / 1024);
+        ];
+      p)
+    ratios

@@ -1,0 +1,66 @@
+(* Figure 6: pointer swizzling cost per pointer, as a function of the
+   pointed-to object: an int block, the middle of a 32-field struct, and
+   cross-segment targets in segments of 1 .. 65536 blocks (the rise with
+   block count is the metadata-tree search). *)
+
+open Bench_util
+
+type point = {
+  c_case : string;
+  c_swizzle : float;  (* seconds per pointer *)
+  c_unswizzle : float;
+}
+
+let reps = 50_000
+
+let per_op c addr =
+  let mip = Iw_client.ptr_to_mip c addr in
+  let swizzle =
+    median_time ~min_total:0.3 (fun () ->
+        for _ = 1 to reps do
+          ignore (Iw_client.ptr_to_mip c addr : string)
+        done)
+    /. float_of_int reps
+  in
+  let unswizzle =
+    median_time ~min_total:0.3 (fun () ->
+        for _ = 1 to reps do
+          ignore (Iw_client.mip_to_ptr c mip : int)
+        done)
+    /. float_of_int reps
+  in
+  (swizzle, unswizzle)
+
+let run () =
+  let server = Interweave.start_server () in
+  let c = Interweave.direct_client ~arch:Iw_arch.x86_32 server in
+  print_header "Figure 6: pointer swizzling cost (microseconds per pointer)"
+    [ "swizzle"; "unswizzle" ];
+  let results = ref [] in
+  let emit name (s, u) =
+    print_row name [ usec s; usec u ];
+    results := { c_case = name; c_swizzle = s; c_unswizzle = u } :: !results
+  in
+  (* int1: intra-segment pointer to the start of an integer block. *)
+  let seg = Interweave.open_segment c "bench/fig6-int" in
+  Iw_client.wl_acquire seg;
+  let int_addr = Interweave.malloc seg (Iw_types.Prim Iw_arch.Int) in
+  Iw_client.wl_release seg;
+  emit "int1" (per_op c int_addr);
+  (* struct1: pointer into the middle of a structure with 32 fields. *)
+  let seg2 = Interweave.open_segment c "bench/fig6-struct" in
+  Iw_client.wl_acquire seg2;
+  let struct_addr = Interweave.malloc seg2 (Shapes.struct_of 32 Iw_arch.Int) in
+  Iw_client.wl_release seg2;
+  emit "struct1" (per_op c (struct_addr + (16 * 4)));
+  (* cross#n: pointers into a segment with n total blocks. *)
+  List.iter
+    (fun n ->
+      let seg_name = Printf.sprintf "bench/fig6-cross%d" n in
+      let segn = Interweave.open_segment c seg_name in
+      Iw_client.wl_acquire segn;
+      let addrs = Array.init n (fun _ -> Interweave.malloc segn (Iw_types.Prim Iw_arch.Int)) in
+      Iw_client.wl_release segn;
+      emit (Printf.sprintf "cross%d" n) (per_op c addrs.(n / 2)))
+    [ 1; 16; 64; 256; 1024; 4096; 16384; 65536 ];
+  List.rev !results

@@ -1,0 +1,95 @@
+(* Figure 7: total bandwidth requirement of the datamining application as
+   the mining client relaxes its coherence model.
+
+   A database server builds a sequence lattice from half the database, then
+   applies [increments] updates of 1% each.  We measure total bytes moved to
+   the mining client under: full transfer (a cacheless client fetching the
+   whole summary at every version), wire-format diffs at every version
+   (Diff-only), and Delta-2/3/4 coherence. *)
+
+open Bench_util
+module Gen = Iw_seqmine.Gen
+module Lattice = Iw_seqmine.Lattice
+
+type bar = {
+  b_mode : string;
+  b_bytes : int;
+}
+
+let run ?(scale = 0.05) ?(increments = 50) () =
+  let params = Gen.scaled scale in
+  let db = Gen.generate params in
+  let min_support = max 5 (params.Gen.customers / 250) in
+  Printf.printf
+    "Figure 7 workload: %d customers, %d items, %.1f MB database, min support %d, %d increments of 1%%\n"
+    params.Gen.customers params.Gen.items
+    (float_of_int (Gen.size_bytes db) /. 1024. /. 1024.)
+    min_support increments;
+  let server = Interweave.start_server () in
+  let dbc = Interweave.direct_client ~arch:Iw_arch.x86_32 server in
+  let lattice = Lattice.create dbc ~segment:"mining/summary" ~min_support in
+  let half = params.Gen.customers / 2 in
+  Lattice.update lattice db ~from_customer:0 ~to_customer:half;
+  Printf.printf "initial summary: %d nodes, %d primitive units\n%!"
+    (Lattice.node_count lattice) (Lattice.total_units lattice);
+
+  (* Persistent mining clients, one per coherence mode, all caching the
+     initial summary before the measured run starts. *)
+  let mk_reader mode coherence =
+    let mc = Interweave.direct_client ~arch:Iw_arch.alpha64 server in
+    let l = Lattice.attach mc ~segment:"mining/summary" in
+    let seg = Lattice.segment l in
+    Interweave.set_coherence seg coherence;
+    Iw_client.rl_acquire seg;
+    Iw_client.rl_release seg;
+    Iw_client.reset_stats mc;
+    (mode, mc, seg)
+  in
+  let readers =
+    [
+      mk_reader "Diff-only" Iw_proto.Full;
+      mk_reader "Delta-2" (Iw_proto.Delta 2);
+      mk_reader "Delta-3" (Iw_proto.Delta 3);
+      mk_reader "Delta-4" (Iw_proto.Delta 4);
+    ]
+  in
+  (* The cacheless baseline: each fetch moves the whole summary. *)
+  let full_bytes = ref 0 in
+  let one_pct = max 1 (params.Gen.customers / 100) in
+  for inc = 0 to increments - 1 do
+    let from = half + (inc * one_pct) in
+    let upto = min params.Gen.customers (from + one_pct) in
+    Lattice.update lattice db ~from_customer:from ~to_customer:upto;
+    (* Every reader polls after every new version (the paper's client issues
+       mining queries continuously). *)
+    List.iter
+      (fun (_, _, seg) ->
+        Iw_client.rl_acquire seg;
+        Iw_client.rl_release seg)
+      readers;
+    (* Full transfer: a fresh, cacheless client fetches everything. *)
+    let fc = Interweave.direct_client server in
+    let fl = Lattice.attach fc ~segment:"mining/summary" in
+    let fseg = Lattice.segment fl in
+    Iw_client.rl_acquire fseg;
+    Iw_client.rl_release fseg;
+    full_bytes := !full_bytes + (Iw_client.stats fc).Iw_client.bytes_received
+  done;
+  Printf.printf "final summary: %d nodes\n" (Lattice.node_count lattice);
+  let bars =
+    { b_mode = "Full transfer"; b_bytes = !full_bytes }
+    :: List.map
+         (fun (mode, mc, _) ->
+           { b_mode = mode; b_bytes = (Iw_client.stats mc).Iw_client.bytes_received })
+         readers
+  in
+  print_header "Figure 7: total bandwidth, datamining application" [ "MB"; "vs full" ];
+  List.iter
+    (fun bar ->
+      print_row bar.b_mode
+        [
+          mb bar.b_bytes;
+          Printf.sprintf "%.1f%%" (100. *. float_of_int bar.b_bytes /. float_of_int !full_bytes);
+        ])
+    bars;
+  bars

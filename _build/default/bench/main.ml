@@ -1,0 +1,49 @@
+(* Benchmark harness entry point.
+
+   Default (no arguments): regenerate every table and figure of the paper's
+   evaluation (Figures 4-7) plus the Section 3.3 optimization ablations.
+   Subcommands run one experiment, optionally at reduced size. *)
+
+let quick_size quick = if quick then 1 lsl 18 else 1 lsl 20
+
+let run_fig4 quick = ignore (Fig4.run ~size:(quick_size quick) () : Fig4.row list)
+
+let run_fig5 quick = ignore (Fig5.run ~size:(quick_size quick) () : Fig5.point list)
+
+let run_fig6 () = ignore (Fig6.run () : Fig6.point list)
+
+let run_fig7 quick =
+  let scale = if quick then 0.01 else 0.05 in
+  let increments = if quick then 20 else 50 in
+  ignore (Fig7.run ~scale ~increments () : Fig7.bar list)
+
+let run_all quick =
+  print_endline "InterWeave benchmark suite (paper: Tang et al., ICDCS 2003)";
+  run_fig4 quick;
+  run_fig5 quick;
+  run_fig6 ();
+  run_fig7 quick;
+  Ablation.run ()
+
+open Cmdliner
+
+let quick =
+  Arg.(value & flag & info [ "quick" ] ~doc:"Reduced sizes for a fast smoke run.")
+
+let cmd_of name doc f = Cmd.v (Cmd.info name ~doc) Term.(const f $ quick)
+
+let default = Term.(const run_all $ quick)
+
+let cmd =
+  Cmd.group ~default
+    (Cmd.info "iw-bench" ~doc:"Regenerate the paper's tables and figures")
+    [
+      cmd_of "fig4" "Basic translation costs (Figure 4)" run_fig4;
+      cmd_of "fig5" "Modification granularity sweep (Figure 5)" run_fig5;
+      cmd_of "fig6" "Pointer swizzling costs (Figure 6)" (fun _ -> run_fig6 ());
+      cmd_of "fig7" "Datamining bandwidth (Figure 7)" run_fig7;
+      cmd_of "ablation" "Optimization ablations (Section 3.3)" (fun _ -> Ablation.run ());
+      cmd_of "bechamel" "Bechamel micro-benchmark suite" (fun _ -> Bechamel_suite.run ());
+    ]
+
+let () = exit (Cmd.eval cmd)

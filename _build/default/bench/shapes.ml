@@ -1,0 +1,129 @@
+(* The nine data shapes of the paper's Figure 4, each sized to [size] bytes
+   of local x86 data, plus generic fill machinery that rewrites every
+   primitive with iteration-dependent values (so diffing always sees the
+   whole structure as changed, as in the paper's "all data modified"
+   setup). *)
+
+type t = {
+  name : string;
+  desc : int -> Iw_types.desc;  (* total byte budget -> descriptor *)
+  needs_target : bool;  (* pointer fields need int blocks to point at *)
+}
+
+let struct_of n prim =
+  Iw_types.Struct
+    (Array.init n (fun i -> { Iw_types.fname = Printf.sprintf "f%d" i; ftype = Prim prim }))
+
+let int_double =
+  Iw_types.Struct
+    [|
+      { Iw_types.fname = "i"; ftype = Prim Iw_arch.Int };
+      { Iw_types.fname = "d"; ftype = Prim Iw_arch.Double };
+    |]
+
+let mix_struct =
+  Iw_types.Struct
+    [|
+      { Iw_types.fname = "i"; ftype = Prim Iw_arch.Int };
+      { Iw_types.fname = "d"; ftype = Prim Iw_arch.Double };
+      { Iw_types.fname = "s"; ftype = Prim (Iw_arch.String 32) };
+      { Iw_types.fname = "ss"; ftype = Prim (Iw_arch.String 4) };
+      { Iw_types.fname = "p"; ftype = Ptr "int" };
+    |]
+
+(* Element sizes below are for the x86_32 layout the benchmark clients use. *)
+let all : t list =
+  [
+    { name = "int_array"; desc = (fun b -> Array (Prim Iw_arch.Int, b / 4)); needs_target = false };
+    {
+      name = "double_array";
+      desc = (fun b -> Array (Prim Iw_arch.Double, b / 8));
+      needs_target = false;
+    };
+    {
+      name = "int_struct";
+      desc = (fun b -> Array (struct_of 32 Iw_arch.Int, b / 128));
+      needs_target = false;
+    };
+    {
+      name = "double_struct";
+      desc = (fun b -> Array (struct_of 32 Iw_arch.Double, b / 256));
+      needs_target = false;
+    };
+    {
+      name = "string";
+      desc = (fun b -> Array (Prim (Iw_arch.String 256), b / 256));
+      needs_target = false;
+    };
+    {
+      name = "small_string";
+      desc = (fun b -> Array (Prim (Iw_arch.String 4), b / 4));
+      needs_target = false;
+    };
+    { name = "pointer"; desc = (fun b -> Array (Ptr "int", b / 4)); needs_target = true };
+    {
+      name = "int_double";
+      desc = (fun b -> Array (int_double, b / 12));
+      needs_target = false;
+    };
+    { name = "mix"; desc = (fun b -> Array (mix_struct, b / 52)); needs_target = true };
+  ]
+
+let find name = List.find_opt (fun s -> s.name = name) all
+
+(* Pools of string values so fills need no allocation-heavy formatting. *)
+let string_pools : (int, string array) Hashtbl.t = Hashtbl.create 8
+
+let string_pool capacity =
+  match Hashtbl.find_opt string_pools capacity with
+  | Some pool -> pool
+  | None ->
+    let pool =
+      Array.init 8 (fun v ->
+          String.init (capacity - 1) (fun i -> Char.chr (97 + ((i + v) mod 26))))
+    in
+    Hashtbl.add string_pools capacity pool;
+    pool
+
+(* A prepared block: the per-primitive write plan, precomputed once. *)
+type prepared = {
+  base : Iw_mem.addr;
+  prims : (Iw_arch.prim * int) array;  (* prim, byte offset *)
+}
+
+let prepare c addr =
+  let b, _ =
+    match Iw_client.block_of_addr c addr with
+    | Some r -> r
+    | None -> invalid_arg "Shapes.prepare: not a block"
+  in
+  let lay = b.Iw_mem.b_layout in
+  let n = Iw_types.layout_prim_count lay in
+  let prims =
+    Iw_types.fold_prims lay ~from:0 ~upto:n ~init:[] ~f:(fun acc loc ->
+        (loc.Iw_types.l_prim, loc.Iw_types.l_off) :: acc)
+    |> List.rev |> Array.of_list
+  in
+  { base = addr; prims }
+
+(* Rewrite every primitive with values that depend on [iter], so consecutive
+   fills always change every word. *)
+let fill c prep ~targets ~iter =
+  let sp = Iw_client.space c in
+  Array.iteri
+    (fun i (prim, off) ->
+      let a = prep.base + off in
+      match prim with
+      | Iw_arch.Char -> Iw_mem.store_prim sp Iw_arch.Char a ((i + iter) land 0x7f)
+      | Short -> Iw_mem.store_prim sp Iw_arch.Short a ((i * 13) + iter)
+      | Int -> Iw_mem.store_prim sp Iw_arch.Int a ((i * 31) + iter)
+      | Long -> Iw_mem.store_prim sp Iw_arch.Long a ((i * 31) + iter)
+      | Float -> Iw_mem.store_float sp a (float_of_int ((i * 3) + iter))
+      | Double -> Iw_mem.store_double sp a (float_of_int ((i * 7) + iter))
+      | Pointer ->
+        Iw_mem.store_prim sp Iw_arch.Pointer a
+          targets.((i + iter) mod Array.length targets)
+      | String capacity ->
+        let pool = string_pool capacity in
+        Iw_mem.store_string sp ~capacity a pool.((i + iter) mod Array.length pool))
+    prep.prims

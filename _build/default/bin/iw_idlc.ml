@@ -1,0 +1,55 @@
+(* The InterWeave IDL compiler: turns C-like shared-type declarations into
+   OCaml binding modules (descriptors + typed accessors), the counterpart of
+   the paper's IDL compiler for C/C++/Java/Fortran (Sec. 2.1). *)
+
+let run input output prefix check_only =
+  try
+    let decls = Iw_idl.parse_file input in
+    if check_only then begin
+      List.iter
+        (fun (d : Iw_idl.decl) ->
+          Printf.printf "struct %-20s %4d primitive units\n" d.Iw_idl.d_name
+            (Iw_types.prim_count d.Iw_idl.d_desc))
+        decls;
+      0
+    end
+    else begin
+      let code = Iw_idl.to_ocaml ?module_prefix:prefix decls in
+      (match output with
+      | None -> print_string code
+      | Some path ->
+        let oc = open_out path in
+        output_string oc code;
+        close_out oc);
+      0
+    end
+  with
+  | Iw_idl.Parse_error msg ->
+    Printf.eprintf "%s: %s\n" input msg;
+    1
+  | Sys_error msg ->
+    Printf.eprintf "%s\n" msg;
+    1
+
+open Cmdliner
+
+let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.idl")
+
+let output =
+  Arg.(
+    value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE.ml" ~doc:"Output file.")
+
+let prefix =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "prefix" ] ~docv:"PREFIX" ~doc:"Prefix for generated module names.")
+
+let check_only =
+  Arg.(value & flag & info [ "check" ] ~doc:"Parse and report sizes; generate nothing.")
+
+let cmd =
+  let doc = "InterWeave IDL compiler" in
+  Cmd.v (Cmd.info "iw-idlc" ~doc) Term.(const run $ input $ output $ prefix $ check_only)
+
+let () = exit (Cmd.eval' cmd)

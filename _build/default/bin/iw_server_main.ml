@@ -1,0 +1,56 @@
+(* Standalone InterWeave server: serves segments over TCP and optionally
+   checkpoints them to disk on a timer, as the paper's server periodically
+   does (Sec. 2.2). *)
+
+let setup_logging verbose =
+  Fmt_tty.setup_std_outputs ();
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some (if verbose then Logs.Debug else Logs.Info))
+
+let run port checkpoint_dir checkpoint_secs verbose =
+  setup_logging verbose;
+  let server = Iw_server.create ?checkpoint_dir () in
+  (match checkpoint_dir with
+  | Some dir ->
+    Logs.info (fun m -> m "checkpointing to %s every %.0fs" dir checkpoint_secs);
+    let rec ticker () =
+      Thread.delay checkpoint_secs;
+      Iw_server.checkpoint server;
+      Logs.debug (fun m -> m "checkpoint complete");
+      ticker ()
+    in
+    ignore (Thread.create ticker () : Thread.t)
+  | None -> ());
+  let stop = ref false in
+  Logs.app (fun m -> m "InterWeave server listening on port %d" port);
+  Iw_transport.tcp_server ~port ~stop (fun conn ->
+      Logs.info (fun m -> m "client connected: %s" conn.Iw_transport.peer);
+      Iw_server.serve_conn server conn;
+      Logs.info (fun m -> m "client disconnected: %s" conn.Iw_transport.peer))
+
+open Cmdliner
+
+let port =
+  Arg.(value & opt int 7077 & info [ "p"; "port" ] ~docv:"PORT" ~doc:"TCP port to listen on.")
+
+let checkpoint_dir =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "checkpoint-dir" ] ~docv:"DIR" ~doc:"Persist segments to $(docv) and reload on start.")
+
+let checkpoint_secs =
+  Arg.(
+    value
+    & opt float 30.
+    & info [ "checkpoint-interval" ] ~docv:"SECS" ~doc:"Seconds between checkpoints.")
+
+let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Debug logging.")
+
+let cmd =
+  let doc = "InterWeave segment server" in
+  Cmd.v
+    (Cmd.info "iw-server" ~doc)
+    Term.(const run $ port $ checkpoint_dir $ checkpoint_secs $ verbose)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/list_types.ml: Array Iw_arch Iw_client Iw_types

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Arch Client Interweave List List_types Mem Node Option Printf

@@ -1,0 +1,162 @@
+type endianness =
+  | Little
+  | Big
+
+type prim =
+  | Char
+  | Short
+  | Int
+  | Long
+  | Float
+  | Double
+  | Pointer
+  | String of int
+
+type t = {
+  name : string;
+  endianness : endianness;
+  short_size : int;
+  int_size : int;
+  long_size : int;
+  pointer_size : int;
+  float_align : int;
+  double_align : int;
+  long_align : int;
+  pointer_align : int;
+}
+
+let x86_32 =
+  {
+    name = "x86_32";
+    endianness = Little;
+    short_size = 2;
+    int_size = 4;
+    long_size = 4;
+    pointer_size = 4;
+    float_align = 4;
+    double_align = 4;
+    long_align = 4;
+    pointer_align = 4;
+  }
+
+let sparc32 =
+  {
+    name = "sparc32";
+    endianness = Big;
+    short_size = 2;
+    int_size = 4;
+    long_size = 4;
+    pointer_size = 4;
+    float_align = 4;
+    double_align = 8;
+    long_align = 4;
+    pointer_align = 4;
+  }
+
+let mips32 = { sparc32 with name = "mips32" }
+
+let alpha64 =
+  {
+    name = "alpha64";
+    endianness = Little;
+    short_size = 2;
+    int_size = 4;
+    long_size = 8;
+    pointer_size = 8;
+    float_align = 4;
+    double_align = 8;
+    long_align = 8;
+    pointer_align = 8;
+  }
+
+let all = [ x86_32; sparc32; mips32; alpha64 ]
+
+let find name = List.find_opt (fun a -> a.name = name) all
+
+let prim_size arch = function
+  | Char -> 1
+  | Short -> arch.short_size
+  | Int -> arch.int_size
+  | Long -> arch.long_size
+  | Float -> 4
+  | Double -> 8
+  | Pointer -> arch.pointer_size
+  | String capacity -> capacity
+
+let prim_align arch = function
+  | Char -> 1
+  | Short -> arch.short_size
+  | Int -> arch.int_size
+  | Long -> arch.long_align
+  | Float -> arch.float_align
+  | Double -> arch.double_align
+  | Pointer -> arch.pointer_align
+  | String _ -> 1
+
+let align_up off a = (off + a - 1) / a * a
+
+let word_size = 4
+
+(* These run once per primitive datum during translation — the hottest loop
+   in the system — so the common sizes avoid per-byte loops and boxing. *)
+let load_uint arch b ~off ~size =
+  match (size, arch.endianness) with
+  | 1, _ -> Char.code (Bytes.get b off)
+  | 2, Little -> Bytes.get_uint16_le b off
+  | 2, Big -> Bytes.get_uint16_be b off
+  | 4, Little -> Int32.to_int (Bytes.get_int32_le b off) land 0xffffffff
+  | 4, Big -> Int32.to_int (Bytes.get_int32_be b off) land 0xffffffff
+  | 8, Little -> Int64.to_int (Bytes.get_int64_le b off)
+  | 8, Big -> Int64.to_int (Bytes.get_int64_be b off)
+  | _ -> invalid_arg "Iw_arch.load_uint: size must be 1, 2, 4, or 8"
+
+let load_sint arch b ~off ~size =
+  match (size, arch.endianness) with
+  | 1, _ -> (Char.code (Bytes.get b off) lxor 0x80) - 0x80
+  | 2, Little -> Bytes.get_int16_le b off
+  | 2, Big -> Bytes.get_int16_be b off
+  | 4, Little -> Int32.to_int (Bytes.get_int32_le b off)
+  | 4, Big -> Int32.to_int (Bytes.get_int32_be b off)
+  | 8, Little -> Int64.to_int (Bytes.get_int64_le b off)
+  | 8, Big -> Int64.to_int (Bytes.get_int64_be b off)
+  | _ -> invalid_arg "Iw_arch.load_sint: size must be 1, 2, 4, or 8"
+
+let store_uint arch b ~off ~size v =
+  match (size, arch.endianness) with
+  | 1, _ -> Bytes.set b off (Char.chr (v land 0xff))
+  | 2, Little -> Bytes.set_uint16_le b off (v land 0xffff)
+  | 2, Big -> Bytes.set_uint16_be b off (v land 0xffff)
+  | 4, Little -> Bytes.set_int32_le b off (Int32.of_int v)
+  | 4, Big -> Bytes.set_int32_be b off (Int32.of_int v)
+  | 8, Little -> Bytes.set_int64_le b off (Int64.of_int v)
+  | 8, Big -> Bytes.set_int64_be b off (Int64.of_int v)
+  | _ -> invalid_arg "Iw_arch.store_uint: size must be 1, 2, 4, or 8"
+
+let load_float arch b ~off =
+  Int32.float_of_bits (Int32.of_int (load_sint arch b ~off ~size:4))
+
+let store_float arch b ~off v =
+  store_uint arch b ~off ~size:4 (Int32.to_int (Int32.bits_of_float v) land 0xffffffff)
+
+(* Doubles need full 64-bit patterns, which [int] cannot hold; go through
+   Int64 explicitly. *)
+let load_double arch b ~off =
+  Int64.float_of_bits
+    (match arch.endianness with
+    | Little -> Bytes.get_int64_le b off
+    | Big -> Bytes.get_int64_be b off)
+
+let store_double arch b ~off v =
+  let bits = Int64.bits_of_float v in
+  match arch.endianness with
+  | Little -> Bytes.set_int64_le b off bits
+  | Big -> Bytes.set_int64_be b off bits
+
+let load_cstring b ~off ~capacity =
+  let rec len i = if i >= capacity || Bytes.get b (off + i) = '\000' then i else len (i + 1) in
+  Bytes.sub_string b off (len 0)
+
+let store_cstring b ~off ~capacity s =
+  let n = min (String.length s) (capacity - 1) in
+  Bytes.blit_string s 0 b off n;
+  Bytes.fill b (off + n) (capacity - n) '\000'

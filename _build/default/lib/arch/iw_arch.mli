@@ -1,0 +1,105 @@
+(** Machine architecture descriptors.
+
+    InterWeave clients run on heterogeneous machines that disagree about byte
+    order, primitive sizes, and alignment (paper, Section 1).  OCaml's managed
+    heap cannot exhibit those differences directly, so each client owns an
+    emulated address space of raw bytes whose layout is dictated by one of the
+    descriptors below.  All loads and stores of shared data go through this
+    module and therefore honour the emulated machine's conventions, exactly as
+    compiled C code would on the real machine. *)
+
+type endianness =
+  | Little
+  | Big
+
+(** Primitive data unit.  Offsets inside MIPs and wire-format diffs are
+    measured in these units (paper, Section 2.1).  [String capacity] is an
+    inline NUL-terminated character buffer of fixed local capacity; its wire
+    form is the actual string, length-prefixed.  [Pointer] is stored locally
+    as a machine-word address and travels as a MIP string. *)
+type prim =
+  | Char
+  | Short
+  | Int
+  | Long
+  | Float
+  | Double
+  | Pointer
+  | String of int
+
+type t = {
+  name : string;
+  endianness : endianness;
+  short_size : int;
+  int_size : int;
+  long_size : int;
+  pointer_size : int;
+  float_align : int;
+  double_align : int;
+  long_align : int;
+  pointer_align : int;
+}
+
+val x86_32 : t
+(** 32-bit little-endian, i386 ABI: 4-byte longs and pointers, doubles aligned
+    to 4 bytes. *)
+
+val sparc32 : t
+(** 32-bit big-endian, doubles aligned to 8 bytes. *)
+
+val mips32 : t
+(** 32-bit big-endian, MIPS o32-like. *)
+
+val alpha64 : t
+(** 64-bit little-endian: 8-byte longs and pointers. *)
+
+val all : t list
+
+val find : string -> t option
+(** Look an architecture up by [name]. *)
+
+val prim_size : t -> prim -> int
+(** Local (in-memory) size of a primitive on this architecture, in bytes. *)
+
+val prim_align : t -> prim -> int
+(** Local alignment requirement of a primitive, in bytes. *)
+
+val align_up : int -> int -> int
+(** [align_up off a] is the least multiple of [a] that is [>= off]. *)
+
+val word_size : int
+(** Granularity of twin/page comparison during diffing: 4 bytes, matching the
+    paper's word-by-word comparison. *)
+
+(** {1 Raw accessors}
+
+    These read and write primitive values at a byte offset in a raw buffer,
+    honouring the architecture's byte order and sizes.  Integer values wider
+    than 63 bits are not representable in shared data (the IDL has no
+    [unsigned long long]), so OCaml's [int] suffices on a 64-bit host. *)
+
+val load_uint : t -> Bytes.t -> off:int -> size:int -> int
+(** Zero-extended load of [size] bytes (1, 2, 4, or 8). *)
+
+val load_sint : t -> Bytes.t -> off:int -> size:int -> int
+(** Sign-extended load of [size] bytes. *)
+
+val store_uint : t -> Bytes.t -> off:int -> size:int -> int -> unit
+(** Truncating store of [size] bytes. *)
+
+val load_float : t -> Bytes.t -> off:int -> float
+(** IEEE 754 single-precision load (widened to [float]). *)
+
+val store_float : t -> Bytes.t -> off:int -> float -> unit
+
+val load_double : t -> Bytes.t -> off:int -> float
+
+val store_double : t -> Bytes.t -> off:int -> float -> unit
+
+val load_cstring : Bytes.t -> off:int -> capacity:int -> string
+(** Read a NUL-terminated string from a fixed-capacity inline buffer. *)
+
+val store_cstring : Bytes.t -> off:int -> capacity:int -> string -> unit
+(** Write a string into a fixed-capacity inline buffer, truncating to
+    [capacity - 1] bytes and NUL-terminating.  Unused tail bytes are zeroed so
+    that word-level diffs of strings are deterministic. *)

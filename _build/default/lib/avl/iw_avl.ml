@@ -1,0 +1,178 @@
+module type ORDERED = sig
+  type t
+
+  val compare : t -> t -> int
+end
+
+module Make (Ord : ORDERED) = struct
+  type key = Ord.t
+
+  type 'a t =
+    | Leaf
+    | Node of { l : 'a t; k : key; v : 'a; r : 'a t; h : int; n : int }
+
+  let empty = Leaf
+
+  let is_empty = function Leaf -> true | Node _ -> false
+
+  let height = function Leaf -> 0 | Node { h; _ } -> h
+
+  let cardinal = function Leaf -> 0 | Node { n; _ } -> n
+
+  let mk l k v r =
+    let hl = height l and hr = height r in
+    let h = 1 + if hl > hr then hl else hr in
+    Node { l; k; v; r; h; n = 1 + cardinal l + cardinal r }
+
+  (* Rebalance assuming [l] and [r] differ in height by at most 2. *)
+  let balance l k v r =
+    let hl = height l and hr = height r in
+    if hl > hr + 1 then
+      match l with
+      | Leaf -> assert false
+      | Node { l = ll; k = lk; v = lv; r = lr; _ } ->
+        if height ll >= height lr then mk ll lk lv (mk lr k v r)
+        else begin
+          match lr with
+          | Leaf -> assert false
+          | Node { l = lrl; k = lrk; v = lrv; r = lrr; _ } ->
+            mk (mk ll lk lv lrl) lrk lrv (mk lrr k v r)
+        end
+    else if hr > hl + 1 then
+      match r with
+      | Leaf -> assert false
+      | Node { l = rl; k = rk; v = rv; r = rr; _ } ->
+        if height rr >= height rl then mk (mk l k v rl) rk rv rr
+        else begin
+          match rl with
+          | Leaf -> assert false
+          | Node { l = rll; k = rlk; v = rlv; r = rlr; _ } ->
+            mk (mk l k v rll) rlk rlv (mk rlr rk rv rr)
+        end
+    else mk l k v r
+
+  let rec add key value = function
+    | Leaf -> mk Leaf key value Leaf
+    | Node { l; k; v; r; _ } ->
+      let c = Ord.compare key k in
+      if c = 0 then mk l key value r
+      else if c < 0 then balance (add key value l) k v r
+      else balance l k v (add key value r)
+
+  let rec min_binding = function
+    | Leaf -> None
+    | Node { l = Leaf; k; v; _ } -> Some (k, v)
+    | Node { l; _ } -> min_binding l
+
+  let rec max_binding = function
+    | Leaf -> None
+    | Node { r = Leaf; k; v; _ } -> Some (k, v)
+    | Node { r; _ } -> max_binding r
+
+  let rec remove_min = function
+    | Leaf -> assert false
+    | Node { l = Leaf; k; v; r; _ } -> (k, v, r)
+    | Node { l; k; v; r; _ } ->
+      let mk_, mv_, l' = remove_min l in
+      (mk_, mv_, balance l' k v r)
+
+  let rec remove key = function
+    | Leaf -> Leaf
+    | Node { l; k; v; r; _ } ->
+      let c = Ord.compare key k in
+      if c < 0 then balance (remove key l) k v r
+      else if c > 0 then balance l k v (remove key r)
+      else begin
+        match r with
+        | Leaf -> l
+        | _ ->
+          let sk, sv, r' = remove_min r in
+          balance l sk sv r'
+      end
+
+  let rec find_opt key = function
+    | Leaf -> None
+    | Node { l; k; v; r; _ } ->
+      let c = Ord.compare key k in
+      if c = 0 then Some v else if c < 0 then find_opt key l else find_opt key r
+
+  let mem key t = find_opt key t <> None
+
+  let rec floor key = function
+    | Leaf -> None
+    | Node { l; k; v; r; _ } ->
+      let c = Ord.compare key k in
+      if c = 0 then Some (k, v)
+      else if c < 0 then floor key l
+      else begin
+        match floor key r with Some _ as b -> b | None -> Some (k, v)
+      end
+
+  let rec ceiling key = function
+    | Leaf -> None
+    | Node { l; k; v; r; _ } ->
+      let c = Ord.compare key k in
+      if c = 0 then Some (k, v)
+      else if c > 0 then ceiling key r
+      else begin
+        match ceiling key l with Some _ as b -> b | None -> Some (k, v)
+      end
+
+  let rec succ key = function
+    | Leaf -> None
+    | Node { l; k; v; r; _ } ->
+      if Ord.compare key k < 0 then begin
+        match succ key l with Some _ as b -> b | None -> Some (k, v)
+      end
+      else succ key r
+
+  let rec pred key = function
+    | Leaf -> None
+    | Node { l; k; v; r; _ } ->
+      if Ord.compare key k > 0 then begin
+        match pred key r with Some _ as b -> b | None -> Some (k, v)
+      end
+      else pred key l
+
+  let rec iter f = function
+    | Leaf -> ()
+    | Node { l; k; v; r; _ } ->
+      iter f l;
+      f k v;
+      iter f r
+
+  let rec fold f t acc =
+    match t with
+    | Leaf -> acc
+    | Node { l; k; v; r; _ } -> fold f r (f k v (fold f l acc))
+
+  let to_list t = fold (fun k v acc -> (k, v) :: acc) t [] |> List.rev
+
+  let of_list l = List.fold_left (fun t (k, v) -> add k v t) empty l
+
+  let invariant t =
+    let rec check = function
+      | Leaf -> Some (0, None, None)
+      | Node { l; k; v = _; r; h; n } -> begin
+        match (check l, check r) with
+        | Some (hl, lmin, lmax), Some (hr, rmin, rmax) ->
+          let ordered_left =
+            match lmax with None -> true | Some m -> Ord.compare m k < 0
+          and ordered_right =
+            match rmin with None -> true | Some m -> Ord.compare k m < 0
+          in
+          if
+            ordered_left && ordered_right
+            && abs (hl - hr) <= 1
+            && h = 1 + max hl hr
+            && n = 1 + cardinal l + cardinal r
+          then
+            let mn = match lmin with None -> Some k | m -> m
+            and mx = match rmax with None -> Some k | m -> m in
+            Some (h, mn, mx)
+          else None
+        | _ -> None
+      end
+    in
+    check t <> None
+end

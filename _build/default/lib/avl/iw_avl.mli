@@ -1,0 +1,69 @@
+(** Balanced (AVL) search trees with order queries.
+
+    InterWeave keeps all of its metadata — blocks by serial number, blocks by
+    name, blocks by address, subsegments by address, version markers — in
+    balanced search trees (paper, Sections 3.1 and 3.2).  The address-keyed
+    trees additionally need "which entry spans this address" lookups, provided
+    here as {!Make.floor} and {!Make.ceiling}. *)
+
+module type ORDERED = sig
+  type t
+
+  val compare : t -> t -> int
+end
+
+module Make (Ord : ORDERED) : sig
+  type key = Ord.t
+
+  type 'a t
+  (** Persistent AVL tree mapping keys to values. *)
+
+  val empty : 'a t
+
+  val is_empty : 'a t -> bool
+
+  val cardinal : 'a t -> int
+
+  val height : 'a t -> int
+
+  val add : key -> 'a -> 'a t -> 'a t
+  (** [add k v t] binds [k] to [v], replacing any previous binding. *)
+
+  val remove : key -> 'a t -> 'a t
+  (** [remove k t] is [t] without the binding for [k]; [t] itself if absent. *)
+
+  val find_opt : key -> 'a t -> 'a option
+
+  val mem : key -> 'a t -> bool
+
+  val floor : key -> 'a t -> (key * 'a) option
+  (** [floor k t] is the binding with the greatest key [<= k]. *)
+
+  val ceiling : key -> 'a t -> (key * 'a) option
+  (** [ceiling k t] is the binding with the least key [>= k]. *)
+
+  val succ : key -> 'a t -> (key * 'a) option
+  (** [succ k t] is the binding with the least key [> k]. *)
+
+  val pred : key -> 'a t -> (key * 'a) option
+  (** [pred k t] is the binding with the greatest key [< k]. *)
+
+  val min_binding : 'a t -> (key * 'a) option
+
+  val max_binding : 'a t -> (key * 'a) option
+
+  val iter : (key -> 'a -> unit) -> 'a t -> unit
+  (** In-order (ascending key) iteration. *)
+
+  val fold : (key -> 'a -> 'b -> 'b) -> 'a t -> 'b -> 'b
+  (** In-order fold. *)
+
+  val to_list : 'a t -> (key * 'a) list
+  (** Bindings in ascending key order. *)
+
+  val of_list : (key * 'a) list -> 'a t
+
+  val invariant : 'a t -> bool
+  (** Structural check: AVL balance and key ordering both hold.  Used by the
+      test suite. *)
+end

@@ -1,0 +1,1012 @@
+module Serial_tree = Iw_avl.Make (Int)
+module Name_tree = Iw_avl.Make (String)
+
+type addr = Iw_mem.addr
+
+exception Busy
+
+exception Error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+type stats = {
+  mutable calls : int;
+  mutable bytes_sent : int;
+  mutable bytes_received : int;
+  mutable diffs_sent : int;
+  mutable diffs_received : int;
+  mutable updates_skipped : int;
+  mutable notifications : int;
+  mutable twin_pages : int;
+  mutable pred_hits : int;
+  mutable pred_misses : int;
+  mutable word_diff_seconds : float;
+  mutable translate_seconds : float;
+  mutable apply_seconds : float;
+}
+
+type options = {
+  mutable auto_no_diff : bool;
+  mutable prediction : bool;
+  mutable isomorphic : bool;
+  mutable block_no_diff_threshold : float;
+  mutable auto_subscribe : bool;
+}
+
+type lock_state =
+  | Unlocked
+  | Read_locked of int
+  | Write_locked of int
+
+type mode =
+  | Diffing
+  | No_diff of int  (* write releases left before re-probing with diffs *)
+
+type seg = {
+  g_name : string;
+  g_id : int;
+  g_client : t;
+  g_heap : Iw_mem.heap;
+  mutable g_version : int;
+  mutable g_valid : bool;  (* false: space reserved, data never fetched *)
+  mutable g_blocks : Iw_mem.block Serial_tree.t;  (* blk_number_tree *)
+  mutable g_by_name : Iw_mem.block Name_tree.t;  (* blk_name_tree *)
+  g_registry : Iw_types.Registry.t;
+  g_desc_serials : (Iw_types.desc, int) Hashtbl.t;
+  mutable g_next_serial : int;
+  mutable g_total_units : int;
+  mutable g_lock : lock_state;
+  mutable g_coherence : Iw_proto.coherence;
+  mutable g_synced_at : float;  (* for Temporal coherence *)
+  mutable g_mode : mode;
+  mutable g_mode_forced : bool;
+  mutable g_full_streak : int;
+  g_created : (int, Iw_mem.block) Hashtbl.t;
+  (* Blocks freed this critical section.  Their memory is only released at
+     commit, so an abort can resurrect them. *)
+  g_pending_frees : (int, Iw_mem.block) Hashtbl.t;
+  mutable g_pred : Iw_mem.block option;  (* apply-side last-block prediction *)
+  mutable g_subscribed : bool;
+  mutable g_uptodate_streak : int;  (* consecutive wasted polls; drives auto-subscribe *)
+}
+
+and t = {
+  c_space : Iw_mem.space;
+  c_link : Iw_proto.link;
+  c_session : int;
+  c_segs : (string, seg) Hashtbl.t;
+  c_by_id : (int, seg) Hashtbl.t;
+  mutable c_next_seg_id : int;
+  c_busy_wait : float option;
+  c_stats : stats;
+  c_options : options;
+  c_scratch : Iw_wire.Buf.t;
+      (* reused payload-encoding buffer: collection runs are sequential, and
+         reusing the buffer avoids re-zeroing megabytes per release *)
+  (* Staleness flags set by the notification receiver thread; guarded by a
+     mutex because that thread races with the application thread. *)
+  c_stale : (string, unit) Hashtbl.t;
+  c_stale_mutex : Mutex.t;
+  mutable c_notifications_enabled : bool;
+}
+
+let now () = Unix.gettimeofday ()
+
+let fresh_stats () =
+  {
+    calls = 0;
+    bytes_sent = 0;
+    bytes_received = 0;
+    diffs_sent = 0;
+    diffs_received = 0;
+    updates_skipped = 0;
+    notifications = 0;
+    twin_pages = 0;
+    pred_hits = 0;
+    pred_misses = 0;
+    word_diff_seconds = 0.;
+    translate_seconds = 0.;
+    apply_seconds = 0.;
+  }
+
+let stats c = c.c_stats
+
+let reset_stats c =
+  let s = c.c_stats in
+  s.calls <- 0;
+  s.bytes_sent <- 0;
+  s.bytes_received <- 0;
+  s.diffs_sent <- 0;
+  s.diffs_received <- 0;
+  s.updates_skipped <- 0;
+  s.notifications <- 0;
+  s.twin_pages <- 0;
+  s.pred_hits <- 0;
+  s.pred_misses <- 0;
+  s.word_diff_seconds <- 0.;
+  s.translate_seconds <- 0.;
+  s.apply_seconds <- 0.
+
+let options c = c.c_options
+
+let call c req =
+  c.c_stats.calls <- c.c_stats.calls + 1;
+  match c.c_link.Iw_proto.call req with
+  | Iw_proto.R_error msg -> error "server: %s" msg
+  | resp -> resp
+
+let connect ?(arch = Iw_arch.x86_32) ?(busy_wait = None) link =
+  let session =
+    match link.Iw_proto.call (Iw_proto.Hello { arch = arch.Iw_arch.name }) with
+    | Iw_proto.R_hello { session } -> session
+    | _ -> raise (Error "handshake failed")
+  in
+  {
+    c_space = Iw_mem.create_space arch;
+    c_link = link;
+    c_session = session;
+    c_segs = Hashtbl.create 8;
+    c_by_id = Hashtbl.create 8;
+    c_next_seg_id = 1;
+    c_busy_wait = busy_wait;
+    c_stats = fresh_stats ();
+    c_options =
+      {
+        auto_no_diff = true;
+        prediction = true;
+        isomorphic = true;
+        block_no_diff_threshold = 0.9;
+        auto_subscribe = true;
+      };
+    c_scratch = Iw_wire.Buf.create ~capacity:65536 ();
+    c_stale = Hashtbl.create 8;
+    c_stale_mutex = Mutex.create ();
+    c_notifications_enabled = false;
+  }
+
+let disconnect c = c.c_link.Iw_proto.close ()
+
+let space c = c.c_space
+
+let arch c = Iw_mem.arch c.c_space
+
+let segment_name g = g.g_name
+
+let segment_version g = g.g_version
+
+let coherence g = g.g_coherence
+
+let set_coherence g m = g.g_coherence <- m
+
+let locked g = g.g_lock <> Unlocked
+
+let no_diff_mode g = match g.g_mode with No_diff _ -> true | Diffing -> false
+
+let find_segment c name = Hashtbl.find_opt c.c_segs name
+
+let segment_of_addr c a =
+  match Iw_mem.find_block c.c_space a with
+  | Some (b, _) -> Hashtbl.find_opt c.c_by_id (Iw_mem.heap_seg_id b.Iw_mem.b_heap)
+  | None -> None
+
+let block_of_addr c a = Iw_mem.find_block c.c_space a
+
+let find_block g ~serial = Serial_tree.find_opt serial g.g_blocks
+
+let find_named_block g name = Name_tree.find_opt name g.g_by_name
+
+let blocks g =
+  Serial_tree.fold (fun _ b acc -> b :: acc) g.g_blocks [] |> List.rev
+
+(* Descriptor registration: segment-scoped serials assigned by the server
+   (paper, Sec. 3.1).  The isomorphic optimization is applied before
+   registration so that both sides translate with the cheaper descriptor. *)
+let desc_serial g desc =
+  match Hashtbl.find_opt g.g_desc_serials desc with
+  | Some s -> s
+  | None ->
+    let serial =
+      match
+        call g.g_client
+          (Iw_proto.Register_desc { session = g.g_client.c_session; name = g.g_name; desc })
+      with
+      | Iw_proto.R_serial s -> s
+      | _ -> error "unexpected response to Register_desc"
+    in
+    Iw_types.Registry.adopt g.g_registry serial desc;
+    Hashtbl.replace g.g_desc_serials desc serial;
+    serial
+
+let register_block g b =
+  g.g_blocks <- Serial_tree.add b.Iw_mem.b_serial b g.g_blocks;
+  (match b.Iw_mem.b_name with
+  | Some n -> g.g_by_name <- Name_tree.add n b g.g_by_name
+  | None -> ());
+  if b.Iw_mem.b_serial >= g.g_next_serial then g.g_next_serial <- b.Iw_mem.b_serial + 1;
+  g.g_total_units <- g.g_total_units + Iw_types.layout_prim_count b.Iw_mem.b_layout
+
+let forget_block g b =
+  g.g_blocks <- Serial_tree.remove b.Iw_mem.b_serial g.g_blocks;
+  (match b.Iw_mem.b_name with
+  | Some n -> g.g_by_name <- Name_tree.remove n g.g_by_name
+  | None -> ());
+  g.g_total_units <- g.g_total_units - Iw_types.layout_prim_count b.Iw_mem.b_layout
+
+(* Reserve local space for a block known only from server metadata. *)
+let reserve_block g ~serial ~name ~desc_serial =
+  let desc =
+    match Iw_types.Registry.find g.g_registry desc_serial with
+    | Some d -> d
+    | None -> error "segment %s: unknown descriptor %d" g.g_name desc_serial
+  in
+  let lay = Iw_types.layout (Iw_types.local (arch g.g_client)) desc in
+  let b = Iw_mem.alloc g.g_heap ~serial ?name ~desc_serial lay in
+  register_block g b;
+  b
+
+let refresh_meta g =
+  match
+    call g.g_client (Iw_proto.Segment_meta { session = g.g_client.c_session; name = g.g_name })
+  with
+  | Iw_proto.R_meta { version = _; descs; blocks } ->
+    List.iter
+      (fun (serial, d) ->
+        Iw_types.Registry.adopt g.g_registry serial d;
+        Hashtbl.replace g.g_desc_serials d serial)
+      descs;
+    List.iter
+      (fun (mb : Iw_proto.meta_block) ->
+        if not (Serial_tree.mem mb.mb_serial g.g_blocks) then
+          ignore
+            (reserve_block g ~serial:mb.mb_serial ~name:mb.mb_name
+               ~desc_serial:mb.mb_desc_serial
+              : Iw_mem.block))
+      blocks
+  | _ -> error "unexpected response to Segment_meta"
+
+let open_segment ?(create = true) c name =
+  if String.contains name '#' then error "segment name %S contains '#'" name;
+  match Hashtbl.find_opt c.c_segs name with
+  | Some g -> g
+  | None ->
+    (match call c (Iw_proto.Open_segment { session = c.c_session; name; create }) with
+    | Iw_proto.R_segment _ -> ()
+    | _ -> error "unexpected response to Open_segment");
+    let g_id = c.c_next_seg_id in
+    c.c_next_seg_id <- g_id + 1;
+    let g =
+      {
+        g_name = name;
+        g_id;
+        g_client = c;
+        g_heap = Iw_mem.create_heap c.c_space ~seg_id:g_id;
+        g_version = 0;
+        g_valid = false;
+        g_blocks = Serial_tree.empty;
+        g_by_name = Name_tree.empty;
+        g_registry = Iw_types.Registry.create ();
+        g_desc_serials = Hashtbl.create 16;
+        g_next_serial = 1;
+        g_total_units = 0;
+        g_lock = Unlocked;
+        g_coherence = Iw_proto.Full;
+        g_synced_at = 0.;
+        g_mode = Diffing;
+        g_mode_forced = false;
+        g_full_streak = 0;
+        g_created = Hashtbl.create 8;
+        g_pending_frees = Hashtbl.create 8;
+        g_pred = None;
+        g_subscribed = false;
+        g_uptodate_streak = 0;
+      }
+    in
+    Hashtbl.replace c.c_segs name g;
+    Hashtbl.replace c.c_by_id g_id g;
+    (* Reserve space for existing blocks so cross-segment pointers into this
+       segment can be swizzled before it is ever locked. *)
+    refresh_meta g;
+    g
+
+(* MIP handling: "segment#block#offset", offsets in primitive data units and
+   omitted when zero; the block part is a serial number or a symbolic name
+   (paper, Sec. 2.1). *)
+
+let seg_of_heap c heap =
+  match Hashtbl.find_opt c.c_by_id (Iw_mem.heap_seg_id heap) with
+  | Some g -> g
+  | None -> error "address belongs to no open segment"
+
+let ptr_to_mip c a =
+  match Iw_mem.find_block c.c_space a with
+  | None -> error "ptr_to_mip: address %d is not in a live block" a
+  | Some (b, byte_off) ->
+    let g = seg_of_heap c b.Iw_mem.b_heap in
+    let pu =
+      if byte_off = 0 then 0
+      else begin
+        match Iw_types.locate_byte b.Iw_mem.b_layout byte_off with
+        | Some loc -> loc.Iw_types.l_index
+        | None -> error "ptr_to_mip: address %d falls on alignment padding" a
+      end
+    in
+    (* Hot path (one call per live pointer translated): plain concatenation
+       rather than Printf. *)
+    if pu = 0 then String.concat "#" [ g.g_name; string_of_int b.Iw_mem.b_serial ]
+    else
+      String.concat "#"
+        [ g.g_name; string_of_int b.Iw_mem.b_serial; string_of_int pu ]
+
+let is_digits s = s <> "" && String.for_all (fun c -> c >= '0' && c <= '9') s
+
+let mip_to_ptr c mip =
+  let seg_name, blk, pu =
+    match String.split_on_char '#' mip with
+    | [ s; b ] -> (s, b, 0)
+    | [ s; b; o ] when is_digits o -> (s, b, int_of_string o)
+    | _ -> error "malformed MIP %S" mip
+  in
+  let g =
+    match Hashtbl.find_opt c.c_segs seg_name with
+    | Some g -> g
+    | None -> open_segment ~create:false c seg_name
+  in
+  let b =
+    let lookup () =
+      if is_digits blk then Serial_tree.find_opt (int_of_string blk) g.g_blocks
+      else Name_tree.find_opt blk g.g_by_name
+    in
+    match lookup () with
+    | Some b -> Some b
+    | None ->
+      (* The block may be newer than our metadata; refresh and retry. *)
+      refresh_meta g;
+      lookup ()
+  in
+  match b with
+  | None -> error "MIP %S: no such block" mip
+  | Some b ->
+    if pu = 0 then b.Iw_mem.b_addr
+    else begin
+      let loc = Iw_types.locate_prim b.Iw_mem.b_layout pu in
+      b.Iw_mem.b_addr + loc.Iw_types.l_off
+    end
+
+(* Pointer-rich data keeps referencing the same objects, so swizzling is
+   memoized per diff operation: the first occurrence of an address (or MIP)
+   pays the metadata-tree search, repeats are a hash probe. *)
+let memoized_swizzle c =
+  let memo : (int, string) Hashtbl.t = Hashtbl.create 64 in
+  fun a ->
+    match Hashtbl.find_opt memo a with
+    | Some mip -> mip
+    | None ->
+      let mip = ptr_to_mip c a in
+      Hashtbl.add memo a mip;
+      mip
+
+(* Applying an incoming diff (paper, Sec. 3.1, diff application). *)
+
+let apply_create g ~unswizzle (serial, name, desc_serial, payload) =
+  let c = g.g_client in
+  let b =
+    match Serial_tree.find_opt serial g.g_blocks with
+    | Some b ->
+      (* Space was reserved from metadata; fill it. *)
+      if b.Iw_mem.b_desc_serial <> desc_serial then
+        error "segment %s: block %d descriptor mismatch" g.g_name serial;
+      b
+    | None -> reserve_block g ~serial ~name ~desc_serial
+  in
+  let lay = b.Iw_mem.b_layout in
+  let pcount = Iw_types.layout_prim_count lay in
+  let r = Iw_wire.Reader.of_string payload in
+  Iw_mem.with_raw c.c_space b.Iw_mem.b_addr (fun bytes base ->
+      Iw_wire.apply_prims r (arch c) lay bytes ~base ~from:0 ~upto:pcount ~unswizzle);
+  b
+
+let apply_update g ~unswizzle (serial, runs) =
+  let c = g.g_client in
+  let b =
+    let predicted =
+      if not c.c_options.prediction then None
+      else
+        match g.g_pred with
+        | Some p when p.Iw_mem.b_serial = serial && not p.Iw_mem.b_freed -> Some p
+        | Some _ | None -> None
+    in
+    match predicted with
+    | Some p ->
+      c.c_stats.pred_hits <- c.c_stats.pred_hits + 1;
+      p
+    | None -> begin
+      c.c_stats.pred_misses <- c.c_stats.pred_misses + 1;
+      match Serial_tree.find_opt serial g.g_blocks with
+      | Some b -> b
+      | None -> error "segment %s: update for unknown block %d" g.g_name serial
+    end
+  in
+  (* Predict the next updated block: the next block in memory order, which
+     matches the server's version-list order for first-cached layouts
+     (paper, Sec. 3.3). *)
+  g.g_pred <-
+    (match Serial_tree.succ serial g.g_blocks with
+    | Some (_, nb) -> Some nb
+    | None -> None);
+  let lay = b.Iw_mem.b_layout in
+  List.iter
+    (fun (run : Iw_wire.Diff.run) ->
+      let upto = run.start_pu + run.len_pu in
+      if upto > Iw_types.layout_prim_count lay then
+        error "segment %s: run beyond end of block %d" g.g_name serial;
+      let r = Iw_wire.Reader.of_string run.payload in
+      Iw_mem.with_raw c.c_space b.Iw_mem.b_addr (fun bytes base ->
+          Iw_wire.apply_prims r (arch c) lay bytes ~base ~from:run.start_pu ~upto
+            ~unswizzle))
+    runs
+
+let apply_diff g (diff : Iw_wire.Diff.t) =
+  let c = g.g_client in
+  let t0 = now () in
+  c.c_stats.diffs_received <- c.c_stats.diffs_received + 1;
+  c.c_stats.bytes_received <- c.c_stats.bytes_received + Iw_wire.Diff.payload_bytes diff;
+  List.iter
+    (fun (serial, d) ->
+      Iw_types.Registry.adopt g.g_registry serial d;
+      Hashtbl.replace g.g_desc_serials d serial)
+    diff.new_descs;
+  let unswizzle =
+    let memo : (string, int) Hashtbl.t = Hashtbl.create 64 in
+    fun mip ->
+      match Hashtbl.find_opt memo mip with
+      | Some a -> a
+      | None ->
+        let a = mip_to_ptr c mip in
+        Hashtbl.add memo mip a;
+        a
+  in
+  List.iter
+    (fun (change : Iw_wire.Diff.block_change) ->
+      match change with
+      | Create { serial; name; desc_serial; payload } ->
+        ignore (apply_create g ~unswizzle (serial, name, desc_serial, payload) : Iw_mem.block)
+      | Update { serial; runs } -> apply_update g ~unswizzle (serial, runs)
+      | Free { serial } -> begin
+        match Serial_tree.find_opt serial g.g_blocks with
+        | Some b ->
+          forget_block g b;
+          Iw_mem.free_block b
+        | None -> () (* freed before we ever cached it *)
+      end)
+    diff.changes;
+  g.g_version <- diff.to_version;
+  g.g_valid <- true;
+  c.c_stats.apply_seconds <- c.c_stats.apply_seconds +. (now () -. t0)
+
+(* Notifications (paper, Sec. 2.2): the receiver thread flags segments as
+   possibly stale; read-lock acquisition on a subscribed, unflagged segment
+   skips server communication entirely. *)
+
+let session c = c.c_session
+
+let handle_notification c (n : Iw_proto.notification) =
+  Mutex.lock c.c_stale_mutex;
+  Hashtbl.replace c.c_stale n.Iw_proto.n_segment ();
+  c.c_stats.notifications <- c.c_stats.notifications + 1;
+  Mutex.unlock c.c_stale_mutex
+
+let enable_notifications c = c.c_notifications_enabled <- true
+
+let notifications_enabled c = c.c_notifications_enabled
+
+let flagged_stale c name =
+  Mutex.lock c.c_stale_mutex;
+  let v = Hashtbl.mem c.c_stale name in
+  Mutex.unlock c.c_stale_mutex;
+  v
+
+(* Cleared BEFORE asking the server, so a change racing with the response
+   leaves the flag set for the next acquisition. *)
+let clear_stale c name =
+  Mutex.lock c.c_stale_mutex;
+  Hashtbl.remove c.c_stale name;
+  Mutex.unlock c.c_stale_mutex
+
+let subscribe g =
+  let c = g.g_client in
+  if not c.c_notifications_enabled then
+    error "segment %s: this client has no notification channel" g.g_name;
+  if not g.g_subscribed then begin
+    match call c (Iw_proto.Subscribe { session = c.c_session; name = g.g_name }) with
+    | Iw_proto.R_ok -> g.g_subscribed <- true
+    | _ -> error "unexpected response to Subscribe"
+  end
+
+let unsubscribe g =
+  let c = g.g_client in
+  if g.g_subscribed then begin
+    match call c (Iw_proto.Unsubscribe { session = c.c_session; name = g.g_name }) with
+    | Iw_proto.R_ok -> g.g_subscribed <- false
+    | _ -> error "unexpected response to Unsubscribe"
+  end
+
+let subscribed g = g.g_subscribed
+
+(* Locks. *)
+
+let cached_version g = if g.g_valid then g.g_version else 0
+
+let rl_acquire g =
+  match g.g_lock with
+  | Read_locked n -> g.g_lock <- Read_locked (n + 1)
+  | Write_locked _ -> error "segment %s: read lock inside write lock" g.g_name
+  | Unlocked ->
+    let c = g.g_client in
+    let skip_check =
+      (* A subscribed segment with no pending change notification is known
+         current; a temporal bound is enforced with a client-side timestamp.
+         Both avoid server communication entirely (paper, Sec. 2.2). *)
+      (g.g_subscribed && g.g_valid && not (flagged_stale c g.g_name))
+      ||
+      match g.g_coherence with
+      | Iw_proto.Temporal secs -> g.g_valid && now () -. g.g_synced_at <= secs
+      | Full | Delta _ | Diff_pct _ -> false
+    in
+    if skip_check then c.c_stats.updates_skipped <- c.c_stats.updates_skipped + 1
+    else begin
+      clear_stale c g.g_name;
+      match
+        call c
+          (Iw_proto.Read_lock
+             {
+               session = c.c_session;
+               name = g.g_name;
+               version = cached_version g;
+               coherence = g.g_coherence;
+             })
+      with
+      | Iw_proto.R_up_to_date ->
+        c.c_stats.updates_skipped <- c.c_stats.updates_skipped + 1;
+        g.g_valid <- true;
+        g.g_synced_at <- now ();
+        (* Adaptive switch from polling to notification: repeated wasted
+           polls mean updates are rarer than reads. *)
+        g.g_uptodate_streak <- g.g_uptodate_streak + 1;
+        if
+          c.c_options.auto_subscribe && c.c_notifications_enabled
+          && (not g.g_subscribed)
+          && g.g_uptodate_streak >= 4
+        then subscribe g
+      | Iw_proto.R_update diff ->
+        apply_diff g diff;
+        g.g_synced_at <- now ();
+        g.g_uptodate_streak <- 0
+      | _ -> error "unexpected response to Read_lock"
+    end;
+    g.g_lock <- Read_locked 1
+
+let rl_release g =
+  match g.g_lock with
+  | Read_locked 1 -> g.g_lock <- Unlocked
+  | Read_locked n -> g.g_lock <- Read_locked (n - 1)
+  | Write_locked _ | Unlocked -> error "segment %s: read lock not held" g.g_name
+
+let wl_acquire g =
+  match g.g_lock with
+  | Write_locked n -> g.g_lock <- Write_locked (n + 1)
+  | Read_locked _ -> error "segment %s: cannot upgrade read lock" g.g_name
+  | Unlocked ->
+    let c = g.g_client in
+    let rec acquire () =
+      match
+        call c
+          (Iw_proto.Write_lock
+             { session = c.c_session; name = g.g_name; version = cached_version g })
+      with
+      | Iw_proto.R_busy -> begin
+        match c.c_busy_wait with
+        | Some d ->
+          Unix.sleepf d;
+          acquire ()
+        | None -> raise Busy
+      end
+      | Iw_proto.R_granted upd -> upd
+      | _ -> error "unexpected response to Write_lock"
+    in
+    (match acquire () with
+    | Some diff -> apply_diff g diff
+    | None -> g.g_valid <- true);
+    g.g_synced_at <- now ();
+    Hashtbl.reset g.g_created;
+    Hashtbl.reset g.g_pending_frees;
+    (match g.g_mode with
+    | Diffing ->
+      Iw_mem.protect g.g_heap (* the paper's mprotect of all subsegment pages *)
+    | No_diff _ -> ());
+    g.g_lock <- Write_locked 1
+
+(* Allocation. *)
+
+let require_write_lock g op =
+  match g.g_lock with
+  | Write_locked _ -> ()
+  | Read_locked _ | Unlocked -> error "segment %s: %s requires the write lock" g.g_name op
+
+let malloc ?name g desc =
+  require_write_lock g "malloc";
+  (match Iw_types.validate desc with
+  | Ok () -> ()
+  | Error msg -> error "invalid descriptor: %s" msg);
+  (match name with
+  | Some n ->
+    if String.contains n '#' then error "block name %S contains '#'" n;
+    if is_digits n then error "block name %S is all digits" n;
+    if Name_tree.mem n g.g_by_name then
+      error "segment %s: block name %S already in use" g.g_name n
+  | None -> ());
+  let c = g.g_client in
+  let desc = if c.c_options.isomorphic then Iw_types.optimize desc else desc in
+  let serial_d = desc_serial g desc in
+  let lay = Iw_types.layout (Iw_types.local (arch c)) desc in
+  let serial = g.g_next_serial in
+  let b = Iw_mem.alloc g.g_heap ~serial ?name ~desc_serial:serial_d lay in
+  register_block g b;
+  Hashtbl.replace g.g_created serial b;
+  b.Iw_mem.b_addr
+
+let free c a =
+  match Iw_mem.find_block c.c_space a with
+  | None -> error "free: address %d is not in a live block" a
+  | Some (b, _) ->
+    let g = seg_of_heap c b.Iw_mem.b_heap in
+    require_write_lock g "free";
+    let serial = b.Iw_mem.b_serial in
+    if Hashtbl.mem g.g_pending_frees serial then
+      error "free: block %d already freed in this critical section" serial;
+    forget_block g b;
+    if Hashtbl.mem g.g_created serial then begin
+      (* Created and freed in the same critical section: it never existed as
+         far as the server is concerned, so reclaim at once. *)
+      Hashtbl.remove g.g_created serial;
+      Iw_mem.free_block b
+    end
+    else Hashtbl.replace g.g_pending_frees serial b
+
+(* Diff collection (paper, Sec. 3.1): word-diff twinned pages, map byte runs
+   to blocks and primitive-unit ranges, translate to wire format. *)
+
+(* Primitive containing [off], or the first one after it (skipping alignment
+   padding).  [None] when only trailing padding remains. *)
+let locate_round_up lay off =
+  let size = Iw_types.size lay in
+  let rec go off =
+    if off >= size then None
+    else
+      match Iw_types.locate_byte lay off with
+      | Some loc -> Some loc
+      | None -> go (off + 1)
+  in
+  go off
+
+(* Primitive containing [off], or the last one before it. *)
+let locate_round_down lay off =
+  let rec go off =
+    if off < 0 then None
+    else
+      match Iw_types.locate_byte lay off with
+      | Some loc -> Some loc
+      | None -> go (off - 1)
+  in
+  go off
+
+(* Accumulate per-block primitive ranges for one modified byte run. *)
+let ranges_of_run c per_block (run_addr, run_len) =
+  let run_end = run_addr + run_len in
+  let rec walk a =
+    if a < run_end then begin
+      match Iw_mem.find_block c.c_space a with
+      | Some (b, off) ->
+        let g = seg_of_heap c b.Iw_mem.b_heap in
+        let block_end = b.Iw_mem.b_addr + b.Iw_mem.b_size in
+        let span_end = min run_end block_end in
+        let skip =
+          (* Created blocks travel whole in a Create change; blocks freed in
+             this critical section are not transmitted at all. *)
+          Hashtbl.mem g.g_created b.Iw_mem.b_serial
+          || Hashtbl.mem g.g_pending_frees b.Iw_mem.b_serial
+        in
+        if not skip then begin
+          let lay = b.Iw_mem.b_layout in
+          let lo = locate_round_up lay off in
+          let hi = locate_round_down lay (span_end - 1 - b.Iw_mem.b_addr) in
+          match (lo, hi) with
+          | Some lo, Some hi when lo.Iw_types.l_index <= hi.Iw_types.l_index ->
+            let range = (lo.Iw_types.l_index, hi.Iw_types.l_index + 1) in
+            (match Hashtbl.find_opt per_block b.Iw_mem.b_serial with
+            | Some (_, ranges) -> ranges := range :: !ranges
+            | None -> Hashtbl.replace per_block b.Iw_mem.b_serial (b, ref [ range ]))
+          | _ -> ()
+        end;
+        walk span_end
+      | None -> begin
+        (* Free space (e.g. a block freed during this critical section):
+           jump to the next live block. *)
+        match Iw_mem.next_block c.c_space a with
+        | Some b when b.Iw_mem.b_addr < run_end -> walk b.Iw_mem.b_addr
+        | Some _ | None -> ()
+      end
+    end
+  in
+  walk run_addr
+
+(* Sort, merge overlapping/adjacent ranges. *)
+let normalize_ranges ranges =
+  let sorted = List.sort compare ranges in
+  let rec merge = function
+    | (a1, b1) :: (a2, b2) :: rest when a2 <= b1 -> merge ((a1, max b1 b2) :: rest)
+    | r :: rest -> r :: merge rest
+    | [] -> []
+  in
+  merge sorted
+
+let encode_block_runs c ~swizzle b ranges =
+  let lay = b.Iw_mem.b_layout in
+  let pcount = Iw_types.layout_prim_count lay in
+  let covered = List.fold_left (fun acc (a, e) -> acc + e - a) 0 ranges in
+  let ranges =
+    (* Block-level no-diff: translating a whole block is cheaper than
+       fragmenting it into many runs (paper, Sec. 3.3). *)
+    if float_of_int covered >= c.c_options.block_no_diff_threshold *. float_of_int pcount
+    then [ (0, pcount) ]
+    else ranges
+  in
+  List.map
+    (fun (from, upto) ->
+      let buf = c.c_scratch in
+      Iw_wire.Buf.clear buf;
+      Iw_mem.with_raw c.c_space b.Iw_mem.b_addr (fun bytes base ->
+          Iw_wire.collect_prims buf (arch c) lay bytes ~base ~from ~upto ~swizzle);
+      { Iw_wire.Diff.start_pu = from; len_pu = upto - from; payload = Iw_wire.Buf.contents buf })
+    (normalize_ranges ranges),
+  covered
+
+let collect_diff g =
+  let c = g.g_client in
+  let swizzle = memoized_swizzle c in
+  let t0 = now () in
+  let byte_runs =
+    match g.g_mode with
+    | Diffing -> Iw_mem.modified_runs g.g_heap
+    | No_diff _ -> []
+  in
+  c.c_stats.word_diff_seconds <- c.c_stats.word_diff_seconds +. (now () -. t0);
+  c.c_stats.twin_pages <- c.c_stats.twin_pages + Iw_mem.twinned_pages g.g_heap;
+  let t1 = now () in
+  let changes = ref [] in
+  let touched = ref 0 in
+  (match g.g_mode with
+  | No_diff _ ->
+    (* Transmit every live block whole; no twins, no diffing. *)
+    Serial_tree.iter
+      (fun serial b ->
+        if not (Hashtbl.mem g.g_created serial) then begin
+          let lay = b.Iw_mem.b_layout in
+          let pcount = Iw_types.layout_prim_count lay in
+          let buf = c.c_scratch in
+          Iw_wire.Buf.clear buf;
+          Iw_mem.with_raw c.c_space b.Iw_mem.b_addr (fun bytes base ->
+              Iw_wire.collect_prims buf (arch c) lay bytes ~base ~from:0 ~upto:pcount
+                ~swizzle);
+          touched := !touched + pcount;
+          changes :=
+            Iw_wire.Diff.Update
+              {
+                serial;
+                runs =
+                  [
+                    {
+                      Iw_wire.Diff.start_pu = 0;
+                      len_pu = pcount;
+                      payload = Iw_wire.Buf.contents buf;
+                    };
+                  ];
+              }
+            :: !changes
+        end)
+      g.g_blocks
+  | Diffing ->
+    let per_block = Hashtbl.create 16 in
+    List.iter (ranges_of_run c per_block) byte_runs;
+    (* Emit updates in ascending serial order (address order for segments
+       laid out at first caching), which is what the server's version-list
+       prediction expects. *)
+    let entries =
+      Hashtbl.fold (fun serial (b, ranges) acc -> (serial, b, !ranges) :: acc) per_block []
+      |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+    in
+    List.iter
+      (fun (serial, b, ranges) ->
+        let runs, covered = encode_block_runs c ~swizzle b ranges in
+        touched := !touched + covered;
+        changes := Iw_wire.Diff.Update { serial; runs } :: !changes)
+      entries);
+  let creates =
+    Hashtbl.fold (fun serial b acc -> (serial, b) :: acc) g.g_created []
+    |> List.sort compare
+    |> List.map (fun (serial, b) ->
+           let lay = b.Iw_mem.b_layout in
+           let pcount = Iw_types.layout_prim_count lay in
+           let buf = c.c_scratch in
+           Iw_wire.Buf.clear buf;
+           Iw_mem.with_raw c.c_space b.Iw_mem.b_addr (fun bytes base ->
+               Iw_wire.collect_prims buf (arch c) lay bytes ~base ~from:0 ~upto:pcount
+                 ~swizzle);
+           touched := !touched + pcount;
+           Iw_wire.Diff.Create
+             {
+               serial;
+               name = b.Iw_mem.b_name;
+               desc_serial = b.Iw_mem.b_desc_serial;
+               payload = Iw_wire.Buf.contents buf;
+             })
+  in
+  let frees =
+    Hashtbl.fold (fun serial _ acc -> Iw_wire.Diff.Free { serial } :: acc) g.g_pending_frees []
+  in
+  let diff =
+    {
+      Iw_wire.Diff.from_version = g.g_version;
+      to_version = g.g_version + 1;
+      new_descs = [];
+      changes = frees @ creates @ List.rev !changes;
+    }
+  in
+  c.c_stats.translate_seconds <- c.c_stats.translate_seconds +. (now () -. t1);
+  (diff, !touched)
+
+(* Automatic no-diff switching (paper, Sec. 3.3): a client that repeatedly
+   modifies most of a segment stops diffing; it periodically switches back to
+   capture behaviour changes. *)
+let full_modification_fraction = 0.8
+
+let no_diff_streak = 3
+
+let no_diff_period = 8
+
+let update_mode g touched =
+  if g.g_mode_forced || not g.g_client.c_options.auto_no_diff then ()
+  else
+    match g.g_mode with
+    | No_diff 1 -> g.g_mode <- Diffing (* re-probe with diffing *)
+    | No_diff k -> g.g_mode <- No_diff (k - 1)
+    | Diffing ->
+      let fraction =
+        if g.g_total_units = 0 then 0.
+        else float_of_int touched /. float_of_int g.g_total_units
+      in
+      if fraction >= full_modification_fraction then begin
+        g.g_full_streak <- g.g_full_streak + 1;
+        if g.g_full_streak >= no_diff_streak then begin
+          g.g_mode <- No_diff no_diff_period;
+          g.g_full_streak <- 0
+        end
+      end
+      else g.g_full_streak <- 0
+
+let set_no_diff g on =
+  g.g_mode_forced <- true;
+  g.g_mode <- (if on then No_diff max_int else Diffing)
+
+let wl_release g =
+  match g.g_lock with
+  | Write_locked n when n > 1 -> g.g_lock <- Write_locked (n - 1)
+  | Write_locked _ ->
+    let c = g.g_client in
+    let diff, touched = collect_diff g in
+    Iw_mem.unprotect g.g_heap;
+    if diff.changes <> [] then begin
+      c.c_stats.diffs_sent <- c.c_stats.diffs_sent + 1;
+      c.c_stats.bytes_sent <- c.c_stats.bytes_sent + Iw_wire.Diff.payload_bytes diff;
+      match
+        call c (Iw_proto.Write_release { session = c.c_session; name = g.g_name; diff })
+      with
+      | Iw_proto.R_version v ->
+        g.g_version <- v;
+        g.g_synced_at <- now ()
+      | _ -> error "unexpected response to Write_release"
+    end
+    else begin
+      match
+        call c
+          (Iw_proto.Write_release
+             { session = c.c_session; name = g.g_name; diff })
+      with
+      | Iw_proto.R_version v -> g.g_version <- v
+      | _ -> error "unexpected response to Write_release"
+    end;
+    Hashtbl.iter (fun _ b -> Iw_mem.free_block b) g.g_pending_frees;
+    Hashtbl.reset g.g_pending_frees;
+    Hashtbl.reset g.g_created;
+    update_mode g touched;
+    g.g_lock <- Unlocked
+  | Read_locked _ | Unlocked -> error "segment %s: write lock not held" g.g_name
+
+(* Transactional abort (the paper's Section 6 direction): the twins that
+   exist for diffing double as an undo log.  Every store since wl_acquire is
+   rolled back, created blocks vanish, freed blocks are resurrected, and the
+   server lock is released without publishing a version. *)
+let wl_abort g =
+  match g.g_lock with
+  | Read_locked _ | Unlocked -> error "segment %s: write lock not held" g.g_name
+  | Write_locked _ ->
+    let c = g.g_client in
+    (match g.g_mode with
+    | No_diff _ ->
+      error "segment %s: cannot abort in no-diff mode (no twins to roll back)" g.g_name
+    | Diffing -> ());
+    (* Undo stores. *)
+    Iw_mem.restore_twins g.g_heap;
+    Iw_mem.unprotect g.g_heap;
+    (* Vanish blocks created in this critical section. *)
+    Hashtbl.iter
+      (fun _ b ->
+        forget_block g b;
+        Iw_mem.free_block b)
+      g.g_created;
+    Hashtbl.reset g.g_created;
+    (* Resurrect blocks freed in this critical section. *)
+    Hashtbl.iter (fun _ b -> register_block g b) g.g_pending_frees;
+    Hashtbl.reset g.g_pending_frees;
+    (* Release the server-side lock without changes. *)
+    (match
+       call c
+         (Iw_proto.Write_release
+            {
+              session = c.c_session;
+              name = g.g_name;
+              diff =
+                {
+                  Iw_wire.Diff.from_version = g.g_version;
+                  to_version = g.g_version;
+                  new_descs = [];
+                  changes = [];
+                };
+            })
+     with
+    | Iw_proto.R_version _ -> ()
+    | _ -> error "unexpected response to Write_release");
+    g.g_lock <- Unlocked
+
+(* Typed accessors. *)
+
+let read_int c a = Iw_mem.load_prim c.c_space Iw_arch.Int a
+
+let write_int c a v = Iw_mem.store_prim c.c_space Iw_arch.Int a v
+
+let read_long c a = Iw_mem.load_prim c.c_space Iw_arch.Long a
+
+let write_long c a v = Iw_mem.store_prim c.c_space Iw_arch.Long a v
+
+let read_char c a = Char.chr (Iw_mem.load_prim c.c_space Iw_arch.Char a land 0xff)
+
+let write_char c a v = Iw_mem.store_prim c.c_space Iw_arch.Char a (Char.code v)
+
+let read_short c a = Iw_mem.load_prim c.c_space Iw_arch.Short a
+
+let write_short c a v = Iw_mem.store_prim c.c_space Iw_arch.Short a v
+
+let read_double c a = Iw_mem.load_double c.c_space a
+
+let write_double c a v = Iw_mem.store_double c.c_space a v
+
+let read_float c a = Iw_mem.load_float c.c_space a
+
+let write_float c a v = Iw_mem.store_float c.c_space a v
+
+let read_ptr c a = Iw_mem.load_prim c.c_space Iw_arch.Pointer a
+
+let write_ptr c a v = Iw_mem.store_prim c.c_space Iw_arch.Pointer a v
+
+let read_string c ~capacity a = Iw_mem.load_string c.c_space ~capacity a
+
+let write_string c ~capacity a s = Iw_mem.store_string c.c_space ~capacity a s

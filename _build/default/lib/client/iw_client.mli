@@ -1,0 +1,228 @@
+(** The InterWeave client library.
+
+    A client maps cached copies of segments into its (emulated) address space
+    and keeps them coherent with the segment servers: write locks trigger
+    page-level modification tracking; releasing a write lock collects local
+    changes into a machine-independent wire-format diff; read-lock
+    acquisitions check whether the cached copy is "recent enough" under the
+    segment's coherence model and apply server diffs when it is not (paper,
+    Sections 2 and 3.1).  Pointers in shared memory are swizzled between
+    local addresses and machine-independent pointers (MIPs) of the form
+    ["segment#block#offset"], offsets measured in primitive data units. *)
+
+type t
+(** A client: one emulated address space, one link to a server. *)
+
+type seg
+(** A locally cached segment (an entry in the client's segment table). *)
+
+type addr = Iw_mem.addr
+
+exception Busy
+(** Raised by {!wl_acquire} when the write lock cannot be obtained. *)
+
+exception Error of string
+(** Server-reported or protocol error. *)
+
+(** {1 Connection and segments} *)
+
+val connect :
+  ?arch:Iw_arch.t -> ?busy_wait:float option -> Iw_proto.link -> t
+(** Attach to a server.  [arch] (default {!Iw_arch.x86_32}) fixes the local
+    data layout.  [busy_wait] controls {!wl_acquire} contention: [Some d]
+    retries every [d] seconds, [None] (default) raises {!Busy} at once. *)
+
+val disconnect : t -> unit
+
+val space : t -> Iw_mem.space
+
+val arch : t -> Iw_arch.t
+
+val open_segment : ?create:bool -> t -> string -> seg
+(** Open (default: or create) the named segment.  Space is reserved locally;
+    data is not fetched until the segment is locked.  Segment names must not
+    contain ['#']. *)
+
+val segment_name : seg -> string
+
+val segment_version : seg -> int
+
+val segment_of_addr : t -> addr -> seg option
+
+val find_segment : t -> string -> seg option
+
+(** {1 Locks and coherence} *)
+
+val set_coherence : seg -> Iw_proto.coherence -> unit
+(** Coherence model used by subsequent read-lock acquisitions (default
+    [Full]).  Can be changed dynamically, as in the paper. *)
+
+val coherence : seg -> Iw_proto.coherence
+
+(** {2 Notifications}
+
+    The adaptive polling/notification protocol (paper, Section 2.2): a
+    subscribed segment whose change flag is clear is known current, so
+    read-lock acquisition skips the server round trip entirely.  Deployment
+    helpers ({!Interweave.direct_client} etc.) install the notification
+    channel; by default clients also {e adaptively} subscribe to segments
+    they repeatedly poll without finding updates
+    (see {!type-options}[.auto_subscribe]). *)
+
+val session : t -> int
+
+val handle_notification : t -> Iw_proto.notification -> unit
+(** Entry point for the notification channel (thread-safe; only flags). *)
+
+val enable_notifications : t -> unit
+(** Declare that a notification channel feeds {!handle_notification}. *)
+
+val notifications_enabled : t -> bool
+
+val subscribe : seg -> unit
+(** Ask the server for change notifications on this segment.
+    @raise Error if the client has no notification channel. *)
+
+val unsubscribe : seg -> unit
+
+val subscribed : seg -> bool
+
+val rl_acquire : seg -> unit
+(** Take a read lock: checks recent-enough per the coherence model, fetching
+    and applying a diff from the server when needed.  Nestable. *)
+
+val rl_release : seg -> unit
+
+val wl_acquire : seg -> unit
+(** Take the segment's write lock (server-serialized), bring the local copy
+    fully up to date, and enable modification tracking.  Nestable. *)
+
+val wl_release : seg -> unit
+(** Collect local modifications into a wire-format diff, send it to the
+    server, and disable modification tracking. *)
+
+val wl_abort : seg -> unit
+(** Abandon the current write critical section: every store since
+    {!wl_acquire} is rolled back from the twins, blocks created in it vanish,
+    blocks freed in it are resurrected, and the server lock is released with
+    no new version — transactional semantics in the direction of the paper's
+    Section 6.  Aborts the whole critical section even when nested.
+    @raise Error when the write lock is not held or the segment is in
+    no-diff mode (no twins to roll back from). *)
+
+val locked : seg -> bool
+
+(** {1 Allocation}
+
+    Must be called under the segment's write lock. *)
+
+val malloc : ?name:string -> seg -> Iw_types.desc -> addr
+(** Allocate a block of the given type inside the segment and return its
+    address.  The descriptor is registered with the server on first use.
+    Block names must be unique within the segment and must not contain
+    ['#']. *)
+
+val free : t -> addr -> unit
+(** Free the block containing the address. *)
+
+val block_of_addr : t -> addr -> (Iw_mem.block * int) option
+
+val find_block : seg -> serial:int -> Iw_mem.block option
+
+val find_named_block : seg -> string -> Iw_mem.block option
+
+val blocks : seg -> Iw_mem.block list
+
+(** {1 Machine-independent pointers} *)
+
+val ptr_to_mip : t -> addr -> string
+(** Swizzle a local pointer into a MIP.
+    @raise Error if the address is not inside a live block. *)
+
+val mip_to_ptr : t -> string -> addr
+(** Swizzle a MIP into a local address, reserving space for its segment if it
+    is not already cached (data arrives at the first lock). *)
+
+(** {1 Typed access}
+
+    Convenience wrappers over {!Iw_mem} using this client's space. *)
+
+val read_int : t -> addr -> int
+
+val write_int : t -> addr -> int -> unit
+
+val read_long : t -> addr -> int
+
+val write_long : t -> addr -> int -> unit
+
+val read_char : t -> addr -> char
+
+val write_char : t -> addr -> char -> unit
+
+val read_short : t -> addr -> int
+
+val write_short : t -> addr -> int -> unit
+
+val read_double : t -> addr -> float
+
+val write_double : t -> addr -> float -> unit
+
+val read_float : t -> addr -> float
+
+val write_float : t -> addr -> float -> unit
+
+val read_ptr : t -> addr -> addr
+(** Returns 0 for null. *)
+
+val write_ptr : t -> addr -> addr -> unit
+
+val read_string : t -> capacity:int -> addr -> string
+
+val write_string : t -> capacity:int -> addr -> string -> unit
+
+(** {1 Modes and tuning} *)
+
+val set_no_diff : seg -> bool -> unit
+(** Force no-diff mode on or off (paper, Section 3.3).  In no-diff mode write
+    locks skip page protection and releases transmit every block whole.
+    Normally the mode switches automatically; forcing it also disables the
+    automatic switching. *)
+
+val no_diff_mode : seg -> bool
+
+type options = {
+  mutable auto_no_diff : bool;  (** automatic no-diff switching (default on) *)
+  mutable prediction : bool;  (** last-block prediction (default on) *)
+  mutable isomorphic : bool;
+      (** isomorphic descriptor optimization before registration (default on) *)
+  mutable block_no_diff_threshold : float;
+      (** fraction of a block's units above which the whole block is sent
+          (default 0.9; > 1.0 disables) *)
+  mutable auto_subscribe : bool;
+      (** adaptively subscribe after repeated wasted polls (default on;
+          effective only once notifications are enabled) *)
+}
+
+val options : t -> options
+
+(** {1 Statistics} *)
+
+type stats = {
+  mutable calls : int;  (** protocol round trips *)
+  mutable bytes_sent : int;
+  mutable bytes_received : int;  (** diff payload bytes, both directions *)
+  mutable diffs_sent : int;
+  mutable diffs_received : int;
+  mutable updates_skipped : int;  (** lock acquisitions served from cache *)
+  mutable notifications : int;  (** change notifications received *)
+  mutable twin_pages : int;
+  mutable pred_hits : int;
+  mutable pred_misses : int;
+  mutable word_diff_seconds : float;  (** time comparing pages to twins *)
+  mutable translate_seconds : float;  (** time converting diffs to wire *)
+  mutable apply_seconds : float;  (** time applying incoming diffs *)
+}
+
+val stats : t -> stats
+
+val reset_stats : t -> unit

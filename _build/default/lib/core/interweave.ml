@@ -1,0 +1,156 @@
+module Arch = Iw_arch
+module Types = Iw_types
+module Mem = Iw_mem
+module Wire = Iw_wire
+module Xdr = Iw_xdr
+module Proto = Iw_proto
+module Transport = Iw_transport
+module Server = Iw_server
+module Client = Iw_client
+
+type server = Iw_server.t
+
+type client = Iw_client.t
+
+type seg = Iw_client.seg
+
+type addr = Iw_mem.addr
+
+module Desc = struct
+  let char = Types.Prim Iw_arch.Char
+
+  let short = Types.Prim Iw_arch.Short
+
+  let int = Types.Prim Iw_arch.Int
+
+  let long = Types.Prim Iw_arch.Long
+
+  let float = Types.Prim Iw_arch.Float
+
+  let double = Types.Prim Iw_arch.Double
+
+  let string n = Types.Prim (Iw_arch.String n)
+
+  let ptr name = Types.Ptr name
+
+  let opaque_ptr = Types.Prim Iw_arch.Pointer
+
+  let array d n = Types.Array (d, n)
+
+  let field fname ftype = { Types.fname; ftype }
+
+  let structure fields = Types.Struct (Array.of_list fields)
+end
+
+let start_server ?checkpoint_dir () = Iw_server.create ?checkpoint_dir ()
+
+let direct_client ?arch server =
+  let c = Iw_client.connect ?arch (Iw_server.direct_link server) in
+  Iw_server.register_notifier server ~session:(Iw_client.session c)
+    ~push:(Iw_client.handle_notification c);
+  Iw_client.enable_notifications c;
+  c
+
+(* Clients behind a byte transport receive notifications through the tagged
+   demux link; the forward reference is resolved once the client exists. *)
+let demux_client ?arch ~busy_wait conn =
+  let client = ref None in
+  let on_notify n =
+    match !client with Some c -> Iw_client.handle_notification c n | None -> ()
+  in
+  let link = Iw_proto.demux_link conn ~on_notify in
+  let c = Iw_client.connect ?arch ~busy_wait link in
+  client := Some c;
+  Iw_client.enable_notifications c;
+  c
+
+let loopback_client ?arch server =
+  let client_end, server_end = Iw_transport.loopback () in
+  let serve () = Iw_server.serve_conn server server_end in
+  ignore (Thread.create serve () : Thread.t);
+  demux_client ?arch ~busy_wait:(Some 0.002) client_end
+
+let tcp_client ?arch ~host ~port () =
+  demux_client ?arch ~busy_wait:(Some 0.002) (Iw_transport.tcp_connect ~host ~port)
+
+let open_segment = Iw_client.open_segment
+
+let malloc = Iw_client.malloc
+
+let free = Iw_client.free
+
+let rl_acquire = Iw_client.rl_acquire
+
+let rl_release = Iw_client.rl_release
+
+let wl_acquire = Iw_client.wl_acquire
+
+let wl_release = Iw_client.wl_release
+
+let ptr_to_mip = Iw_client.ptr_to_mip
+
+let mip_to_ptr = Iw_client.mip_to_ptr
+
+let set_coherence = Iw_client.set_coherence
+
+let with_read_lock g f =
+  rl_acquire g;
+  Fun.protect ~finally:(fun () -> rl_release g) f
+
+let wl_abort = Iw_client.wl_abort
+
+let with_write_lock g f =
+  wl_acquire g;
+  Fun.protect ~finally:(fun () -> wl_release g) f
+
+let atomically g f =
+  wl_acquire g;
+  match f () with
+  | v ->
+    wl_release g;
+    Ok v
+  | exception e ->
+    wl_abort g;
+    Error e
+
+type path_elem =
+  | F of string
+  | I of int
+
+(* Recompute field offsets with the same algorithm as [Iw_types.layout] so
+   that paths resolve to exactly the client's local layout. *)
+let offset c desc path =
+  let conv = Types.local (Iw_client.arch c) in
+  let rec go desc off = function
+    | [] -> (off, desc)
+    | F name :: rest -> begin
+      match desc with
+      | Types.Struct fields ->
+        let found = ref None in
+        let cur = ref 0 in
+        Array.iter
+          (fun (fld : Types.field) ->
+            let lay = Types.layout conv fld.ftype in
+            let f_off = Iw_arch.align_up !cur (Types.align lay) in
+            if fld.fname = name && !found = None then found := Some (f_off, fld.ftype);
+            cur := f_off + Types.size lay)
+          fields;
+        begin
+          match !found with
+          | Some (f_off, ftype) -> go ftype (off + f_off) rest
+          | None -> invalid_arg ("Interweave.offset: no field " ^ name)
+        end
+      | _ -> invalid_arg "Interweave.offset: field access on non-struct"
+    end
+    | I i :: rest -> begin
+      match desc with
+      | Types.Array (elem, n) ->
+        if i < 0 || i >= n then invalid_arg "Interweave.offset: index out of bounds";
+        let stride = Types.size (Types.layout conv elem) in
+        go elem (off + (i * stride)) rest
+      | _ -> invalid_arg "Interweave.offset: index on non-array"
+    end
+  in
+  go desc 0 path
+
+let deref c desc a path = a + fst (offset c desc path)

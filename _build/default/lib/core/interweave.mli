@@ -1,0 +1,138 @@
+(** InterWeave: distributed shared state for heterogeneous machines.
+
+    This is the public facade over the subsystem libraries.  The programming
+    model (paper, Section 2): servers maintain persistent master copies of
+    {e segments} — URL-named heaps of strongly typed {e blocks} — and clients
+    map cached copies into their address space, accessing them with ordinary
+    reads and writes under reader/writer locks.  Pointers, including
+    cross-segment pointers, are valid local addresses once mapped; a
+    machine-independent pointer (MIP) ["segment#block#offset"] names any
+    shared datum globally.
+
+    {[
+      let server = Interweave.start_server () in
+      let c = Interweave.direct_client server in
+      let h = Interweave.open_segment c "host/list" in
+      Interweave.wl_acquire h;
+      let p = Interweave.malloc h Desc.(structure [ field "key" int; field "next" (ptr "node") ]) in
+      ...
+      Interweave.wl_release h
+    ]} *)
+
+module Arch = Iw_arch
+module Types = Iw_types
+module Mem = Iw_mem
+module Wire = Iw_wire
+module Xdr = Iw_xdr
+module Proto = Iw_proto
+module Transport = Iw_transport
+module Server = Iw_server
+module Client = Iw_client
+
+type server = Iw_server.t
+
+type client = Iw_client.t
+
+type seg = Iw_client.seg
+
+type addr = Iw_mem.addr
+
+(** Building type descriptors without spelling out the variant constructors. *)
+module Desc : sig
+  val char : Types.desc
+
+  val short : Types.desc
+
+  val int : Types.desc
+
+  val long : Types.desc
+
+  val float : Types.desc
+
+  val double : Types.desc
+
+  val string : int -> Types.desc
+  (** Inline string with the given local capacity (bytes, including NUL). *)
+
+  val ptr : string -> Types.desc
+  (** Typed pointer to the named type. *)
+
+  val opaque_ptr : Types.desc
+
+  val array : Types.desc -> int -> Types.desc
+
+  val field : string -> Types.desc -> Types.field
+
+  val structure : Types.field list -> Types.desc
+end
+
+(** {1 Deployment} *)
+
+val start_server : ?checkpoint_dir:string -> unit -> server
+(** An in-process server. *)
+
+val direct_client : ?arch:Arch.t -> server -> client
+(** A client wired straight to an in-process server — no transport between
+    them.  This is the configuration the paper's translation-cost experiments
+    isolate. *)
+
+val loopback_client : ?arch:Arch.t -> server -> client
+(** A client talking to the in-process server over a framed loopback channel
+    served by a dedicated thread — full protocol encode/decode on both
+    sides. *)
+
+val tcp_client : ?arch:Arch.t -> host:string -> port:int -> unit -> client
+(** Connect to a standalone [iw_server] process. *)
+
+(** {1 The paper's API}
+
+    These re-export {!Iw_client} operations under the names used in the
+    paper's Figure 1 discussion. *)
+
+val open_segment : ?create:bool -> client -> string -> seg
+
+val malloc : ?name:string -> seg -> Types.desc -> addr
+
+val free : client -> addr -> unit
+
+val rl_acquire : seg -> unit
+
+val rl_release : seg -> unit
+
+val wl_acquire : seg -> unit
+
+val wl_release : seg -> unit
+
+val ptr_to_mip : client -> addr -> string
+
+val mip_to_ptr : client -> string -> addr
+
+val set_coherence : seg -> Proto.coherence -> unit
+
+val wl_abort : seg -> unit
+
+val with_read_lock : seg -> (unit -> 'a) -> 'a
+
+val with_write_lock : seg -> (unit -> 'a) -> 'a
+
+val atomically : seg -> (unit -> 'a) -> ('a, exn) result
+(** Run [f] inside a write critical section; commit its changes if it
+    returns, roll every one of them back ({!wl_abort}) if it raises. *)
+
+(** {1 Navigating typed data}
+
+    Byte offsets of fields and elements depend on the client's architecture;
+    these helpers compute them from descriptors, so application code never
+    hard-codes layout. *)
+
+type path_elem =
+  | F of string  (** struct field by name *)
+  | I of int  (** array element by index *)
+
+val offset : client -> Types.desc -> path_elem list -> int * Types.desc
+(** [offset c desc path] is the byte offset of the datum reached by [path]
+    from the start of a value of type [desc], together with that datum's
+    descriptor.  @raise Invalid_argument on a bad path. *)
+
+val deref : client -> Types.desc -> addr -> path_elem list -> addr
+(** [deref c desc a path] is [a + fst (offset c desc path)]. *)

@@ -1,0 +1,341 @@
+type decl = {
+  d_name : string;
+  d_desc : Iw_types.desc;
+}
+
+exception Parse_error of string
+
+(* Lexer. *)
+
+type token =
+  | Ident of string
+  | Num of int
+  | Lbrace
+  | Rbrace
+  | Lbracket
+  | Rbracket
+  | Semi
+  | Star
+  | Eof
+
+let lex src =
+  let n = String.length src in
+  let line = ref 1 in
+  let toks = ref [] in
+  let error fmt = Format.kasprintf (fun s -> raise (Parse_error s)) fmt in
+  let i = ref 0 in
+  let peek () = if !i < n then Some src.[!i] else None in
+  while !i < n do
+    let c = src.[!i] in
+    (match c with
+    | ' ' | '\t' | '\r' -> incr i
+    | '\n' ->
+      incr line;
+      incr i
+    | '/' when !i + 1 < n && src.[!i + 1] = '/' ->
+      while !i < n && src.[!i] <> '\n' do
+        incr i
+      done
+    | '/' when !i + 1 < n && src.[!i + 1] = '*' ->
+      i := !i + 2;
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        if src.[!i] = '\n' then incr line;
+        if !i + 1 < n && src.[!i] = '*' && src.[!i + 1] = '/' then begin
+          closed := true;
+          i := !i + 2
+        end
+        else incr i
+      done;
+      if not !closed then error "line %d: unterminated comment" !line
+    | '{' ->
+      toks := (Lbrace, !line) :: !toks;
+      incr i
+    | '}' ->
+      toks := (Rbrace, !line) :: !toks;
+      incr i
+    | '[' ->
+      toks := (Lbracket, !line) :: !toks;
+      incr i
+    | ']' ->
+      toks := (Rbracket, !line) :: !toks;
+      incr i
+    | ';' ->
+      toks := (Semi, !line) :: !toks;
+      incr i
+    | '*' ->
+      toks := (Star, !line) :: !toks;
+      incr i
+    | '0' .. '9' ->
+      let start = !i in
+      while (match peek () with Some ('0' .. '9') -> true | _ -> false) do
+        incr i
+      done;
+      toks := (Num (int_of_string (String.sub src start (!i - start))), !line) :: !toks
+    | 'a' .. 'z' | 'A' .. 'Z' | '_' ->
+      let start = !i in
+      while
+        match peek () with
+        | Some ('a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_') -> true
+        | _ -> false
+      do
+        incr i
+      done;
+      toks := (Ident (String.sub src start (!i - start)), !line) :: !toks
+    | c -> error "line %d: unexpected character %C" !line c)
+  done;
+  List.rev ((Eof, !line) :: !toks)
+
+(* Parser: recursive descent over the token list. *)
+
+type state = {
+  mutable toks : (token * int) list;
+  mutable decls : decl list;  (* reverse order *)
+}
+
+let perror line fmt =
+  Format.kasprintf (fun s -> raise (Parse_error (Printf.sprintf "line %d: %s" line s))) fmt
+
+let cur st = match st.toks with [] -> (Eof, 0) | t :: _ -> t
+
+let advance st = match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let expect st want desc =
+  let tok, line = cur st in
+  if tok = want then advance st else perror line "expected %s" desc
+
+let expect_ident st what =
+  match cur st with
+  | Ident s, _ ->
+    advance st;
+    s
+  | _, line -> perror line "expected %s" what
+
+let prim_of_name = function
+  | "char" -> Some `Char_string
+  | "byte" -> Some (`Prim Iw_arch.Char)
+  | "short" -> Some (`Prim Iw_arch.Short)
+  | "int" -> Some (`Prim Iw_arch.Int)
+  | "long" -> Some (`Prim Iw_arch.Long)
+  | "float" -> Some (`Prim Iw_arch.Float)
+  | "double" -> Some (`Prim Iw_arch.Double)
+  | "void" -> Some `Void
+  | _ -> None
+
+let find_decl st name =
+  List.find_map (fun d -> if d.d_name = name then Some d.d_desc else None) st.decls
+
+(* field := type ['*'] ident ['[' num ']'] ';' *)
+let parse_field st =
+  let tyname = expect_ident st "a type name" in
+  let _, line = cur st in
+  let base = prim_of_name tyname in
+  let is_ptr =
+    match cur st with
+    | Star, _ ->
+      advance st;
+      true
+    | _ -> false
+  in
+  let fname = expect_ident st "a field name" in
+  let array_len =
+    match cur st with
+    | Lbracket, lline -> begin
+      advance st;
+      match cur st with
+      | Num k, _ ->
+        advance st;
+        expect st Rbracket "']'";
+        if k <= 0 then perror lline "array length must be positive";
+        Some k
+      | _ -> perror lline "expected an array length"
+    end
+    | _ -> None
+  in
+  expect st Semi "';'";
+  let elem : Iw_types.desc =
+    if is_ptr then begin
+      match base with
+      | Some `Void -> Prim Iw_arch.Pointer
+      | Some _ -> perror line "pointers to primitives are not supported; use void*"
+      | None ->
+        (* Pointers may reference any struct, including the one being
+           defined or one defined later. *)
+        Ptr tyname
+    end
+    else begin
+      match base with
+      | Some `Void -> perror line "void is only valid as a pointer"
+      | Some `Char_string -> begin
+        match array_len with
+        | Some _ -> Prim Iw_arch.Char (* handled below as String *)
+        | None -> Prim Iw_arch.Char
+      end
+      | Some (`Prim p) -> Prim p
+      | None -> begin
+        match find_decl st tyname with
+        | Some d -> d
+        | None -> perror line "unknown type %s (by-value use requires earlier definition)" tyname
+      end
+    end
+  in
+  let ftype : Iw_types.desc =
+    match (array_len, base, is_ptr) with
+    | Some k, Some `Char_string, false ->
+      if k < 2 then perror line "char[%d]: string capacity must be at least 2" k;
+      Prim (Iw_arch.String k)
+    | Some k, _, _ -> Array (elem, k)
+    | None, Some `Char_string, false -> Prim Iw_arch.Char
+    | None, _, _ -> elem
+  in
+  { Iw_types.fname; ftype }
+
+let parse_struct st =
+  expect st (Ident "struct") "'struct'";
+  let name = expect_ident st "a struct name" in
+  if find_decl st name <> None then
+    perror (snd (cur st)) "duplicate definition of struct %s" name;
+  expect st Lbrace "'{'";
+  let fields = ref [] in
+  let rec fields_loop () =
+    match cur st with
+    | Rbrace, _ -> advance st
+    | Eof, line -> perror line "unexpected end of input in struct %s" name
+    | _ ->
+      fields := parse_field st :: !fields;
+      fields_loop ()
+  in
+  fields_loop ();
+  expect st Semi "';' after struct definition";
+  let fields = Array.of_list (List.rev !fields) in
+  if Array.length fields = 0 then
+    perror (snd (cur st)) "struct %s has no fields" name;
+  { d_name = name; d_desc = Iw_types.Struct fields }
+
+let check_pointers decls =
+  List.iter
+    (fun d ->
+      let rec check : Iw_types.desc -> unit = function
+        | Prim _ -> ()
+        | Ptr name ->
+          if not (List.exists (fun d -> d.d_name = name) decls) then
+            raise (Parse_error (Printf.sprintf "pointer to undefined struct %s" name))
+        | Array (t, _) -> check t
+        | Struct fields -> Array.iter (fun (f : Iw_types.field) -> check f.ftype) fields
+      in
+      check d.d_desc)
+    decls
+
+let parse src =
+  let st = { toks = lex src; decls = [] } in
+  let rec loop () =
+    match cur st with
+    | Eof, _ -> ()
+    | Ident "struct", _ ->
+      st.decls <- parse_struct st :: st.decls;
+      loop ()
+    | _, line -> perror line "expected a struct definition"
+  in
+  loop ();
+  let decls = List.rev st.decls in
+  check_pointers decls;
+  List.iter
+    (fun d ->
+      match Iw_types.validate d.d_desc with
+      | Ok () -> ()
+      | Error msg -> raise (Parse_error (Printf.sprintf "struct %s: %s" d.d_name msg)))
+    decls;
+  decls
+
+let parse_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let src = really_input_string ic len in
+  close_in ic;
+  parse src
+
+let register_all registry decls =
+  List.iter (fun d -> Iw_types.Registry.define_name registry d.d_name d.d_desc) decls
+
+let lookup decls name =
+  List.find_map (fun d -> if d.d_name = name then Some d.d_desc else None) decls
+
+(* OCaml code generation. *)
+
+let capitalize = String.capitalize_ascii
+
+let rec desc_expr : Iw_types.desc -> string = function
+  | Prim Iw_arch.Char -> "Iw_types.Prim Iw_arch.Char"
+  | Prim Iw_arch.Short -> "Iw_types.Prim Iw_arch.Short"
+  | Prim Iw_arch.Int -> "Iw_types.Prim Iw_arch.Int"
+  | Prim Iw_arch.Long -> "Iw_types.Prim Iw_arch.Long"
+  | Prim Iw_arch.Float -> "Iw_types.Prim Iw_arch.Float"
+  | Prim Iw_arch.Double -> "Iw_types.Prim Iw_arch.Double"
+  | Prim Iw_arch.Pointer -> "Iw_types.Prim Iw_arch.Pointer"
+  | Prim (Iw_arch.String n) -> Printf.sprintf "Iw_types.Prim (Iw_arch.String %d)" n
+  | Ptr name -> Printf.sprintf "Iw_types.Ptr %S" name
+  | Array (d, n) -> Printf.sprintf "Iw_types.Array (%s, %d)" (desc_expr d) n
+  | Struct fields ->
+    let fs =
+      Array.to_list fields
+      |> List.map (fun (f : Iw_types.field) ->
+             Printf.sprintf "{ Iw_types.fname = %S; ftype = %s }" f.fname (desc_expr f.ftype))
+      |> String.concat "; "
+    in
+    Printf.sprintf "Iw_types.Struct [| %s |]" fs
+
+let accessor buf sname (f : Iw_types.field) =
+  let b fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let path = Printf.sprintf "(a + fst (field_offset c %S))" f.fname in
+  let getset ~suffix ~reader ~writer =
+    b "  let get_%s c a = %s c %s\n" (f.fname ^ suffix) reader path;
+    b "  let set_%s c a v = %s c %s v\n" (f.fname ^ suffix) writer path
+  in
+  match f.ftype with
+  | Prim Iw_arch.Char -> getset ~suffix:"" ~reader:"Iw_client.read_char" ~writer:"Iw_client.write_char"
+  | Prim Iw_arch.Short -> getset ~suffix:"" ~reader:"Iw_client.read_short" ~writer:"Iw_client.write_short"
+  | Prim Iw_arch.Int -> getset ~suffix:"" ~reader:"Iw_client.read_int" ~writer:"Iw_client.write_int"
+  | Prim Iw_arch.Long -> getset ~suffix:"" ~reader:"Iw_client.read_long" ~writer:"Iw_client.write_long"
+  | Prim Iw_arch.Float -> getset ~suffix:"" ~reader:"Iw_client.read_float" ~writer:"Iw_client.write_float"
+  | Prim Iw_arch.Double ->
+    getset ~suffix:"" ~reader:"Iw_client.read_double" ~writer:"Iw_client.write_double"
+  | Prim (Iw_arch.String n) ->
+    b "  let get_%s c a = Iw_client.read_string c ~capacity:%d %s\n" f.fname n path;
+    b "  let set_%s c a v = Iw_client.write_string c ~capacity:%d %s v\n" f.fname n path
+  | Prim Iw_arch.Pointer | Ptr _ ->
+    getset ~suffix:"" ~reader:"Iw_client.read_ptr" ~writer:"Iw_client.write_ptr"
+  | Array _ | Struct _ ->
+    b "  (* %s.%s is a composite; use [addr_of_%s] with layout helpers. *)\n" sname f.fname
+      f.fname;
+    b "  let addr_of_%s c a = a + fst (field_offset c %S)\n" f.fname f.fname
+
+let to_ocaml ?(module_prefix = "") decls =
+  let buf = Buffer.create 4096 in
+  let b fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  b "(* Generated by iw_idlc. Do not edit. *)\n\n";
+  List.iter
+    (fun d ->
+      let mname = module_prefix ^ capitalize d.d_name in
+      b "module %s = struct\n" mname;
+      b "  let desc : Iw_types.desc = %s\n\n" (desc_expr d.d_desc);
+      b "  let size c = Iw_types.size (Iw_types.layout (Iw_types.local (Iw_client.arch c)) desc)\n\n";
+      b "  (* Byte offset and descriptor of a named field on this client's architecture. *)\n";
+      b "  let field_offset c name =\n";
+      b "    let conv = Iw_types.local (Iw_client.arch c) in\n";
+      b "    match desc with\n";
+      b "    | Iw_types.Struct fields ->\n";
+      b "      let off = ref 0 and found = ref None in\n";
+      b "      Array.iter (fun (f : Iw_types.field) ->\n";
+      b "        let lay = Iw_types.layout conv f.ftype in\n";
+      b "        let fo = Iw_arch.align_up !off (Iw_types.align lay) in\n";
+      b "        if f.fname = name && !found = None then found := Some (fo, f.ftype);\n";
+      b "        off := fo + Iw_types.size lay) fields;\n";
+      b "      (match !found with Some r -> r | None -> invalid_arg (\"no field \" ^ name))\n";
+      b "    | _ -> invalid_arg \"not a struct\"\n\n";
+      (match d.d_desc with
+      | Iw_types.Struct fields -> Array.iter (accessor buf d.d_name) fields
+      | _ -> ());
+      b "\n  let malloc ?name seg = Iw_client.malloc ?name seg desc\n";
+      b "end\n\n")
+    decls;
+  Buffer.contents buf

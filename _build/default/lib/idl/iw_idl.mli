@@ -1,0 +1,54 @@
+(** The InterWeave interface description language.
+
+    As in multi-language RPC systems, the types of shared data are declared
+    in an IDL; the compiler turns declarations into type descriptors and into
+    language bindings (paper, Section 2.1).  The concrete syntax is a C-like
+    subset:
+
+    {v
+    struct point {
+      double x;
+      double y;
+    };
+
+    struct node {
+      int    key;
+      char   name[32];     // inline string of capacity 32
+      byte   raw[16];      // 16 plain characters (not a string)
+      point  where;        // embedded struct, by value
+      node  *next;         // typed pointer
+      void  *cookie;       // untyped pointer
+      double samples[8];
+    };
+    v}
+
+    Primitive type names: [char], [byte], [short], [int], [long], [float],
+    [double], [void] (pointers only).  [char\[N\]] is an inline string of
+    capacity [N]; [byte\[N\]] is a plain character array.  [//] and
+    [/* ... */] comments are allowed. *)
+
+type decl = {
+  d_name : string;
+  d_desc : Iw_types.desc;
+}
+
+exception Parse_error of string
+(** Carries a message with line information. *)
+
+val parse : string -> decl list
+(** Parse IDL source text.  Declarations may reference earlier struct names
+    (by value) and any struct name in pointer position.
+    @raise Parse_error on syntax or semantic errors. *)
+
+val parse_file : string -> decl list
+
+val register_all : Iw_types.Registry.t -> decl list -> unit
+(** Bind every declaration's name in the registry, making [Ptr] references
+    resolvable (e.g. for XDR deep copy). *)
+
+val lookup : decl list -> string -> Iw_types.desc option
+
+val to_ocaml : ?module_prefix:string -> decl list -> string
+(** Generate OCaml binding source: one module per struct with its descriptor
+    and typed field accessors, mirroring the language bindings the paper's
+    IDL compiler emits for C, C++, Java, and Fortran. *)

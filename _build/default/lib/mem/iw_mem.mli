@@ -1,0 +1,138 @@
+(** Emulated client memory: subsegments, blocks, twins, and word diffing.
+
+    An InterWeave client manages its own heap of page-aligned {e subsegments};
+    each cached segment is a collection of subsegments so that any given page
+    contains data from only one segment (paper, Section 3.1).  On a real
+    machine modification tracking uses [mprotect] and a SIGSEGV handler; here
+    every store goes through this module, which checks a per-page protect bit
+    and, on the first write to a protected page, snapshots the page into a
+    {e twin} recorded in the subsegment's pagemap — the same observable
+    algorithm with the accessor playing the MMU.
+
+    Addresses are plain integers in a per-client emulated address space;
+    address 0 is the null pointer. *)
+
+type addr = int
+
+val page_size : int
+(** 4096 bytes. *)
+
+type space
+(** One client's address space: the global [subseg_addr_tree] plus the
+    architecture whose layout conventions all data in the space follows. *)
+
+type heap
+(** The portion of a space holding one segment's local copy: a list of
+    subsegments and a free list (paper, Figure 2). *)
+
+type block = {
+  b_serial : int;
+  b_name : string option;
+  b_addr : addr;
+  b_size : int;  (** local size in bytes *)
+  b_layout : Iw_types.layout;
+  b_desc_serial : int;
+  b_heap : heap;
+  mutable b_freed : bool;
+}
+
+val create_space : Iw_arch.t -> space
+
+val arch : space -> Iw_arch.t
+
+val create_heap : space -> seg_id:int -> heap
+
+val heap_space : heap -> space
+
+val heap_seg_id : heap -> int
+
+val heap_blocks : heap -> block list
+(** Live blocks in ascending address order. *)
+
+val heap_bytes : heap -> int
+(** Total bytes currently reserved by the heap's subsegments. *)
+
+val alloc :
+  heap -> serial:int -> ?name:string -> desc_serial:int -> Iw_types.layout -> block
+(** Allocate a zeroed block.  First-fit in the segment's free list, growing
+    the heap with a fresh subsegment when no range fits.  Blocks never span
+    subsegments. *)
+
+val free_block : block -> unit
+(** Return the block's bytes to the free list (coalescing with neighbours)
+    and drop it from the metadata trees.
+    @raise Invalid_argument if already freed. *)
+
+val find_block : space -> addr -> (block * int) option
+(** [find_block sp a] finds the live block spanning address [a] and the byte
+    offset of [a] within it — [subseg_addr_tree] then [blk_addr_tree], as in
+    the paper's pointer-swizzling path. *)
+
+val next_block : space -> addr -> block option
+(** Least live block starting at or after the address, within the subsegment
+    containing it.  Lets diff collection jump over free space. *)
+
+val destroy_heap : heap -> unit
+(** Remove all of the heap's subsegments from the space. *)
+
+val set_splice_gap : space -> int -> unit
+(** Maximum number of unchanged words folded into a surrounding run during
+    diffing (default 2, per the paper; 0 disables splicing — used by the
+    ablation benchmark). *)
+
+val splice_gap : space -> int
+
+(** {1 Modification tracking} *)
+
+val protect : heap -> unit
+(** Write-protect every page of the heap, as done at write-lock acquisition. *)
+
+val unprotect : heap -> unit
+(** Drop all protection and twins (after diff collection). *)
+
+val modified_runs : heap -> (addr * int) list
+(** Word-by-word comparison of every twinned page against its current
+    contents, returning maximal modified byte runs [(addr, len)] in ascending
+    address order.  Runs are spliced: a gap of one or two unchanged words
+    between two changed words is treated as changed, and runs crossing
+    adjacent modified pages are merged (paper, Sections 3.1 and 3.3). *)
+
+val twinned_pages : heap -> int
+(** Number of pages with twins (i.e. emulated write faults taken). *)
+
+val restore_twins : heap -> unit
+(** Copy every twin back over its page, undoing all stores made since
+    {!protect} — the rollback half of transactional write critical sections.
+    Protection bits are re-armed, twins kept. *)
+
+(** {1 Typed access}
+
+    Loads and stores of shared data.  Stores run the write barrier.  All
+    functions raise [Invalid_argument] on addresses outside the space. *)
+
+val load_prim : space -> Iw_arch.prim -> addr -> int
+(** Integer-valued primitives ([Char]/[Short]/[Int]/[Long]/[Pointer]),
+    sign-extended except for [Pointer]. *)
+
+val store_prim : space -> Iw_arch.prim -> addr -> int -> unit
+
+val load_double : space -> addr -> float
+
+val store_double : space -> addr -> float -> unit
+
+val load_float : space -> addr -> float
+
+val store_float : space -> addr -> float -> unit
+
+val load_string : space -> capacity:int -> addr -> string
+
+val store_string : space -> capacity:int -> addr -> string -> unit
+
+val with_raw : space -> addr -> (Bytes.t -> int -> 'a) -> 'a
+(** [with_raw sp a f] calls [f bytes off] where [bytes.(off)] is the byte at
+    address [a], bypassing the write barrier.  Used by diff application (the
+    pages are unprotected then) and by diff collection (reads only). *)
+
+val touch : space -> addr -> len:int -> unit
+(** Run the write barrier for the byte range without storing — used by
+    [apply] paths that write through {!with_raw} while protection is on. *)

@@ -1,0 +1,412 @@
+type coherence =
+  | Full
+  | Delta of int
+  | Temporal of float
+  | Diff_pct of float
+
+let pp_coherence ppf = function
+  | Full -> Format.fprintf ppf "full"
+  | Delta x -> Format.fprintf ppf "delta-%d" x
+  | Temporal x -> Format.fprintf ppf "temporal-%gs" x
+  | Diff_pct x -> Format.fprintf ppf "diff-%g%%" x
+
+type meta_block = {
+  mb_serial : int;
+  mb_name : string option;
+  mb_desc_serial : int;
+}
+
+type request =
+  | Hello of { arch : string }
+  | Open_segment of {
+      session : int;
+      name : string;
+      create : bool;
+    }
+  | Segment_meta of {
+      session : int;
+      name : string;
+    }
+  | Read_lock of {
+      session : int;
+      name : string;
+      version : int;
+      coherence : coherence;
+    }
+  | Read_release of {
+      session : int;
+      name : string;
+    }
+  | Write_lock of {
+      session : int;
+      name : string;
+      version : int;
+    }
+  | Write_release of {
+      session : int;
+      name : string;
+      diff : Iw_wire.Diff.t;
+    }
+  | Register_desc of {
+      session : int;
+      name : string;
+      desc : Iw_types.desc;
+    }
+  | Get_version of {
+      session : int;
+      name : string;
+    }
+  | Checkpoint of { session : int }
+  | Stat of {
+      session : int;
+      name : string;
+    }
+  | Subscribe of {
+      session : int;
+      name : string;
+    }
+  | Unsubscribe of {
+      session : int;
+      name : string;
+    }
+
+type stat = {
+  st_version : int;
+  st_blocks : int;
+  st_total_units : int;
+  st_diff_cache_hits : int;
+  st_diff_cache_misses : int;
+}
+
+type response =
+  | R_hello of { session : int }
+  | R_segment of { version : int }
+  | R_meta of {
+      version : int;
+      descs : (int * Iw_types.desc) list;
+      blocks : meta_block list;
+    }
+  | R_up_to_date
+  | R_update of Iw_wire.Diff.t
+  | R_granted of Iw_wire.Diff.t option
+  | R_busy
+  | R_version of int
+  | R_serial of int
+  | R_stat of stat
+  | R_ok
+  | R_error of string
+
+module Buf = Iw_wire.Buf
+module Reader = Iw_wire.Reader
+
+let put_coherence buf = function
+  | Full -> Buf.u8 buf 0
+  | Delta x ->
+    Buf.u8 buf 1;
+    Buf.u32 buf x
+  | Temporal x ->
+    Buf.u8 buf 2;
+    Buf.f64 buf x
+  | Diff_pct x ->
+    Buf.u8 buf 3;
+    Buf.f64 buf x
+
+let get_coherence r =
+  match Reader.u8 r with
+  | 0 -> Full
+  | 1 -> Delta (Reader.u32 r)
+  | 2 -> Temporal (Reader.f64 r)
+  | 3 -> Diff_pct (Reader.f64 r)
+  | t -> raise (Iw_wire.Malformed (Printf.sprintf "unknown coherence tag %d" t))
+
+let encode_request buf = function
+  | Hello { arch } ->
+    Buf.u8 buf 0;
+    Buf.string buf arch
+  | Open_segment { session; name; create } ->
+    Buf.u8 buf 1;
+    Buf.u32 buf session;
+    Buf.string buf name;
+    Buf.u8 buf (if create then 1 else 0)
+  | Segment_meta { session; name } ->
+    Buf.u8 buf 2;
+    Buf.u32 buf session;
+    Buf.string buf name
+  | Read_lock { session; name; version; coherence } ->
+    Buf.u8 buf 3;
+    Buf.u32 buf session;
+    Buf.string buf name;
+    Buf.u32 buf version;
+    put_coherence buf coherence
+  | Read_release { session; name } ->
+    Buf.u8 buf 4;
+    Buf.u32 buf session;
+    Buf.string buf name
+  | Write_lock { session; name; version } ->
+    Buf.u8 buf 5;
+    Buf.u32 buf session;
+    Buf.string buf name;
+    Buf.u32 buf version
+  | Write_release { session; name; diff } ->
+    Buf.u8 buf 6;
+    Buf.u32 buf session;
+    Buf.string buf name;
+    Iw_wire.Diff.encode buf diff
+  | Register_desc { session; name; desc } ->
+    Buf.u8 buf 7;
+    Buf.u32 buf session;
+    Buf.string buf name;
+    Iw_wire.put_desc buf desc
+  | Get_version { session; name } ->
+    Buf.u8 buf 8;
+    Buf.u32 buf session;
+    Buf.string buf name
+  | Checkpoint { session } ->
+    Buf.u8 buf 9;
+    Buf.u32 buf session
+  | Stat { session; name } ->
+    Buf.u8 buf 10;
+    Buf.u32 buf session;
+    Buf.string buf name
+  | Subscribe { session; name } ->
+    Buf.u8 buf 11;
+    Buf.u32 buf session;
+    Buf.string buf name
+  | Unsubscribe { session; name } ->
+    Buf.u8 buf 12;
+    Buf.u32 buf session;
+    Buf.string buf name
+
+let decode_request r =
+  match Reader.u8 r with
+  | 0 -> Hello { arch = Reader.string r }
+  | 1 ->
+    let session = Reader.u32 r in
+    let name = Reader.string r in
+    let create = Reader.u8 r = 1 in
+    Open_segment { session; name; create }
+  | 2 ->
+    let session = Reader.u32 r in
+    let name = Reader.string r in
+    Segment_meta { session; name }
+  | 3 ->
+    let session = Reader.u32 r in
+    let name = Reader.string r in
+    let version = Reader.u32 r in
+    let coherence = get_coherence r in
+    Read_lock { session; name; version; coherence }
+  | 4 ->
+    let session = Reader.u32 r in
+    let name = Reader.string r in
+    Read_release { session; name }
+  | 5 ->
+    let session = Reader.u32 r in
+    let name = Reader.string r in
+    let version = Reader.u32 r in
+    Write_lock { session; name; version }
+  | 6 ->
+    let session = Reader.u32 r in
+    let name = Reader.string r in
+    let diff = Iw_wire.Diff.decode r in
+    Write_release { session; name; diff }
+  | 7 ->
+    let session = Reader.u32 r in
+    let name = Reader.string r in
+    let desc = Iw_wire.get_desc r in
+    Register_desc { session; name; desc }
+  | 8 ->
+    let session = Reader.u32 r in
+    let name = Reader.string r in
+    Get_version { session; name }
+  | 9 -> Checkpoint { session = Reader.u32 r }
+  | 10 ->
+    let session = Reader.u32 r in
+    let name = Reader.string r in
+    Stat { session; name }
+  | 11 ->
+    let session = Reader.u32 r in
+    let name = Reader.string r in
+    Subscribe { session; name }
+  | 12 ->
+    let session = Reader.u32 r in
+    let name = Reader.string r in
+    Unsubscribe { session; name }
+  | t -> raise (Iw_wire.Malformed (Printf.sprintf "unknown request tag %d" t))
+
+let encode_response buf = function
+  | R_hello { session } ->
+    Buf.u8 buf 0;
+    Buf.u32 buf session
+  | R_segment { version } ->
+    Buf.u8 buf 1;
+    Buf.u32 buf version
+  | R_meta { version; descs; blocks } ->
+    Buf.u8 buf 2;
+    Buf.u32 buf version;
+    Buf.u16 buf (List.length descs);
+    List.iter
+      (fun (serial, d) ->
+        Buf.u32 buf serial;
+        Iw_wire.put_desc buf d)
+      descs;
+    Buf.u32 buf (List.length blocks);
+    List.iter
+      (fun mb ->
+        Buf.u32 buf mb.mb_serial;
+        (match mb.mb_name with
+        | None -> Buf.u8 buf 0
+        | Some n ->
+          Buf.u8 buf 1;
+          Buf.string buf n);
+        Buf.u32 buf mb.mb_desc_serial)
+      blocks
+  | R_up_to_date -> Buf.u8 buf 3
+  | R_update diff ->
+    Buf.u8 buf 4;
+    Iw_wire.Diff.encode buf diff
+  | R_granted None -> Buf.u8 buf 5
+  | R_granted (Some diff) ->
+    Buf.u8 buf 6;
+    Iw_wire.Diff.encode buf diff
+  | R_busy -> Buf.u8 buf 7
+  | R_version v ->
+    Buf.u8 buf 8;
+    Buf.u32 buf v
+  | R_serial s ->
+    Buf.u8 buf 9;
+    Buf.u32 buf s
+  | R_stat st ->
+    Buf.u8 buf 10;
+    Buf.u32 buf st.st_version;
+    Buf.u32 buf st.st_blocks;
+    Buf.u32 buf st.st_total_units;
+    Buf.u32 buf st.st_diff_cache_hits;
+    Buf.u32 buf st.st_diff_cache_misses
+  | R_ok -> Buf.u8 buf 11
+  | R_error msg ->
+    Buf.u8 buf 12;
+    Buf.string buf msg
+
+let decode_response r =
+  match Reader.u8 r with
+  | 0 -> R_hello { session = Reader.u32 r }
+  | 1 -> R_segment { version = Reader.u32 r }
+  | 2 ->
+    let version = Reader.u32 r in
+    let ndescs = Reader.u16 r in
+    let descs =
+      List.init ndescs (fun _ ->
+          let serial = Reader.u32 r in
+          (serial, Iw_wire.get_desc r))
+    in
+    let nblocks = Reader.u32 r in
+    let blocks =
+      List.init nblocks (fun _ ->
+          let mb_serial = Reader.u32 r in
+          let mb_name = if Reader.u8 r = 1 then Some (Reader.string r) else None in
+          let mb_desc_serial = Reader.u32 r in
+          { mb_serial; mb_name; mb_desc_serial })
+    in
+    R_meta { version; descs; blocks }
+  | 3 -> R_up_to_date
+  | 4 -> R_update (Iw_wire.Diff.decode r)
+  | 5 -> R_granted None
+  | 6 -> R_granted (Some (Iw_wire.Diff.decode r))
+  | 7 -> R_busy
+  | 8 -> R_version (Reader.u32 r)
+  | 9 -> R_serial (Reader.u32 r)
+  | 10 ->
+    let st_version = Reader.u32 r in
+    let st_blocks = Reader.u32 r in
+    let st_total_units = Reader.u32 r in
+    let st_diff_cache_hits = Reader.u32 r in
+    let st_diff_cache_misses = Reader.u32 r in
+    R_stat { st_version; st_blocks; st_total_units; st_diff_cache_hits; st_diff_cache_misses }
+  | 11 -> R_ok
+  | 12 -> R_error (Reader.string r)
+  | t -> raise (Iw_wire.Malformed (Printf.sprintf "unknown response tag %d" t))
+
+type link = {
+  call : request -> response;
+  close : unit -> unit;
+  description : string;
+}
+
+let framed_link ~send ~recv ~close ~description =
+  let call req =
+    let buf = Buf.create () in
+    encode_request buf req;
+    send (Buf.contents buf);
+    decode_response (Reader.of_string (recv ()))
+  in
+  { call; close; description }
+
+type notification = {
+  n_segment : string;
+  n_version : int;
+}
+
+let response_frame resp =
+  let buf = Buf.create () in
+  Buf.u8 buf 0;
+  encode_response buf resp;
+  Buf.contents buf
+
+let notification_frame n =
+  let buf = Buf.create () in
+  Buf.u8 buf 1;
+  Buf.string buf n.n_segment;
+  Buf.u32 buf n.n_version;
+  Buf.contents buf
+
+let demux_link conn ~on_notify =
+  (* One receiver thread reads every frame: notifications are dispatched
+     immediately (so a staleness flag is never left sitting in a socket
+     buffer), responses are handed to the single outstanding caller. *)
+  let m = Mutex.create () in
+  let c = Condition.create () in
+  let pending : (response, exn) result Queue.t = Queue.create () in
+  let push r =
+    Mutex.lock m;
+    Queue.push r pending;
+    Condition.signal c;
+    Mutex.unlock m
+  in
+  let receiver () =
+    let rec loop () =
+      let frame = conn.Iw_transport.recv () in
+      let r = Reader.of_string frame in
+      (match Reader.u8 r with
+      | 0 -> push (Ok (decode_response r))
+      | 1 ->
+        let n_segment = Reader.string r in
+        let n_version = Reader.u32 r in
+        on_notify { n_segment; n_version }
+      | t -> push (Error (Iw_wire.Malformed (Printf.sprintf "unknown frame tag %d" t))));
+      loop ()
+    in
+    (try loop ()
+     with Iw_transport.Closed | Iw_wire.Malformed _ -> push (Error Iw_transport.Closed));
+    (* Only the receiver releases the descriptor: releasing it from another
+       thread could let the OS reuse the number while this thread still
+       reads from it. *)
+    conn.Iw_transport.close ()
+  in
+  ignore (Thread.create receiver () : Thread.t);
+  let call req =
+    let buf = Buf.create () in
+    encode_request buf req;
+    conn.Iw_transport.send (Buf.contents buf);
+    Mutex.lock m;
+    while Queue.is_empty pending do
+      Condition.wait c m
+    done;
+    let r = Queue.pop pending in
+    Mutex.unlock m;
+    match r with Ok resp -> resp | Error e -> raise e
+  in
+  {
+    call;
+    close = conn.Iw_transport.shutdown;
+    description = "demux:" ^ conn.Iw_transport.peer;
+  }

@@ -1,0 +1,151 @@
+(** Client–server protocol.
+
+    All communication between an InterWeave client library and a segment's
+    server uses these messages, encoded in wire format.  The same messages
+    flow over an in-process direct link, a loopback queue pair, or a TCP
+    connection — the transport is invisible to both sides. *)
+
+(** Relaxed coherence models (paper, Sections 2.2 and 3.2).  [Full] always
+    fetches the current version when stale at all; [Delta x] tolerates being
+    up to [x] versions out of date; [Temporal x] up to [x] seconds (enforced
+    client-side with a per-segment timestamp); [Diff_pct x] tolerates up to
+    [x] percent of the segment's primitive data being out of date (enforced
+    by the server's conservative modification counter). *)
+type coherence =
+  | Full
+  | Delta of int
+  | Temporal of float
+  | Diff_pct of float
+
+val pp_coherence : Format.formatter -> coherence -> unit
+
+type meta_block = {
+  mb_serial : int;
+  mb_name : string option;
+  mb_desc_serial : int;
+}
+
+type request =
+  | Hello of { arch : string }
+  | Open_segment of {
+      session : int;
+      name : string;
+      create : bool;
+    }
+  | Segment_meta of {
+      session : int;
+      name : string;
+    }  (** block table without payload — backs reserve-space for MIPs *)
+  | Read_lock of {
+      session : int;
+      name : string;
+      version : int;  (** version cached at the client; 0 = nothing cached *)
+      coherence : coherence;
+    }
+  | Read_release of {
+      session : int;
+      name : string;
+    }
+  | Write_lock of {
+      session : int;
+      name : string;
+      version : int;
+    }
+  | Write_release of {
+      session : int;
+      name : string;
+      diff : Iw_wire.Diff.t;
+    }
+  | Register_desc of {
+      session : int;
+      name : string;
+      desc : Iw_types.desc;
+    }
+  | Get_version of {
+      session : int;
+      name : string;
+    }
+  | Checkpoint of { session : int }
+  | Stat of {
+      session : int;
+      name : string;
+    }
+  | Subscribe of {
+      session : int;
+      name : string;
+    }  (** ask for change notifications on the segment (paper, Section 2.2) *)
+  | Unsubscribe of {
+      session : int;
+      name : string;
+    }
+
+type stat = {
+  st_version : int;
+  st_blocks : int;
+  st_total_units : int;
+  st_diff_cache_hits : int;
+  st_diff_cache_misses : int;
+}
+
+type response =
+  | R_hello of { session : int }
+  | R_segment of { version : int }
+  | R_meta of {
+      version : int;
+      descs : (int * Iw_types.desc) list;
+      blocks : meta_block list;
+    }
+  | R_up_to_date
+  | R_update of Iw_wire.Diff.t
+  | R_granted of Iw_wire.Diff.t option
+  | R_busy  (** segment write lock held by another session *)
+  | R_version of int
+  | R_serial of int
+  | R_stat of stat
+  | R_ok
+  | R_error of string
+
+val encode_request : Iw_wire.Buf.t -> request -> unit
+
+val decode_request : Iw_wire.Reader.t -> request
+
+val encode_response : Iw_wire.Buf.t -> response -> unit
+
+val decode_response : Iw_wire.Reader.t -> response
+
+(** A link is the client's view of one server, however reached. *)
+type link = {
+  call : request -> response;
+  close : unit -> unit;
+  description : string;
+}
+
+val framed_link : send:(string -> unit) -> recv:(unit -> string) -> close:(unit -> unit) -> description:string -> link
+(** Build a link that serializes each request and parses each response over a
+    framed byte transport carrying nothing but request/response pairs. *)
+
+(** {1 Server-push notifications}
+
+    The adaptive polling/notification protocol (paper, Section 2.2) lets the
+    client library avoid communication when updates are not required: a
+    subscribed client is told when a segment changes and can otherwise treat
+    its cached copy as current.  Notifications share the connection with
+    responses, so frames are tagged; {!demux_link} runs a receiver thread
+    that dispatches notifications and hands responses to the caller. *)
+
+type notification = {
+  n_segment : string;
+  n_version : int;
+}
+
+val response_frame : response -> string
+(** Tag-0 frame carrying a response (what {!demux_link} expects). *)
+
+val notification_frame : notification -> string
+(** Tag-1 frame carrying a notification. *)
+
+val demux_link :
+  Iw_transport.conn -> on_notify:(notification -> unit) -> link
+(** A link over a tagged framed connection.  [on_notify] runs on the receiver
+    thread and must only perform cheap, thread-safe work (the client library
+    sets a staleness flag).  At most one outstanding [call] at a time. *)

@@ -1,0 +1,348 @@
+module Prng = struct
+  (* SplitMix64, truncated to OCaml's 63-bit int.  Deterministic across runs
+     and platforms. *)
+  type t = { mutable state : int64 }
+
+  let create seed = { state = Int64.of_int seed }
+
+  let next t =
+    t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+    let z = t.state in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+    Int64.logxor z (Int64.shift_right_logical z 31)
+
+  let int t bound =
+    if bound <= 0 then invalid_arg "Prng.int";
+    Int64.to_int (Int64.rem (Int64.shift_right_logical (next t) 1) (Int64.of_int bound))
+
+  let float t =
+    float_of_int (Int64.to_int (Int64.shift_right_logical (next t) 11))
+    /. float_of_int (1 lsl 53)
+end
+
+module Gen = struct
+  type params = {
+    customers : int;
+    items : int;
+    patterns : int;
+    avg_pattern_len : int;
+    avg_items_per_customer : int;
+    seed : int;
+  }
+
+  let default =
+    {
+      customers = 100_000;
+      items = 1_000;
+      patterns = 5_000;
+      avg_pattern_len = 4;
+      avg_items_per_customer = 50;  (* 100k x 50 x 4B = 20 MB *)
+      seed = 20030519;  (* ICDCS '03 *)
+    }
+
+  let scaled f =
+    {
+      default with
+      customers = max 100 (int_of_float (float_of_int default.customers *. f));
+      patterns = max 50 (int_of_float (float_of_int default.patterns *. f));
+    }
+
+  type db = {
+    sequences : int array array;
+    params : params;
+  }
+
+  (* Skewed item popularity: squaring a uniform variate concentrates mass on
+     low item ids, approximating the Zipf-like draws of the Quest tool. *)
+  let skewed_item rng items = 1 + int_of_float (Prng.float rng ** 2.0 *. float_of_int items)
+
+  let generate p =
+    let rng = Prng.create p.seed in
+    (* Plant pool: frequent sequential patterns customers tend to follow. *)
+    let patterns =
+      Array.init p.patterns (fun _ ->
+          let len = max 2 (p.avg_pattern_len - 1 + Prng.int rng 3) in
+          Array.init len (fun _ -> min p.items (skewed_item rng p.items)))
+    in
+    let sequences =
+      Array.init p.customers (fun _ ->
+          let target = max 4 (p.avg_items_per_customer / 2 + Prng.int rng p.avg_items_per_customer) in
+          let buf = Buffer.create (target * 2) in
+          ignore buf;
+          let out = ref [] and len = ref 0 in
+          while !len < target do
+            if Prng.float rng < 0.75 then begin
+              (* Follow a planted pattern, with 10% per-item corruption. *)
+              let pat = patterns.(Prng.int rng p.patterns) in
+              Array.iter
+                (fun item ->
+                  let item =
+                    if Prng.float rng < 0.1 then min p.items (skewed_item rng p.items)
+                    else item
+                  in
+                  out := item :: !out;
+                  incr len)
+                pat
+            end
+            else begin
+              out := min p.items (skewed_item rng p.items) :: !out;
+              incr len
+            end
+          done;
+          Array.of_list (List.rev !out))
+    in
+    { sequences; params = p }
+
+  let size_bytes db = 4 * Array.fold_left (fun acc s -> acc + Array.length s) 0 db.sequences
+end
+
+module Lattice = struct
+  let max_len = 3
+
+  let max_children = 4
+
+  let node_desc : Iw_types.desc =
+    Struct
+      [|
+        { fname = "items"; ftype = Array (Prim Iw_arch.Int, max_len) };
+        { fname = "length"; ftype = Prim Iw_arch.Int };
+        { fname = "support"; ftype = Prim Iw_arch.Int };
+        { fname = "first_version"; ftype = Prim Iw_arch.Int };
+        { fname = "last_version"; ftype = Prim Iw_arch.Int };
+        { fname = "nchild"; ftype = Prim Iw_arch.Int };
+        { fname = "next"; ftype = Ptr "seq_node" };
+        { fname = "child"; ftype = Array (Ptr "seq_node", max_children) };
+      |]
+
+  let root_desc : Iw_types.desc =
+    Struct
+      [|
+        { fname = "nnodes"; ftype = Prim Iw_arch.Int };
+        { fname = "updates"; ftype = Prim Iw_arch.Int };
+        { fname = "head"; ftype = Ptr "seq_node" };
+      |]
+
+  (* Precomputed local byte offsets of node fields for one architecture. *)
+  type offsets = {
+    o_items : int;
+    o_length : int;
+    o_support : int;
+    o_first_version : int;
+    o_last_version : int;
+    o_nchild : int;
+    o_next : int;
+    o_child : int;
+    child_stride : int;
+    r_nnodes : int;
+    r_updates : int;
+    r_head : int;
+  }
+
+  let offsets_for arch =
+    let conv = Iw_types.local arch in
+    let node_lay = Iw_types.layout conv node_desc in
+    let root_lay = Iw_types.layout conv root_desc in
+    let node_off i = (Iw_types.locate_prim node_lay i).Iw_types.l_off in
+    let root_off i = (Iw_types.locate_prim root_lay i).Iw_types.l_off in
+    (* prim order: items[0..2], length, support, first_version, last_version,
+       nchild, next, child[0..3] *)
+    {
+      o_items = node_off 0;
+      o_length = node_off 3;
+      o_support = node_off 4;
+      o_first_version = node_off 5;
+      o_last_version = node_off 6;
+      o_nchild = node_off 7;
+      o_next = node_off 8;
+      o_child = node_off 9;
+      child_stride = arch.Iw_arch.pointer_size;
+      r_nnodes = root_off 0;
+      r_updates = root_off 1;
+      r_head = root_off 2;
+    }
+
+  type t = {
+    l_client : Iw_client.t;
+    l_seg : Iw_client.seg;
+    l_min_support : int;
+    l_off : offsets;
+    l_index : (int list, Iw_mem.addr) Hashtbl.t;
+    l_counts : (int list, int) Hashtbl.t;
+    l_root : Iw_mem.addr;
+  }
+
+  let segment t = t.l_seg
+
+  let node_items c off a =
+    let len = Iw_client.read_int c (a + off.o_length) in
+    List.init len (fun i -> Iw_client.read_int c (a + off.o_items + (i * 4)))
+
+  let rebuild_index t =
+    let c = t.l_client in
+    let off = t.l_off in
+    Hashtbl.reset t.l_index;
+    Hashtbl.reset t.l_counts;
+    let rec walk a =
+      if a <> 0 then begin
+        let seq = node_items c off a in
+        Hashtbl.replace t.l_index seq a;
+        Hashtbl.replace t.l_counts seq (Iw_client.read_int c (a + off.o_support));
+        walk (Iw_client.read_ptr c (a + off.o_next))
+      end
+    in
+    walk (Iw_client.read_ptr c (t.l_root + off.r_head))
+
+  let create c ~segment ~min_support =
+    let seg = Iw_client.open_segment c segment in
+    let off = offsets_for (Iw_client.arch c) in
+    Iw_client.wl_acquire seg;
+    let root =
+      match Iw_client.find_named_block seg "root" with
+      | Some b -> b.Iw_mem.b_addr
+      | None -> Iw_client.malloc ~name:"root" seg root_desc
+    in
+    Iw_client.wl_release seg;
+    let t =
+      {
+        l_client = c;
+        l_seg = seg;
+        l_min_support = min_support;
+        l_off = off;
+        l_index = Hashtbl.create 4096;
+        l_counts = Hashtbl.create 4096;
+        l_root = root;
+      }
+    in
+    rebuild_index t;
+    t
+
+  let attach c ~segment =
+    let seg = Iw_client.open_segment ~create:false c segment in
+    Iw_client.rl_acquire seg;
+    let root =
+      match Iw_client.find_named_block seg "root" with
+      | Some b -> b.Iw_mem.b_addr
+      | None -> invalid_arg "Iw_seqmine.Lattice.attach: no root block"
+    in
+    Iw_client.rl_release seg;
+    {
+      l_client = c;
+      l_seg = seg;
+      l_min_support = max_int;
+      l_off = offsets_for (Iw_client.arch c);
+      l_index = Hashtbl.create 16;
+      l_counts = Hashtbl.create 16;
+      l_root = root;
+    }
+
+  (* Create the node for [seq], creating its prefix chain first; caller holds
+     the write lock. *)
+  let rec materialize t seq count =
+    let c = t.l_client in
+    let off = t.l_off in
+    match Hashtbl.find_opt t.l_index seq with
+    | Some a -> a
+    | None ->
+      let parent =
+        match seq with
+        | [] -> invalid_arg "materialize: empty sequence"
+        | [ _ ] -> None
+        | _ ->
+          let prefix = List.filteri (fun i _ -> i < List.length seq - 1) seq in
+          let pcount = Option.value ~default:0 (Hashtbl.find_opt t.l_counts prefix) in
+          Some (materialize t prefix (max pcount count))
+      in
+      let a = Iw_client.malloc t.l_seg node_desc in
+      List.iteri (fun i item -> Iw_client.write_int c (a + off.o_items + (i * 4)) item) seq;
+      Iw_client.write_int c (a + off.o_length) (List.length seq);
+      Iw_client.write_int c (a + off.o_support) count;
+      let version = Iw_client.segment_version t.l_seg + 1 in
+      Iw_client.write_int c (a + off.o_first_version) version;
+      Iw_client.write_int c (a + off.o_last_version) version;
+      (* Thread onto the all-nodes list. *)
+      Iw_client.write_ptr c (a + off.o_next) (Iw_client.read_ptr c (t.l_root + off.r_head));
+      Iw_client.write_ptr c (t.l_root + off.r_head) a;
+      Iw_client.write_int c (t.l_root + off.r_nnodes)
+        (Iw_client.read_int c (t.l_root + off.r_nnodes) + 1);
+      (* Link from the parent when a slot is free. *)
+      (match parent with
+      | None -> ()
+      | Some pa ->
+        let n = Iw_client.read_int c (pa + off.o_nchild) in
+        if n < max_children then begin
+          Iw_client.write_ptr c (pa + off.o_child + (n * off.child_stride)) a;
+          Iw_client.write_int c (pa + off.o_nchild) (n + 1)
+        end);
+      Hashtbl.replace t.l_index seq a;
+      a
+
+  let update t db ~from_customer ~to_customer =
+    let c = t.l_client in
+    let off = t.l_off in
+    (* Count contiguous subsequences of length 1..max_len. *)
+    let delta : (int list, int) Hashtbl.t = Hashtbl.create 4096 in
+    let bump gram =
+      Hashtbl.replace delta gram (1 + Option.value ~default:0 (Hashtbl.find_opt delta gram))
+    in
+    for cust = from_customer to to_customer - 1 do
+      let seq = db.Gen.sequences.(cust) in
+      let n = Array.length seq in
+      for i = 0 to n - 1 do
+        bump [ seq.(i) ];
+        if i + 1 < n then bump [ seq.(i); seq.(i + 1) ];
+        if i + 2 < n then bump [ seq.(i); seq.(i + 1); seq.(i + 2) ]
+      done
+    done;
+    Iw_client.wl_acquire t.l_seg;
+    let version = Iw_client.segment_version t.l_seg + 1 in
+    Hashtbl.iter
+      (fun gram d ->
+        let total = d + Option.value ~default:0 (Hashtbl.find_opt t.l_counts gram) in
+        Hashtbl.replace t.l_counts gram total;
+        match Hashtbl.find_opt t.l_index gram with
+        | Some a ->
+          Iw_client.write_int c (a + off.o_support) total;
+          Iw_client.write_int c (a + off.o_last_version) version
+        | None ->
+          if total >= t.l_min_support then
+            ignore (materialize t gram total : Iw_mem.addr))
+      delta;
+    Iw_client.write_int c (t.l_root + off.r_updates)
+      (Iw_client.read_int c (t.l_root + off.r_updates) + 1);
+    Iw_client.wl_release t.l_seg
+
+  let fold_nodes t ~init ~f =
+    let c = t.l_client in
+    let off = t.l_off in
+    let rec walk a acc = if a = 0 then acc else walk (Iw_client.read_ptr c (a + off.o_next)) (f acc a) in
+    walk (Iw_client.read_ptr c (t.l_root + off.r_head)) init
+
+  let node_count t = fold_nodes t ~init:0 ~f:(fun acc _ -> acc + 1)
+
+  let top t k =
+    let c = t.l_client in
+    let off = t.l_off in
+    let all =
+      fold_nodes t ~init:[] ~f:(fun acc a ->
+          (node_items c off a, Iw_client.read_int c (a + off.o_support)) :: acc)
+    in
+    let sorted = List.sort (fun (_, a) (_, b) -> compare b a) all in
+    List.filteri (fun i _ -> i < k) sorted
+
+  let support_of t seq =
+    let c = t.l_client in
+    let off = t.l_off in
+    fold_nodes t ~init:None ~f:(fun acc a ->
+        match acc with
+        | Some _ -> acc
+        | None ->
+          if node_items c t.l_off a = seq then Some (Iw_client.read_int c (a + off.o_support))
+          else None)
+
+  let total_units t =
+    List.fold_left
+      (fun acc b -> acc + Iw_types.layout_prim_count b.Iw_mem.b_layout)
+      0
+      (Iw_client.blocks t.l_seg)
+end

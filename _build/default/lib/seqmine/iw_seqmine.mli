@@ -1,0 +1,99 @@
+(** Incremental sequence mining over InterWeave shared state.
+
+    Reproduces the paper's datamining application (Section 4.4): a database
+    server reads from an active, growing database of customer transactions
+    and maintains a summary structure — a lattice of item sequences, each
+    node holding pointers to the sequences it prefixes — in an InterWeave
+    segment.  Mining clients share that segment and, thanks to relaxed
+    coherence, need not fetch every version.
+
+    The database is synthetic, in the style of the IBM Quest generator the
+    paper uses [12]: sequence patterns are planted into customer transaction
+    histories.  Default parameters match the paper: 100,000 customers, 1,000
+    items, 5,000 patterns of average length 4, about 20 MB total. *)
+
+(** Deterministic pseudo-random numbers (SplitMix64), so benchmarks and tests
+    are reproducible. *)
+module Prng : sig
+  type t
+
+  val create : int -> t
+
+  val int : t -> int -> int
+  (** [int t bound] in [\[0, bound)]. *)
+
+  val float : t -> float
+  (** In [\[0, 1)]. *)
+end
+
+module Gen : sig
+  type params = {
+    customers : int;
+    items : int;  (** distinct item ids, drawn with a skewed distribution *)
+    patterns : int;
+    avg_pattern_len : int;
+    avg_items_per_customer : int;
+    seed : int;
+  }
+
+  val default : params
+  (** The paper's workload: 100,000 customers, 1,000 items, 5,000 patterns of
+      average length 4, ~20 MB. *)
+
+  val scaled : float -> params
+  (** [scaled f] shrinks [customers] (and hence total size) by [f] while
+      keeping the statistical structure; used by tests and quick runs. *)
+
+  type db = {
+    sequences : int array array;  (** per-customer item sequence, items >= 1 *)
+    params : params;
+  }
+
+  val generate : params -> db
+
+  val size_bytes : db -> int
+  (** Size of the raw database (4 bytes per item occurrence). *)
+end
+
+(** The shared summary structure. *)
+module Lattice : sig
+  val max_len : int
+  (** Maximum mined sequence length (3). *)
+
+  val max_children : int
+
+  val node_desc : Iw_types.desc
+  (** The IDL-style node type: items, length, support, a next pointer
+      threading all nodes, and child pointers — roughly one third pointers,
+      as in the paper's summary structure. *)
+
+  type t
+  (** A client's handle on the lattice segment. *)
+
+  val create : Iw_client.t -> segment:string -> min_support:int -> t
+  (** Create (or open) the lattice segment and its root block. *)
+
+  val attach : Iw_client.t -> segment:string -> t
+  (** Open an existing lattice read-only (mining client side). *)
+
+  val segment : t -> Iw_client.seg
+
+  val update : t -> Gen.db -> from_customer:int -> to_customer:int -> unit
+  (** Feed customers [from_customer, to_customer) through the miner: under a
+      single write critical section, bump supports of existing sequence nodes
+      and materialize newly frequent sequences. *)
+
+  val node_count : t -> int
+  (** Number of lattice nodes in the local cached copy (walks the shared
+      structure; callers should hold a read lock). *)
+
+  val top : t -> int -> (int list * int) list
+  (** [top t k] returns the [k] most frequent sequences with their supports,
+      read from the local cached copy. *)
+
+  val support_of : t -> int list -> int option
+  (** Support of an exact sequence, if currently in the lattice. *)
+
+  val total_units : t -> int
+  (** Primitive data units in the lattice segment (local bookkeeping). *)
+end

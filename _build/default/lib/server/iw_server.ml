@@ -1,0 +1,889 @@
+module Serial_tree = Iw_avl.Make (Int)
+module Version_tree = Iw_avl.Make (Int)
+
+let subblock_units = 16
+
+type stats = {
+  mutable requests : int;
+  mutable diffs_applied : int;
+  mutable diffs_collected : int;
+  mutable diff_cache_hits : int;
+  mutable diff_cache_misses : int;
+  mutable pred_hits : int;
+  mutable pred_misses : int;
+}
+
+(* The version list: blocks ordered by the version in which they were last
+   modified, separated by markers (paper, Sec. 3.2).  Doubly linked with
+   sentinels; modified blocks move to the tail. *)
+type vnode = {
+  mutable prev : vnode;
+  mutable next : vnode;
+  kind : vkind;
+}
+
+and vkind =
+  | Head
+  | Tail
+  | Marker of int
+  | Blk of sblock
+
+and sblock = {
+  sb_serial : int;
+  sb_name : string option;
+  sb_desc_serial : int;
+  sb_lay : Iw_types.layout;  (* wire-convention layout *)
+  sb_pcount : int;
+  sb_data : Bytes.t;  (* packed fixed-size wire slots *)
+  sb_vars : (int, string) Hashtbl.t;  (* prim index -> MIP / string payload *)
+  sb_created_version : int;
+  mutable sb_version : int;
+  sb_subvers : int array;
+  mutable sb_node : vnode;
+}
+
+type seg = {
+  s_name : string;
+  mutable s_version : int;
+  s_registry : Iw_types.Registry.t;
+  mutable s_desc_versions : (int * int) list;  (* desc serial, version at registration *)
+  mutable s_blocks : sblock Serial_tree.t;  (* svr_blk_number_tree *)
+  s_head : vnode;
+  s_tail : vnode;
+  mutable s_markers : vnode Version_tree.t;  (* marker_version_tree *)
+  mutable s_frees : (int * int) list;  (* serial, version freed *)
+  mutable s_total_units : int;
+  s_counters : (int, int ref) Hashtbl.t;  (* Diff-coherence modification counters *)
+  mutable s_writer : int option;
+  s_diff_cache : (int * int, Iw_wire.Diff.block_change list) Hashtbl.t;
+  s_cache_order : (int * int) Queue.t;
+  mutable s_pred : vnode option;  (* last-block prediction cursor *)
+  s_subscribers : (int, unit) Hashtbl.t;  (* sessions to notify on change *)
+}
+
+type t = {
+  segs : (string, seg) Hashtbl.t;
+  mutable next_session : int;
+  session_arch : (int, string) Hashtbl.t;
+  lock : Mutex.t;
+  checkpoint_dir : string option;
+  diff_cache_capacity : int;
+  t_stats : stats;
+  mutable prediction : bool;
+  t_scratch : Iw_wire.Buf.t;  (* reused payload buffer; handler is serialized *)
+  notifiers : (int, Iw_proto.notification -> unit) Hashtbl.t;  (* session -> push *)
+}
+
+let stats t = t.t_stats
+
+let set_prediction t b = t.prediction <- b
+
+(* Version-list primitives. *)
+
+let new_list () =
+  let rec head = { prev = head; next = tail; kind = Head }
+  and tail = { prev = head; next = tail; kind = Tail } in
+  (head, tail)
+
+let unlink n =
+  n.prev.next <- n.next;
+  n.next.prev <- n.prev
+
+let append_before tail n =
+  n.prev <- tail.prev;
+  n.next <- tail;
+  tail.prev.next <- n;
+  tail.prev <- n
+
+let move_to_tail seg n =
+  unlink n;
+  append_before seg.s_tail n
+
+(* Variable-size primitives (pointers and strings) use 4-byte handle slots in
+   the packed master copy and keep their payloads in [sb_vars]. *)
+let is_var : Iw_arch.prim -> bool = function
+  | Pointer | String _ -> true
+  | Char | Short | Int | Long | Float | Double -> false
+
+(* Encode primitive units [from, upto) of a master copy into run payload
+   format — identical to what the client library produces, so the server can
+   both forward client diffs verbatim and synthesize its own.  Because the
+   master copy is stored packed in wire byte order, spans of fixed-size
+   primitives are verbatim byte ranges: no translation, just a copy — the
+   reason the paper's server keeps data in wire format (Sec. 3.2). *)
+let encode_prims buf sb ~from ~upto =
+  Iw_types.fold_spans sb.sb_lay ~from ~upto ~init:()
+    ~f:(fun () (s : Iw_types.span) ->
+      if is_var s.s_prim then
+        for i = 0 to s.s_count - 1 do
+          Iw_wire.Buf.string buf
+            (match Hashtbl.find_opt sb.sb_vars (s.s_index + i) with
+            | Some v -> v
+            | None -> "")
+        done
+      else
+        Iw_wire.Buf.raw buf sb.sb_data ~off:s.s_off ~len:(s.s_count * s.s_stride))
+
+let decode_prims r sb ~from ~upto =
+  Iw_types.fold_spans sb.sb_lay ~from ~upto ~init:()
+    ~f:(fun () (s : Iw_types.span) ->
+      if is_var s.s_prim then
+        for i = 0 to s.s_count - 1 do
+          let v = Iw_wire.Reader.string r in
+          if v = "" then Hashtbl.remove sb.sb_vars (s.s_index + i)
+          else Hashtbl.replace sb.sb_vars (s.s_index + i) v
+        done
+      else Iw_wire.Reader.blit r sb.sb_data ~off:s.s_off ~len:(s.s_count * s.s_stride))
+
+let full_payload buf sb =
+  Iw_wire.Buf.clear buf;
+  encode_prims buf sb ~from:0 ~upto:sb.sb_pcount;
+  Iw_wire.Buf.contents buf
+
+let mark_subblocks sb ~from ~upto version =
+  let first = from / subblock_units
+  and last = (upto - 1) / subblock_units in
+  for i = first to last do
+    sb.sb_subvers.(i) <- version
+  done
+
+(* Server-side diff application (paper, Sec. 3.2): append a marker, move
+   modified blocks to the tail of the version list, bump subblock versions. *)
+
+exception Reject of string
+
+let find_block seg serial =
+  match Serial_tree.find_opt serial seg.s_blocks with
+  | Some sb -> sb
+  | None -> raise (Reject (Printf.sprintf "no block with serial %d" serial))
+
+let make_block seg ~serial ~name ~desc_serial ~version =
+  let desc =
+    match Iw_types.Registry.find seg.s_registry desc_serial with
+    | Some d -> d
+    | None -> raise (Reject (Printf.sprintf "unregistered descriptor %d" desc_serial))
+  in
+  let lay = Iw_types.layout Iw_types.wire desc in
+  let pcount = Iw_types.layout_prim_count lay in
+  let nsub = (pcount + subblock_units - 1) / subblock_units in
+  let node = { prev = seg.s_head; next = seg.s_head; kind = Head } in
+  let sb =
+    {
+      sb_serial = serial;
+      sb_name = name;
+      sb_desc_serial = desc_serial;
+      sb_lay = lay;
+      sb_pcount = pcount;
+      sb_data = Bytes.make (Iw_types.size lay) '\000';
+      sb_vars = Hashtbl.create 4;
+      sb_created_version = version;
+      sb_version = version;
+      sb_subvers = Array.make nsub version;
+      sb_node = node;
+    }
+  in
+  let node = { prev = node.prev; next = node.next; kind = Blk sb } in
+  sb.sb_node <- node;
+  sb
+
+let apply_diff t seg (diff : Iw_wire.Diff.t) =
+  if diff.changes = [] && diff.new_descs = [] then seg.s_version
+  else begin
+    let v = seg.s_version + 1 in
+    List.iter (fun (serial, d) -> Iw_types.Registry.adopt seg.s_registry serial d)
+      diff.new_descs;
+    let marker = { prev = seg.s_head; next = seg.s_head; kind = Marker v } in
+    append_before seg.s_tail marker;
+    seg.s_markers <- Version_tree.add v marker seg.s_markers;
+    List.iter
+      (fun (change : Iw_wire.Diff.block_change) ->
+        match change with
+        | Create { serial; name; desc_serial; payload } ->
+          if Serial_tree.mem serial seg.s_blocks then
+            raise (Reject (Printf.sprintf "block %d already exists" serial));
+          let sb = make_block seg ~serial ~name ~desc_serial ~version:v in
+          decode_prims (Iw_wire.Reader.of_string payload) sb ~from:0 ~upto:sb.sb_pcount;
+          seg.s_blocks <- Serial_tree.add serial sb seg.s_blocks;
+          append_before seg.s_tail sb.sb_node;
+          seg.s_total_units <- seg.s_total_units + sb.sb_pcount
+        | Update { serial; runs } ->
+          (* Last-block prediction: the next modified block is usually the
+             next one in the version list (paper, Sec. 3.3). *)
+          let sb =
+            let predicted =
+              if not t.prediction then None
+              else
+                match seg.s_pred with
+                | Some { kind = Blk p; _ } when p.sb_serial = serial -> Some p
+                | Some _ | None -> None
+            in
+            match predicted with
+            | Some p ->
+              t.t_stats.pred_hits <- t.t_stats.pred_hits + 1;
+              p
+            | None ->
+              t.t_stats.pred_misses <- t.t_stats.pred_misses + 1;
+              find_block seg serial
+          in
+          let rec next_block n =
+            match n.next.kind with
+            | Blk _ | Tail -> n.next
+            | Head | Marker _ -> next_block n.next
+          in
+          seg.s_pred <- Some (next_block sb.sb_node);
+          List.iter
+            (fun (run : Iw_wire.Diff.run) ->
+              let upto = run.start_pu + run.len_pu in
+              if upto > sb.sb_pcount then raise (Reject "run beyond block end");
+              decode_prims (Iw_wire.Reader.of_string run.payload) sb ~from:run.start_pu
+                ~upto;
+              mark_subblocks sb ~from:run.start_pu ~upto v)
+            runs;
+          sb.sb_version <- v;
+          move_to_tail seg sb.sb_node
+        | Free { serial } ->
+          let sb = find_block seg serial in
+          seg.s_blocks <- Serial_tree.remove serial seg.s_blocks;
+          unlink sb.sb_node;
+          seg.s_frees <- (serial, v) :: seg.s_frees;
+          seg.s_total_units <- seg.s_total_units - sb.sb_pcount)
+      diff.changes;
+    seg.s_version <- v;
+    t.t_stats.diffs_applied <- t.t_stats.diffs_applied + 1;
+    (* Account the update against every other session's Diff-coherence
+       counter, conservatively assuming independent modifications. *)
+    let touched = Iw_wire.Diff.touched_units diff in
+    Hashtbl.iter (fun _ c -> c := !c + touched) seg.s_counters;
+    (* Cache the writer's diff: subsequent readers one version behind can be
+       served without collection (paper, Sec. 3.3, diff caching). *)
+    if t.diff_cache_capacity > 0 then begin
+      if Hashtbl.length seg.s_diff_cache >= t.diff_cache_capacity then begin
+        match Queue.take_opt seg.s_cache_order with
+        | Some key -> Hashtbl.remove seg.s_diff_cache key
+        | None -> ()
+      end;
+      Hashtbl.replace seg.s_diff_cache (v - 1, v) diff.changes;
+      Queue.push (v - 1, v) seg.s_cache_order
+    end;
+    v
+  end
+
+(* Build the list of changes a client at [since] needs: walk the version list
+   from the first marker newer than [since]; every block after it has some
+   subblocks newer than [since]. *)
+let collect_changes t seg ~since =
+  t.t_stats.diffs_collected <- t.t_stats.diffs_collected + 1;
+  let start =
+    match Version_tree.ceiling (since + 1) seg.s_markers with
+    | Some (_, marker) -> marker
+    | None -> seg.s_tail
+  in
+  let changes = ref [] in
+  let rec walk n =
+    match n.kind with
+    | Tail -> ()
+    | Head | Marker _ -> walk n.next
+    | Blk sb ->
+      (if sb.sb_created_version > since then
+         changes :=
+           Iw_wire.Diff.Create
+             {
+               serial = sb.sb_serial;
+               name = sb.sb_name;
+               desc_serial = sb.sb_desc_serial;
+               payload = full_payload t.t_scratch sb;
+             }
+           :: !changes
+       else begin
+         (* Runs of consecutive subblocks newer than [since]. *)
+         let nsub = Array.length sb.sb_subvers in
+         let runs = ref [] in
+         let i = ref 0 in
+         while !i < nsub do
+           if sb.sb_subvers.(!i) > since then begin
+             let j = ref !i in
+             while !j < nsub && sb.sb_subvers.(!j) > since do
+               incr j
+             done;
+             let from = !i * subblock_units
+             and upto = min sb.sb_pcount (!j * subblock_units) in
+             let buf = t.t_scratch in
+             Iw_wire.Buf.clear buf;
+             encode_prims buf sb ~from ~upto;
+             runs :=
+               {
+                 Iw_wire.Diff.start_pu = from;
+                 len_pu = upto - from;
+                 payload = Iw_wire.Buf.contents buf;
+               }
+               :: !runs;
+             i := !j
+           end
+           else incr i
+         done;
+         match List.rev !runs with
+         | [] -> ()
+         | runs -> changes := Iw_wire.Diff.Update { serial = sb.sb_serial; runs } :: !changes
+       end);
+      walk n.next
+  in
+  walk start;
+  let frees =
+    List.filter_map
+      (fun (serial, v) -> if v > since then Some (Iw_wire.Diff.Free { serial }) else None)
+      seg.s_frees
+  in
+  frees @ List.rev !changes
+
+(* Diff-cache span merging: if every per-version diff between [since] and the
+   current version is cached, the union of their run ranges tells us exactly
+   which primitive units the client is missing — at unit granularity, finer
+   than the subblock versions collect_changes falls back on.  Payloads are
+   encoded fresh from the master copy, so later versions win automatically. *)
+let merged_changes t seg ~since =
+  let rec gather v acc =
+    if v >= seg.s_version then Some (List.rev acc)
+    else
+      match Hashtbl.find_opt seg.s_diff_cache (v, v + 1) with
+      | Some changes -> gather (v + 1) (changes :: acc)
+      | None -> None
+  in
+  match gather since [] with
+  | None -> None
+  | Some per_version ->
+    let created = Hashtbl.create 16 in
+    let freed = Hashtbl.create 16 in
+    let ranges : (int, (int * int) list ref) Hashtbl.t = Hashtbl.create 16 in
+    let order = ref [] in
+    List.iter
+      (List.iter (fun (change : Iw_wire.Diff.block_change) ->
+           match change with
+           | Create { serial; _ } ->
+             Hashtbl.replace created serial ();
+             order := serial :: !order
+           | Update { serial; runs } ->
+             if not (Hashtbl.mem created serial) then begin
+               let r =
+                 match Hashtbl.find_opt ranges serial with
+                 | Some r -> r
+                 | None ->
+                   let r = ref [] in
+                   Hashtbl.replace ranges serial r;
+                   order := serial :: !order;
+                   r
+               in
+               List.iter
+                 (fun (run : Iw_wire.Diff.run) ->
+                   r := (run.start_pu, run.start_pu + run.len_pu) :: !r)
+                 runs
+             end
+           | Free { serial } ->
+             if Hashtbl.mem created serial then Hashtbl.remove created serial
+             else Hashtbl.replace freed serial ();
+             Hashtbl.remove ranges serial))
+      per_version;
+    let normalize l =
+      let sorted = List.sort compare l in
+      let rec merge = function
+        | (a1, b1) :: (a2, b2) :: rest when a2 <= b1 -> merge ((a1, max b1 b2) :: rest)
+        | r :: rest -> r :: merge rest
+        | [] -> []
+      in
+      merge sorted
+    in
+    let frees =
+      Hashtbl.fold (fun serial () acc -> Iw_wire.Diff.Free { serial } :: acc) freed []
+    in
+    let rest =
+      List.rev_map
+        (fun serial ->
+          if Hashtbl.mem created serial then begin
+            let sb = find_block seg serial in
+            [
+              Iw_wire.Diff.Create
+                {
+                  serial;
+                  name = sb.sb_name;
+                  desc_serial = sb.sb_desc_serial;
+                  payload = full_payload t.t_scratch sb;
+                };
+            ]
+          end
+          else
+            match Hashtbl.find_opt ranges serial with
+            | None -> []
+            | Some r ->
+              let sb = find_block seg serial in
+              let runs =
+                List.map
+                  (fun (from, upto) ->
+                    let upto = min upto sb.sb_pcount in
+                    let buf = t.t_scratch in
+                    Iw_wire.Buf.clear buf;
+                    encode_prims buf sb ~from ~upto;
+                    {
+                      Iw_wire.Diff.start_pu = from;
+                      len_pu = upto - from;
+                      payload = Iw_wire.Buf.contents buf;
+                    })
+                  (normalize !r)
+              in
+              [ Iw_wire.Diff.Update { serial; runs } ])
+        !order
+      |> List.concat
+    in
+    Some (frees @ rest)
+
+let descs_since seg ~since =
+  List.filter_map
+    (fun (serial, reg_v) ->
+      if reg_v >= since then
+        match Iw_types.Registry.find seg.s_registry serial with
+        | Some d -> Some (serial, d)
+        | None -> None
+      else None)
+    (List.sort compare seg.s_desc_versions)
+
+let update_for t seg ~session ~since =
+  let changes =
+    match Hashtbl.find_opt seg.s_diff_cache (since, seg.s_version) with
+    | Some changes ->
+      t.t_stats.diff_cache_hits <- t.t_stats.diff_cache_hits + 1;
+      changes
+    | None -> begin
+      match merged_changes t seg ~since with
+      | Some changes ->
+        t.t_stats.diff_cache_hits <- t.t_stats.diff_cache_hits + 1;
+        changes
+      | None ->
+        t.t_stats.diff_cache_misses <- t.t_stats.diff_cache_misses + 1;
+        let changes = collect_changes t seg ~since in
+        if t.diff_cache_capacity > 0 then begin
+          Hashtbl.replace seg.s_diff_cache (since, seg.s_version) changes;
+          Queue.push (since, seg.s_version) seg.s_cache_order
+        end;
+        changes
+    end
+  in
+  (match Hashtbl.find_opt seg.s_counters session with
+  | Some c -> c := 0
+  | None -> Hashtbl.replace seg.s_counters session (ref 0));
+  {
+    Iw_wire.Diff.from_version = since;
+    to_version = seg.s_version;
+    new_descs = descs_since seg ~since;
+    changes;
+  }
+
+let fresh_seg name =
+  let head, tail = new_list () in
+  {
+    s_name = name;
+    s_version = 0;
+    s_registry = Iw_types.Registry.create ();
+    s_desc_versions = [];
+    s_blocks = Serial_tree.empty;
+    s_head = head;
+    s_tail = tail;
+    s_markers = Version_tree.empty;
+    s_frees = [];
+    s_total_units = 0;
+    s_counters = Hashtbl.create 8;
+    s_writer = None;
+    s_diff_cache = Hashtbl.create 16;
+    s_cache_order = Queue.create ();
+    s_pred = None;
+    s_subscribers = Hashtbl.create 8;
+  }
+
+(* Checkpointing (paper, Sec. 2.2): serialize each segment — metadata,
+   version list order, block contents — to a file in the checkpoint
+   directory. *)
+
+let escape_name name =
+  String.concat ""
+    (List.map
+       (fun c ->
+         match c with
+         | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | '.' ->
+           String.make 1 c
+         | c -> Printf.sprintf "%%%02x" (Char.code c))
+       (List.init (String.length name) (String.get name)))
+
+let checkpoint_magic = "IWCKPT01"
+
+let write_checkpoint dir seg =
+  let buf = Iw_wire.Buf.create ~capacity:65536 () in
+  Iw_wire.Buf.string buf checkpoint_magic;
+  Iw_wire.Buf.string buf seg.s_name;
+  Iw_wire.Buf.u32 buf seg.s_version;
+  let descs = Iw_types.Registry.registered_since seg.s_registry 0 in
+  Iw_wire.Buf.u32 buf (List.length descs);
+  List.iter
+    (fun (serial, d) ->
+      Iw_wire.Buf.u32 buf serial;
+      Iw_wire.put_desc buf d)
+    descs;
+  Iw_wire.Buf.u32 buf (List.length seg.s_desc_versions);
+  List.iter
+    (fun (s, v) ->
+      Iw_wire.Buf.u32 buf s;
+      Iw_wire.Buf.u32 buf v)
+    seg.s_desc_versions;
+  Iw_wire.Buf.u32 buf (List.length seg.s_frees);
+  List.iter
+    (fun (s, v) ->
+      Iw_wire.Buf.u32 buf s;
+      Iw_wire.Buf.u32 buf v)
+    seg.s_frees;
+  (* Version list in order: markers and blocks. *)
+  let rec count n acc =
+    match n.kind with
+    | Tail -> acc
+    | Head -> count n.next acc
+    | Marker _ | Blk _ -> count n.next (acc + 1)
+  in
+  Iw_wire.Buf.u32 buf (count seg.s_head.next 0);
+  let rec walk n =
+    (match n.kind with
+    | Tail | Head -> ()
+    | Marker v ->
+      Iw_wire.Buf.u8 buf 0;
+      Iw_wire.Buf.u32 buf v
+    | Blk sb ->
+      Iw_wire.Buf.u8 buf 1;
+      Iw_wire.Buf.u32 buf sb.sb_serial;
+      (match sb.sb_name with
+      | None -> Iw_wire.Buf.u8 buf 0
+      | Some nm ->
+        Iw_wire.Buf.u8 buf 1;
+        Iw_wire.Buf.string buf nm);
+      Iw_wire.Buf.u32 buf sb.sb_desc_serial;
+      Iw_wire.Buf.u32 buf sb.sb_created_version;
+      Iw_wire.Buf.u32 buf sb.sb_version;
+      Iw_wire.Buf.u32 buf (Array.length sb.sb_subvers);
+      Array.iter (fun v -> Iw_wire.Buf.u32 buf v) sb.sb_subvers;
+      Iw_wire.Buf.lstring buf (Bytes.to_string sb.sb_data);
+      Iw_wire.Buf.u32 buf (Hashtbl.length sb.sb_vars);
+      Hashtbl.iter
+        (fun idx s ->
+          Iw_wire.Buf.u32 buf idx;
+          Iw_wire.Buf.string buf s)
+        sb.sb_vars);
+    if n.kind <> Tail then walk n.next
+  in
+  walk seg.s_head.next;
+  let path = Filename.concat dir (escape_name seg.s_name ^ ".ckpt") in
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  output_string oc (Iw_wire.Buf.contents buf);
+  close_out oc;
+  Sys.rename tmp path
+
+let read_checkpoint path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let data = really_input_string ic len in
+  close_in ic;
+  let r = Iw_wire.Reader.of_string data in
+  if Iw_wire.Reader.string r <> checkpoint_magic then
+    raise (Iw_wire.Malformed "bad checkpoint magic");
+  let name = Iw_wire.Reader.string r in
+  let seg = fresh_seg name in
+  seg.s_version <- Iw_wire.Reader.u32 r;
+  let ndescs = Iw_wire.Reader.u32 r in
+  for _ = 1 to ndescs do
+    let serial = Iw_wire.Reader.u32 r in
+    Iw_types.Registry.adopt seg.s_registry serial (Iw_wire.get_desc r)
+  done;
+  let ndv = Iw_wire.Reader.u32 r in
+  seg.s_desc_versions <-
+    List.init ndv (fun _ ->
+        let s = Iw_wire.Reader.u32 r in
+        let v = Iw_wire.Reader.u32 r in
+        (s, v));
+  let nfrees = Iw_wire.Reader.u32 r in
+  seg.s_frees <-
+    List.init nfrees (fun _ ->
+        let s = Iw_wire.Reader.u32 r in
+        let v = Iw_wire.Reader.u32 r in
+        (s, v));
+  let nnodes = Iw_wire.Reader.u32 r in
+  for _ = 1 to nnodes do
+    match Iw_wire.Reader.u8 r with
+    | 0 ->
+      let v = Iw_wire.Reader.u32 r in
+      let marker = { prev = seg.s_head; next = seg.s_head; kind = Marker v } in
+      append_before seg.s_tail marker;
+      seg.s_markers <- Version_tree.add v marker seg.s_markers
+    | 1 ->
+      let serial = Iw_wire.Reader.u32 r in
+      let name = if Iw_wire.Reader.u8 r = 1 then Some (Iw_wire.Reader.string r) else None in
+      let desc_serial = Iw_wire.Reader.u32 r in
+      let created = Iw_wire.Reader.u32 r in
+      let version = Iw_wire.Reader.u32 r in
+      let sb = make_block seg ~serial ~name ~desc_serial ~version:created in
+      sb.sb_version <- version;
+      let nsub = Iw_wire.Reader.u32 r in
+      if nsub <> Array.length sb.sb_subvers then
+        raise (Iw_wire.Malformed "checkpoint subblock count mismatch");
+      for i = 0 to nsub - 1 do
+        sb.sb_subvers.(i) <- Iw_wire.Reader.u32 r
+      done;
+      let data = Iw_wire.Reader.lstring r in
+      Bytes.blit_string data 0 sb.sb_data 0 (Bytes.length sb.sb_data);
+      let nvars = Iw_wire.Reader.u32 r in
+      for _ = 1 to nvars do
+        let idx = Iw_wire.Reader.u32 r in
+        Hashtbl.replace sb.sb_vars idx (Iw_wire.Reader.string r)
+      done;
+      seg.s_blocks <- Serial_tree.add serial sb seg.s_blocks;
+      append_before seg.s_tail sb.sb_node;
+      seg.s_total_units <- seg.s_total_units + sb.sb_pcount
+    | t -> raise (Iw_wire.Malformed (Printf.sprintf "bad checkpoint node tag %d" t))
+  done;
+  seg
+
+let create ?checkpoint_dir ?(diff_cache_capacity = 64) () =
+  let t =
+    {
+      segs = Hashtbl.create 16;
+      next_session = 1;
+      session_arch = Hashtbl.create 16;
+      lock = Mutex.create ();
+      checkpoint_dir;
+      diff_cache_capacity;
+      t_scratch = Iw_wire.Buf.create ~capacity:65536 ();
+      notifiers = Hashtbl.create 16;
+      t_stats =
+        {
+          requests = 0;
+          diffs_applied = 0;
+          diffs_collected = 0;
+          diff_cache_hits = 0;
+          diff_cache_misses = 0;
+          pred_hits = 0;
+          pred_misses = 0;
+        };
+      prediction = true;
+    }
+  in
+  (match checkpoint_dir with
+  | Some dir when Sys.file_exists dir ->
+    Array.iter
+      (fun f ->
+        if Filename.check_suffix f ".ckpt" then begin
+          let seg = read_checkpoint (Filename.concat dir f) in
+          Hashtbl.replace t.segs seg.s_name seg
+        end)
+      (Sys.readdir dir)
+  | Some dir -> Unix.mkdir dir 0o755
+  | None -> ());
+  t
+
+let checkpoint t =
+  match t.checkpoint_dir with
+  | None -> ()
+  | Some dir ->
+    Mutex.lock t.lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.lock)
+      (fun () -> Hashtbl.iter (fun _ seg -> write_checkpoint dir seg) t.segs)
+
+let segment_names t =
+  Mutex.lock t.lock;
+  let names = Hashtbl.fold (fun name _ acc -> name :: acc) t.segs [] in
+  Mutex.unlock t.lock;
+  List.sort compare names
+
+let seg_of t name =
+  match Hashtbl.find_opt t.segs name with
+  | Some seg -> seg
+  | None -> raise (Reject (Printf.sprintf "unknown segment %S" name))
+
+let handle_locked t (req : Iw_proto.request) : Iw_proto.response =
+  t.t_stats.requests <- t.t_stats.requests + 1;
+  match req with
+  | Hello { arch } ->
+    let session = t.next_session in
+    t.next_session <- session + 1;
+    Hashtbl.replace t.session_arch session arch;
+    R_hello { session }
+  | Open_segment { session = _; name; create } -> begin
+    match Hashtbl.find_opt t.segs name with
+    | Some seg -> R_segment { version = seg.s_version }
+    | None ->
+      if not create then R_error (Printf.sprintf "unknown segment %S" name)
+      else begin
+        Hashtbl.replace t.segs name (fresh_seg name);
+        R_segment { version = 0 }
+      end
+  end
+  | Segment_meta { session = _; name } ->
+    let seg = seg_of t name in
+    let blocks =
+      Serial_tree.fold
+        (fun serial sb acc ->
+          {
+            Iw_proto.mb_serial = serial;
+            mb_name = sb.sb_name;
+            mb_desc_serial = sb.sb_desc_serial;
+          }
+          :: acc)
+        seg.s_blocks []
+      |> List.rev
+    in
+    R_meta
+      {
+        version = seg.s_version;
+        descs = Iw_types.Registry.registered_since seg.s_registry 0;
+        blocks;
+      }
+  | Read_lock { session; name; version; coherence } ->
+    let seg = seg_of t name in
+    let recent_enough =
+      version = seg.s_version
+      || version > 0
+         &&
+         match coherence with
+         | Full | Temporal _ -> false
+         | Delta x -> seg.s_version - version <= x
+         | Diff_pct pct ->
+           seg.s_total_units > 0
+           &&
+        let counter =
+          match Hashtbl.find_opt seg.s_counters session with
+          | Some c -> !c
+          | None ->
+            (* Unknown session: be conservative, as the paper's server is. *)
+            max_int
+        in
+        float_of_int counter /. float_of_int seg.s_total_units *. 100. <= pct
+    in
+    if recent_enough then R_up_to_date
+    else R_update (update_for t seg ~session ~since:version)
+  | Read_release _ -> R_ok
+  | Write_lock { session; name; version } ->
+    let seg = seg_of t name in
+    begin
+      match seg.s_writer with
+      | Some s when s <> session -> R_busy
+      | Some _ | None ->
+        seg.s_writer <- Some session;
+        if version = seg.s_version then R_granted None
+        else R_granted (Some (update_for t seg ~session ~since:version))
+    end
+  | Write_release { session; name; diff } ->
+    let seg = seg_of t name in
+    begin
+      match seg.s_writer with
+      | Some s when s = session ->
+        let before = seg.s_version in
+        let v = apply_diff t seg diff in
+        seg.s_writer <- None;
+        if v > before then
+          Hashtbl.iter
+            (fun subscriber () ->
+              if subscriber <> session then begin
+                match Hashtbl.find_opt t.notifiers subscriber with
+                | Some push -> begin
+                  try push { Iw_proto.n_segment = name; n_version = v }
+                  with Iw_transport.Closed -> ()
+                end
+                | None -> ()
+              end)
+            seg.s_subscribers;
+        R_version v
+      | Some _ | None -> R_error "write lock not held"
+    end
+  | Register_desc { session = _; name; desc } ->
+    let seg = seg_of t name in
+    let existing = Iw_types.Registry.serial_of seg.s_registry desc in
+    let serial = Iw_types.Registry.register seg.s_registry desc in
+    if existing = None then
+      seg.s_desc_versions <- (serial, seg.s_version) :: seg.s_desc_versions;
+    R_serial serial
+  | Get_version { session = _; name } -> R_version (seg_of t name).s_version
+  | Checkpoint _ ->
+    (match t.checkpoint_dir with
+    | Some dir -> Hashtbl.iter (fun _ seg -> write_checkpoint dir seg) t.segs
+    | None -> ());
+    R_ok
+  | Subscribe { session; name } ->
+    Hashtbl.replace (seg_of t name).s_subscribers session ();
+    R_ok
+  | Unsubscribe { session; name } ->
+    Hashtbl.remove (seg_of t name).s_subscribers session;
+    R_ok
+  | Stat { session = _; name } ->
+    let seg = seg_of t name in
+    R_stat
+      {
+        st_version = seg.s_version;
+        st_blocks = Serial_tree.cardinal seg.s_blocks;
+        st_total_units = seg.s_total_units;
+        st_diff_cache_hits = t.t_stats.diff_cache_hits;
+        st_diff_cache_misses = t.t_stats.diff_cache_misses;
+      }
+
+let handle t req =
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      try handle_locked t req with
+      | Reject msg -> R_error msg
+      | Iw_wire.Malformed msg -> R_error ("malformed: " ^ msg))
+
+let direct_link t =
+  {
+    Iw_proto.call = handle t;
+    close = (fun () -> ());
+    description = "direct";
+  }
+
+let register_notifier t ~session ~push =
+  Mutex.lock t.lock;
+  Hashtbl.replace t.notifiers session push;
+  Mutex.unlock t.lock
+
+let unregister_session t session =
+  Mutex.lock t.lock;
+  Hashtbl.remove t.notifiers session;
+  Hashtbl.iter (fun _ seg -> Hashtbl.remove seg.s_subscribers session) t.segs;
+  Mutex.unlock t.lock
+
+let release_session_locks t session =
+  Mutex.lock t.lock;
+  Hashtbl.iter
+    (fun _ seg -> if seg.s_writer = Some session then seg.s_writer <- None)
+    t.segs;
+  Mutex.unlock t.lock
+
+(* Serve a tagged-frame connection: responses go out as tag-0 frames and
+   change notifications for this connection's sessions as tag-1 frames (the
+   client side is [Iw_proto.demux_link]). *)
+let serve_conn t conn =
+  let sessions = ref [] in
+  (try
+     let rec loop () =
+       let frame = conn.Iw_transport.recv () in
+       let req = Iw_proto.decode_request (Iw_wire.Reader.of_string frame) in
+       let resp = handle t req in
+       (match resp with
+       | Iw_proto.R_hello { session } ->
+         sessions := session :: !sessions;
+         (* Notifications share the connection; conn.send is thread-safe and
+            registration must take the server lock, because handlers iterate
+            the notifier table while holding it. *)
+         register_notifier t ~session ~push:(fun n ->
+             conn.Iw_transport.send (Iw_proto.notification_frame n))
+       | _ -> ());
+       conn.Iw_transport.send (Iw_proto.response_frame resp);
+       loop ()
+     in
+     loop ()
+   with Iw_transport.Closed | End_of_file -> ());
+  List.iter (release_session_locks t) !sessions;
+  List.iter (unregister_session t) !sessions;
+  conn.Iw_transport.close ()

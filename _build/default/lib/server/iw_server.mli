@@ -1,0 +1,75 @@
+(** The InterWeave server.
+
+    A server manages an arbitrary number of segments, maintaining an
+    up-to-date master copy of each in machine-independent wire format so that
+    no translation is needed when forwarding data (paper, Section 3.2).  Per
+    segment it keeps the blocks in a balanced tree sorted by serial number, a
+    version list separated by markers (blocks move to the tail when
+    modified), a marker tree sorted by version, and per-subblock version
+    numbers at 16-primitive-unit granularity so that fine-grain changes can
+    be forwarded without resending whole blocks.
+
+    The server is oblivious to client languages and architectures: everything
+    it stores arrived in wire format, and pointers (MIPs) are never
+    swizzled here. *)
+
+type t
+
+val create : ?checkpoint_dir:string -> ?diff_cache_capacity:int -> unit -> t
+(** A fresh server.  When [checkpoint_dir] is given, segments previously
+    checkpointed there are reloaded, and {!Iw_proto.Checkpoint} requests
+    persist all segments to it. *)
+
+val handle : t -> Iw_proto.request -> Iw_proto.response
+(** Process one request.  Thread-safe: requests are serialized by an internal
+    lock. *)
+
+val direct_link : t -> Iw_proto.link
+(** An in-process link whose [call] is {!handle}.  No serialization overhead;
+    used by single-process deployments and benchmarks that isolate
+    translation costs from transport costs. *)
+
+val serve_conn : t -> Iw_transport.conn -> unit
+(** Serve one framed connection until it closes.  Write locks held by
+    sessions that spoke only through this connection are released when it
+    drops. *)
+
+val checkpoint : t -> unit
+(** Persist every segment to the checkpoint directory (no-op without one).
+    Also triggered by the {!Iw_proto.Checkpoint} request. *)
+
+val segment_names : t -> string list
+
+(** {1 Notifications}
+
+    Sessions that {!Iw_proto.Subscribe} to a segment are told when its
+    version changes (paper, Section 2.2).  Pushes for TCP/loopback sessions
+    are installed automatically by {!serve_conn}; in-process direct clients
+    register theirs here. *)
+
+val register_notifier :
+  t -> session:int -> push:(Iw_proto.notification -> unit) -> unit
+(** [push] is called with the server lock held and must be cheap and must
+    not call back into the server. *)
+
+val unregister_session : t -> int -> unit
+(** Drop a session's notifier and all of its subscriptions. *)
+
+val subblock_units : int
+(** Subblock granularity: 16 primitive data units, matching the paper. *)
+
+(** Observability counters for tests and ablation benchmarks. *)
+type stats = {
+  mutable requests : int;
+  mutable diffs_applied : int;
+  mutable diffs_collected : int;
+  mutable diff_cache_hits : int;
+  mutable diff_cache_misses : int;
+  mutable pred_hits : int;
+  mutable pred_misses : int;
+}
+
+val stats : t -> stats
+
+val set_prediction : t -> bool -> unit
+(** Enable/disable last-block prediction (ablation; default on). *)

@@ -1,0 +1,238 @@
+let control_desc : Iw_types.desc =
+  Struct
+    [|
+      { fname = "strength"; ftype = Prim Iw_arch.Double };
+      { fname = "paused"; ftype = Prim Iw_arch.Int };
+    |]
+
+let header_desc : Iw_types.desc =
+  Struct
+    [|
+      { fname = "step"; ftype = Prim Iw_arch.Int };
+      { fname = "width"; ftype = Prim Iw_arch.Int };
+      { fname = "height"; ftype = Prim Iw_arch.Int };
+      { fname = "time"; ftype = Prim Iw_arch.Double };
+      { fname = "grid"; ftype = Prim Iw_arch.Pointer };
+    |]
+
+type role =
+  | Simulator of {
+      mutable field : float array;  (* local working copy *)
+      mutable t : float;
+    }
+  | Viewer
+
+type t = {
+  client : Iw_client.t;
+  seg : Iw_client.seg;
+  ctl_seg : Iw_client.seg;
+  w : int;
+  h : int;
+  header : Iw_mem.addr;
+  grid : Iw_mem.addr;
+  ctl : Iw_mem.addr;
+  (* field offsets for this client's architecture *)
+  o_step : int;
+  o_time : int;
+  o_strength : int;
+  o_paused : int;
+  role : role;
+}
+
+let offsets arch =
+  let lay = Iw_types.layout (Iw_types.local arch) header_desc in
+  let off i = (Iw_types.locate_prim lay i).Iw_types.l_off in
+  (* prim order: step, width, height, time, grid *)
+  (off 0, off 1, off 2, off 3, off 4)
+
+let ctl_offsets arch =
+  let lay = Iw_types.layout (Iw_types.local arch) control_desc in
+  let off i = (Iw_types.locate_prim lay i).Iw_types.l_off in
+  (off 0, off 1)
+
+(* The steering segment: "<segment>.ctl", one control block. *)
+let open_control c ~segment ~create =
+  let ctl_seg = Iw_client.open_segment ~create c (segment ^ ".ctl") in
+  let ctl =
+    match Iw_client.find_named_block ctl_seg "control" with
+    | Some b -> b.Iw_mem.b_addr
+    | None ->
+      if not create then invalid_arg "Iw_sim: control segment not initialized"
+      else begin
+        Iw_client.wl_acquire ctl_seg;
+        let a =
+          match Iw_client.find_named_block ctl_seg "control" with
+          | Some b -> b.Iw_mem.b_addr
+          | None ->
+            let a = Iw_client.malloc ~name:"control" ctl_seg control_desc in
+            let o_strength, _ = ctl_offsets (Iw_client.arch c) in
+            Iw_client.write_double c (a + o_strength) 10.;
+            a
+        in
+        Iw_client.wl_release ctl_seg;
+        a
+      end
+  in
+  (ctl_seg, ctl)
+
+let create c ~segment ~width ~height =
+  let seg = Iw_client.open_segment c segment in
+  let o_step, o_width, o_height, o_time, o_grid = offsets (Iw_client.arch c) in
+  Iw_client.wl_acquire seg;
+  let header = Iw_client.malloc ~name:"header" seg header_desc in
+  let grid =
+    Iw_client.malloc ~name:"grid" seg (Iw_types.Array (Prim Iw_arch.Double, width * height))
+  in
+  Iw_client.write_int c (header + o_width) width;
+  Iw_client.write_int c (header + o_height) height;
+  Iw_client.write_int c (header + o_step) 0;
+  Iw_client.write_double c (header + o_time) 0.;
+  Iw_client.write_ptr c (header + o_grid) grid;
+  Iw_client.wl_release seg;
+  let ctl_seg, ctl = open_control c ~segment ~create:true in
+  let o_strength, o_paused = ctl_offsets (Iw_client.arch c) in
+  {
+    client = c;
+    seg;
+    ctl_seg;
+    w = width;
+    h = height;
+    header;
+    grid;
+    ctl;
+    o_step;
+    o_time;
+    o_strength;
+    o_paused;
+    role = Simulator { field = Array.make (width * height) 0.; t = 0. };
+  }
+
+let attach c ~segment =
+  let seg = Iw_client.open_segment ~create:false c segment in
+  let o_step, o_width, o_height, o_time, o_grid = offsets (Iw_client.arch c) in
+  Iw_client.rl_acquire seg;
+  let header =
+    match Iw_client.find_named_block seg "header" with
+    | Some b -> b.Iw_mem.b_addr
+    | None -> invalid_arg "Iw_sim.attach: segment has no header block"
+  in
+  let w = Iw_client.read_int c (header + o_width) in
+  let h = Iw_client.read_int c (header + o_height) in
+  let grid = Iw_client.read_ptr c (header + o_grid) in
+  Iw_client.rl_release seg;
+  if w <= 0 || h <= 0 || grid = 0 then
+    invalid_arg "Iw_sim.attach: segment not initialized (lock it once from the simulator)";
+  let ctl_seg, ctl = open_control c ~segment ~create:false in
+  let o_strength, o_paused = ctl_offsets (Iw_client.arch c) in
+  {
+    client = c;
+    seg;
+    ctl_seg;
+    w;
+    h;
+    header;
+    grid;
+    ctl;
+    o_step;
+    o_time;
+    o_strength;
+    o_paused;
+    role = Viewer;
+  }
+
+let width t = t.w
+
+let height t = t.h
+
+let set_source_strength t v =
+  Iw_client.wl_acquire t.ctl_seg;
+  Iw_client.write_double t.client (t.ctl + t.o_strength) v;
+  Iw_client.wl_release t.ctl_seg
+
+let source_strength t =
+  Iw_client.rl_acquire t.ctl_seg;
+  let v = Iw_client.read_double t.client (t.ctl + t.o_strength) in
+  Iw_client.rl_release t.ctl_seg;
+  v
+
+let set_paused t p =
+  Iw_client.wl_acquire t.ctl_seg;
+  Iw_client.write_int t.client (t.ctl + t.o_paused) (if p then 1 else 0);
+  Iw_client.wl_release t.ctl_seg
+
+let paused t =
+  Iw_client.rl_acquire t.ctl_seg;
+  let v = Iw_client.read_int t.client (t.ctl + t.o_paused) <> 0 in
+  Iw_client.rl_release t.ctl_seg;
+  v
+
+(* One advection–diffusion step with an orbiting hot source: the classic
+   smoke-in-a-box toy.  Deterministic, so simulator and tests agree. *)
+let evolve field w h time strength =
+  let out = Array.make (w * h) 0. in
+  let at x y =
+    if x < 0 || x >= w || y < 0 || y >= h then 0. else field.((y * w) + x)
+  in
+  for y = 0 to h - 1 do
+    for x = 0 to w - 1 do
+      let diffused =
+        0.6 *. at x y
+        +. 0.1 *. (at (x - 1) y +. at (x + 1) y +. at x (y - 1) +. at x (y + 1))
+      in
+      out.((y * w) + x) <- diffused *. 0.995
+    done
+  done;
+  (* Orbiting source. *)
+  let cx = float_of_int w /. 2. and cy = float_of_int h /. 2. in
+  let r = 0.35 *. float_of_int (min w h) in
+  let sx = int_of_float (cx +. (r *. cos time)) in
+  let sy = int_of_float (cy +. (r *. sin time)) in
+  for dy = -1 to 1 do
+    for dx = -1 to 1 do
+      let x = sx + dx and y = sy + dy in
+      if x >= 0 && x < w && y >= 0 && y < h then
+        out.((y * w) + x) <- out.((y * w) + x) +. strength
+    done
+  done;
+  out
+
+let step t =
+  match t.role with
+  | Viewer -> invalid_arg "Iw_sim.step: viewers cannot step the simulation"
+  | Simulator s ->
+    let c = t.client in
+    (* Read the steering parameters published by viewers. *)
+    let strength = source_strength t in
+    let is_paused = paused t in
+    if not is_paused then begin
+      s.t <- s.t +. 0.15;
+      s.field <- evolve s.field t.w t.h s.t strength
+    end;
+    Iw_client.wl_acquire t.seg;
+    Array.iteri (fun i v -> Iw_client.write_double c (t.grid + (i * 8)) v) s.field;
+    Iw_client.write_int c (t.header + t.o_step)
+      (Iw_client.read_int c (t.header + t.o_step) + 1);
+    Iw_client.write_double c (t.header + t.o_time) s.t;
+    Iw_client.wl_release t.seg
+
+let steps_published t =
+  Iw_client.rl_acquire t.seg;
+  let v = Iw_client.read_int t.client (t.header + t.o_step) in
+  Iw_client.rl_release t.seg;
+  v
+
+let read_frame t =
+  Iw_client.rl_acquire t.seg;
+  let frame =
+    Array.init (t.w * t.h) (fun i -> Iw_client.read_double t.client (t.grid + (i * 8)))
+  in
+  Iw_client.rl_release t.seg;
+  frame
+
+let density_at t ~x ~y =
+  if x < 0 || x >= t.w || y < 0 || y >= t.h then invalid_arg "Iw_sim.density_at";
+  Iw_client.read_double t.client (t.grid + (((y * t.w) + x) * 8))
+
+let checksum t = Array.fold_left ( +. ) 0. (read_frame t)
+
+let set_viewer_interval t secs = Iw_client.set_coherence t.seg (Iw_proto.Temporal secs)

@@ -1,0 +1,66 @@
+(** An Astroflow-style simulation sharing frames through InterWeave.
+
+    The paper's Section 4.5 connects a Fortran stellar-dynamics simulator to
+    a Java visualization front end by replacing file dumps with a shared
+    segment; the visualizer controls its update rate with a temporal
+    coherence bound.  This module reproduces that pattern with a small
+    computational-fluid toy: a 2D advection–diffusion field driven by an
+    orbiting source.  The simulator writes each step's grid into a segment
+    under a write lock; any number of visualization clients attach and read
+    under whatever coherence bound suits their frame rate. *)
+
+type t
+
+val create :
+  Iw_client.t -> segment:string -> width:int -> height:int -> t
+(** Set up the shared segment (header block plus grid block) and the
+    simulator state. *)
+
+val attach : Iw_client.t -> segment:string -> t
+(** Attach to an existing simulation segment as a viewer.  Reads segment
+    metadata to learn the grid dimensions. *)
+
+val width : t -> int
+
+val height : t -> int
+
+val step : t -> unit
+(** Advance the simulation one time step and publish the new frame (write
+    critical section).  Only valid on the creating side. *)
+
+val steps_published : t -> int
+(** The step counter in the local cached copy. *)
+
+val read_frame : t -> float array
+(** Snapshot the grid from the local cached copy under a read lock
+    (row-major, [width * height] values).  Respects the segment's coherence
+    model, so a viewer with a temporal bound may see an older frame. *)
+
+val density_at : t -> x:int -> y:int -> float
+
+val checksum : t -> float
+(** Sum of the local frame — used by tests to compare viewer copies against
+    the simulator. *)
+
+val set_viewer_interval : t -> float -> unit
+(** Convenience: set a temporal coherence bound of that many seconds on the
+    segment, the knob the paper's visualization front end exposes. *)
+
+(** {1 Steering}
+
+    The other half of the paper's Section 4.5: the visualization front end
+    steers the running simulation.  Control parameters live in a companion
+    segment ([<segment>.ctl]); any client may adjust them under a write lock,
+    and the simulator reads them at every step. *)
+
+val set_source_strength : t -> float -> unit
+(** Steer the hot source's intensity (default 10.0).  Usable from viewers and
+    the simulator alike. *)
+
+val source_strength : t -> float
+
+val set_paused : t -> bool -> unit
+(** Pause the simulation: {!step} still publishes the step counter's frame
+    but does not advance the physics while paused. *)
+
+val paused : t -> bool

@@ -1,0 +1,181 @@
+type conn = {
+  send : string -> unit;
+  recv : unit -> string;
+  shutdown : unit -> unit;
+  close : unit -> unit;
+  peer : string;
+}
+
+exception Closed
+
+(* Thread-safe blocking queue of frames. *)
+module Fifo = struct
+  type t = {
+    q : string Queue.t;
+    m : Mutex.t;
+    c : Condition.t;
+    mutable closed : bool;
+  }
+
+  let create () =
+    { q = Queue.create (); m = Mutex.create (); c = Condition.create (); closed = false }
+
+  let push t s =
+    Mutex.lock t.m;
+    if t.closed then begin
+      Mutex.unlock t.m;
+      raise Closed
+    end;
+    Queue.push s t.q;
+    Condition.signal t.c;
+    Mutex.unlock t.m
+
+  let pop t =
+    Mutex.lock t.m;
+    let rec wait () =
+      if not (Queue.is_empty t.q) then Queue.pop t.q
+      else if t.closed then begin
+        Mutex.unlock t.m;
+        raise Closed
+      end
+      else begin
+        Condition.wait t.c t.m;
+        wait ()
+      end
+    in
+    let v = wait () in
+    Mutex.unlock t.m;
+    v
+
+  let close t =
+    Mutex.lock t.m;
+    t.closed <- true;
+    Condition.broadcast t.c;
+    Mutex.unlock t.m
+end
+
+let loopback () =
+  let a_to_b = Fifo.create () and b_to_a = Fifo.create () in
+  let close () =
+    Fifo.close a_to_b;
+    Fifo.close b_to_a
+  in
+  (* No descriptor to release: shutdown and close coincide. *)
+  let a =
+    {
+      send = Fifo.push a_to_b;
+      recv = (fun () -> Fifo.pop b_to_a);
+      shutdown = close;
+      close;
+      peer = "loopback-b";
+    }
+  and b =
+    {
+      send = Fifo.push b_to_a;
+      recv = (fun () -> Fifo.pop a_to_b);
+      shutdown = close;
+      close;
+      peer = "loopback-a";
+    }
+  in
+  (a, b)
+
+(* TCP framing: 4-byte big-endian length prefix. *)
+
+let really_read fd buf off len =
+  let rec go off len =
+    if len > 0 then begin
+      match Unix.read fd buf off len with
+      | 0 -> raise Closed
+      | n -> go (off + n) (len - n)
+    end
+  in
+  go off len
+
+let really_write fd buf off len =
+  let rec go off len =
+    if len > 0 then begin
+      let n = Unix.write fd buf off len in
+      go (off + n) (len - n)
+    end
+  in
+  go off len
+
+let conn_of_fd fd peer =
+  let send_mutex = Mutex.create () in
+  let state_mutex = Mutex.create () in
+  let closed = ref false in
+  let send s =
+    Mutex.lock send_mutex;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock send_mutex)
+      (fun () ->
+        let hdr = Bytes.create 4 in
+        Bytes.set_int32_be hdr 0 (Int32.of_int (String.length s));
+        (try
+           really_write fd hdr 0 4;
+           really_write fd (Bytes.unsafe_of_string s) 0 (String.length s)
+         with Unix.Unix_error ((EPIPE | ECONNRESET), _, _) -> raise Closed))
+  in
+  let recv () =
+    let hdr = Bytes.create 4 in
+    (try really_read fd hdr 0 4
+     with Unix.Unix_error ((ECONNRESET | EBADF), _, _) -> raise Closed);
+    let len = Int32.to_int (Bytes.get_int32_be hdr 0) in
+    if len < 0 || len > 1 lsl 30 then raise Closed;
+    let payload = Bytes.create len in
+    (try really_read fd payload 0 len
+     with Unix.Unix_error ((ECONNRESET | EBADF), _, _) -> raise Closed);
+    Bytes.unsafe_to_string payload
+  in
+  let shutdown () =
+    try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ()
+  in
+  let close () =
+    Mutex.lock state_mutex;
+    let first = not !closed in
+    closed := true;
+    Mutex.unlock state_mutex;
+    if first then begin
+      shutdown ();
+      try Unix.close fd with Unix.Unix_error _ -> ()
+    end
+  in
+  { send; recv; shutdown; close; peer }
+
+let tcp_connect ~host ~port =
+  let addr =
+    match Unix.getaddrinfo host (string_of_int port) [ Unix.AI_SOCKTYPE SOCK_STREAM ] with
+    | { ai_addr; _ } :: _ -> ai_addr
+    | [] -> failwith ("Iw_transport.tcp_connect: cannot resolve " ^ host)
+  in
+  let fd = Unix.socket (Unix.domain_of_sockaddr addr) SOCK_STREAM 0 in
+  Unix.connect fd addr;
+  Unix.setsockopt fd TCP_NODELAY true;
+  conn_of_fd fd (Printf.sprintf "%s:%d" host port)
+
+let tcp_server ~port ?(backlog = 16) ~stop handler =
+  let fd = Unix.socket PF_INET SOCK_STREAM 0 in
+  Unix.setsockopt fd SO_REUSEADDR true;
+  Unix.bind fd (ADDR_INET (Unix.inet_addr_any, port));
+  Unix.listen fd backlog;
+  let rec loop () =
+    if !stop then Unix.close fd
+    else begin
+      match Unix.select [ fd ] [] [] 1.0 with
+      | [], _, _ -> loop ()
+      | _ ->
+        let client_fd, peer_addr = Unix.accept fd in
+        Unix.setsockopt client_fd TCP_NODELAY true;
+        let peer =
+          match peer_addr with
+          | Unix.ADDR_INET (a, p) -> Printf.sprintf "%s:%d" (Unix.string_of_inet_addr a) p
+          | Unix.ADDR_UNIX s -> s
+        in
+        let conn = conn_of_fd client_fd peer in
+        let run () = try handler conn with Closed -> conn.close () in
+        ignore (Thread.create run () : Thread.t);
+        loop ()
+    end
+  in
+  loop ()

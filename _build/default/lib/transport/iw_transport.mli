@@ -1,0 +1,32 @@
+(** Framed byte transports.
+
+    A connection carries length-prefixed frames in both directions.  Two
+    implementations: an in-process loopback (a pair of thread-safe queues,
+    used by tests and benchmarks) and TCP (used by the standalone server). *)
+
+type conn = {
+  send : string -> unit;
+  recv : unit -> string;  (** blocks until a frame arrives *)
+  shutdown : unit -> unit;
+      (** stop the conversation: blocked [recv]s (on any thread) raise
+          {!Closed}, but the descriptor stays valid until [close].  Call this
+          — not [close] — from a thread other than the receiver, or the
+          descriptor number could be reused while the receiver still reads
+          from it. *)
+  close : unit -> unit;  (** release the descriptor; implies [shutdown] *)
+  peer : string;
+}
+
+exception Closed
+
+val loopback : unit -> conn * conn
+(** A connected pair: what one side sends, the other receives.  Both ends are
+    thread-safe; [recv] blocks.  After [close], pending and future operations
+    raise {!Closed}. *)
+
+val tcp_connect : host:string -> port:int -> conn
+
+val tcp_server :
+  port:int -> ?backlog:int -> stop:bool ref -> (conn -> unit) -> unit
+(** Accept loop: spawns a thread per connection running the handler.  Checks
+    [stop] once per second and returns once it is set. *)

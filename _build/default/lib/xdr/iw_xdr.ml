@@ -1,0 +1,186 @@
+exception Cycle
+
+let max_depth = 4096
+
+let xdr_pad n = (4 - (n land 3)) land 3
+
+(* The walkers traverse the descriptor and recompute field offsets with the
+   same algorithm as [Iw_types.layout], so local layout is honoured without
+   needing access to the layout's internals. *)
+
+let fold_fields conv fields ~init ~f =
+  let off = ref 0 and acc = ref init in
+  Array.iter
+    (fun (fld : Iw_types.field) ->
+      let lay = Iw_types.layout conv fld.ftype in
+      let f_off = Iw_arch.align_up !off (Iw_types.align lay) in
+      acc := f !acc f_off fld.ftype lay;
+      off := f_off + Iw_types.size lay)
+    fields;
+  !acc
+
+let null_flag = 0
+
+let present_flag = 1
+
+let marshal buf sp ~registry ~addr lay0 =
+  let arch = Iw_mem.arch sp in
+  let conv = Iw_types.local arch in
+  let load_ptr bytes off =
+    Iw_arch.load_uint arch bytes ~off ~size:arch.Iw_arch.pointer_size
+  in
+  let rec value depth addr desc =
+    if depth > max_depth then raise Cycle;
+    Iw_mem.with_raw sp addr (fun bytes base ->
+        match desc with
+        | Iw_types.Prim Iw_arch.Char ->
+          Iw_wire.Buf.u32 buf (Iw_arch.load_uint arch bytes ~off:base ~size:1)
+        | Prim Short ->
+          Iw_wire.Buf.u32 buf
+            (Iw_arch.load_sint arch bytes ~off:base ~size:2 land 0xffffffff)
+        | Prim Int ->
+          Iw_wire.Buf.u32 buf (Iw_arch.load_uint arch bytes ~off:base ~size:4)
+        | Prim Long ->
+          Iw_wire.Buf.u64 buf
+            (Iw_arch.load_sint arch bytes ~off:base ~size:arch.Iw_arch.long_size)
+        | Prim Float -> Iw_wire.Buf.f32 buf (Iw_arch.load_float arch bytes ~off:base)
+        | Prim Double ->
+          Iw_wire.Buf.f64 buf (Iw_arch.load_double arch bytes ~off:base)
+        | Prim (String capacity) ->
+          let s = Iw_arch.load_cstring bytes ~off:base ~capacity in
+          Iw_wire.Buf.u32 buf (String.length s);
+          Iw_wire.Buf.raw buf (Bytes.unsafe_of_string s) ~off:0
+            ~len:(String.length s);
+          Iw_wire.Buf.pad buf (xdr_pad (String.length s))
+        | Prim Pointer ->
+          let a = load_ptr bytes base in
+          Iw_wire.Buf.u32 buf (if a = 0 then null_flag else present_flag)
+        | Ptr name ->
+          let a = load_ptr bytes base in
+          if a = 0 then Iw_wire.Buf.u32 buf null_flag
+          else begin
+            Iw_wire.Buf.u32 buf present_flag;
+            match Iw_types.Registry.resolve_name registry name with
+            | None -> invalid_arg ("Iw_xdr.marshal: unknown pointee type " ^ name)
+            | Some pointee -> value (depth + 1) a pointee
+          end
+        | Array (d, n) ->
+          let stride = Iw_types.size (Iw_types.layout conv d) in
+          for i = 0 to n - 1 do
+            value (depth + 1) (addr + (i * stride)) d
+          done
+        | Struct fields ->
+          fold_fields conv fields ~init:() ~f:(fun () f_off ftype _lay ->
+              value (depth + 1) (addr + f_off) ftype))
+  in
+  value 0 addr (Iw_types.descriptor lay0)
+
+let unmarshal r heap ~registry ~addr ~fresh_serial lay0 =
+  let sp = Iw_mem.heap_space heap in
+  let arch = Iw_mem.arch sp in
+  let conv = Iw_types.local arch in
+  let rec value depth addr desc =
+    if depth > max_depth then raise Cycle;
+    match desc with
+    | Iw_types.Prim Iw_arch.Char ->
+      let v = Iw_wire.Reader.u32 r in
+      Iw_mem.with_raw sp addr (fun bytes base ->
+          Iw_arch.store_uint arch bytes ~off:base ~size:1 v)
+    | Prim Short ->
+      let v = Iw_wire.Reader.u32 r in
+      Iw_mem.with_raw sp addr (fun bytes base ->
+          Iw_arch.store_uint arch bytes ~off:base ~size:2 v)
+    | Prim Int ->
+      let v = Iw_wire.Reader.u32 r in
+      Iw_mem.with_raw sp addr (fun bytes base ->
+          Iw_arch.store_uint arch bytes ~off:base ~size:4 v)
+    | Prim Long ->
+      let v = Iw_wire.Reader.u64 r in
+      Iw_mem.with_raw sp addr (fun bytes base ->
+          Iw_arch.store_uint arch bytes ~off:base ~size:arch.Iw_arch.long_size v)
+    | Prim Float ->
+      let v = Iw_wire.Reader.f32 r in
+      Iw_mem.with_raw sp addr (fun bytes base ->
+          Iw_arch.store_float arch bytes ~off:base v)
+    | Prim Double ->
+      let v = Iw_wire.Reader.f64 r in
+      Iw_mem.with_raw sp addr (fun bytes base ->
+          Iw_arch.store_double arch bytes ~off:base v)
+    | Prim (String capacity) ->
+      let n = Iw_wire.Reader.u32 r in
+      let s = Iw_wire.Reader.take r n in
+      Iw_wire.Reader.skip r (xdr_pad n);
+      Iw_mem.with_raw sp addr (fun bytes base ->
+          Iw_arch.store_cstring bytes ~off:base ~capacity s)
+    | Prim Pointer ->
+      let flag = Iw_wire.Reader.u32 r in
+      Iw_mem.with_raw sp addr (fun bytes base ->
+          Iw_arch.store_uint arch bytes ~off:base ~size:arch.Iw_arch.pointer_size flag)
+    | Ptr name ->
+      let flag = Iw_wire.Reader.u32 r in
+      let target =
+        if flag = null_flag then 0
+        else begin
+          match Iw_types.Registry.resolve_name registry name with
+          | None -> invalid_arg ("Iw_xdr.unmarshal: unknown pointee type " ^ name)
+          | Some pointee ->
+            let lay = Iw_types.layout conv pointee in
+            let b =
+              Iw_mem.alloc heap ~serial:(fresh_serial ()) ~desc_serial:0 lay
+            in
+            value (depth + 1) b.Iw_mem.b_addr pointee;
+            b.Iw_mem.b_addr
+        end
+      in
+      Iw_mem.with_raw sp addr (fun bytes base ->
+          Iw_arch.store_uint arch bytes ~off:base ~size:arch.Iw_arch.pointer_size
+            target)
+    | Array (d, n) ->
+      let stride = Iw_types.size (Iw_types.layout conv d) in
+      for i = 0 to n - 1 do
+        value (depth + 1) (addr + (i * stride)) d
+      done
+    | Struct fields ->
+      fold_fields conv fields ~init:() ~f:(fun () f_off ftype _lay ->
+          value (depth + 1) (addr + f_off) ftype)
+  in
+  value 0 addr (Iw_types.descriptor lay0)
+
+let marshaled_size sp ~registry ~addr lay0 =
+  let arch = Iw_mem.arch sp in
+  let conv = Iw_types.local arch in
+  let rec value depth addr desc acc =
+    if depth > max_depth then raise Cycle;
+    match desc with
+    | Iw_types.Prim (Iw_arch.Char | Short | Int | Float) -> acc + 4
+    | Prim (Long | Double) -> acc + 8
+    | Prim (String capacity) ->
+      let n =
+        Iw_mem.with_raw sp addr (fun bytes base ->
+            String.length (Iw_arch.load_cstring bytes ~off:base ~capacity))
+      in
+      acc + 4 + n + xdr_pad n
+    | Prim Pointer -> acc + 4
+    | Ptr name ->
+      let a =
+        Iw_mem.with_raw sp addr (fun bytes base ->
+            Iw_arch.load_uint arch bytes ~off:base ~size:arch.Iw_arch.pointer_size)
+      in
+      if a = 0 then acc + 4
+      else begin
+        match Iw_types.Registry.resolve_name registry name with
+        | None -> invalid_arg ("Iw_xdr.marshaled_size: unknown pointee type " ^ name)
+        | Some pointee -> value (depth + 1) a pointee (acc + 4)
+      end
+    | Array (d, n) ->
+      let stride = Iw_types.size (Iw_types.layout conv d) in
+      let acc = ref acc in
+      for i = 0 to n - 1 do
+        acc := value (depth + 1) (addr + (i * stride)) d !acc
+      done;
+      !acc
+    | Struct fields ->
+      fold_fields conv fields ~init:acc ~f:(fun acc f_off ftype _lay ->
+          value (depth + 1) (addr + f_off) ftype acc)
+  in
+  value 0 addr (Iw_types.descriptor lay0) 0

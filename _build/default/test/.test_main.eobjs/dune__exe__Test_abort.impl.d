@@ -1,0 +1,1 @@
+test/test_abort.ml: Alcotest Client Desc Interweave Mem Option Printf

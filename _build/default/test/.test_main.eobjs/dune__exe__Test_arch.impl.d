@@ -1,0 +1,1 @@
+test/test_arch.ml: Alcotest Bytes Float Iw_arch List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_avl.ml: Alcotest Int Iw_avl List Option QCheck QCheck_alcotest

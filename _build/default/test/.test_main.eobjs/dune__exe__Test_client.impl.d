@@ -1,0 +1,1 @@
+test/test_client.ml: Alcotest Arch Client Desc Gen Interweave Iw_arch List Mem Option Printf Proto QCheck QCheck_alcotest Thread Types

@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Arch Array Char Client Desc Filename Gen Interweave Iw_arch List Mem Option Printf QCheck QCheck_alcotest Server Sys Types

@@ -1,0 +1,1 @@
+test/test_idl.ml: Alcotest Array Iw_arch Iw_idl Iw_types List String

@@ -1,0 +1,1 @@
+test/test_mem.ml: Alcotest Char Gen Iw_arch Iw_mem Iw_types List QCheck QCheck_alcotest

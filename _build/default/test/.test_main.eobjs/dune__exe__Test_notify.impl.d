@@ -1,0 +1,1 @@
+test/test_notify.ml: Alcotest Client Desc Interweave Iw_client Iw_server Mem Option Thread

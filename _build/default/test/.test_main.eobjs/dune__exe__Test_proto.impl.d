@@ -1,0 +1,1 @@
+test/test_proto.ml: Alcotest Format Iw_arch Iw_proto Iw_transport Iw_types Iw_wire List String Thread

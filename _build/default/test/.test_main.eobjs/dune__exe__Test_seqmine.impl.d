@@ -1,0 +1,1 @@
+test/test_seqmine.ml: Alcotest Array Hashtbl Interweave Iw_arch Iw_client Iw_seqmine Iw_types List Option Printf

@@ -1,0 +1,1 @@
+test/test_server.ml: Alcotest Array Filename Iw_arch Iw_proto Iw_server Iw_types Iw_wire List String Sys

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Interweave Iw_arch Iw_client Iw_sim

@@ -1,0 +1,1 @@
+test/test_system.ml: Alcotest Arch Client Desc Filename Interweave List Mem Option Printf Proto Server Sys

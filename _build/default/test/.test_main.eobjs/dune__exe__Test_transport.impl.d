@@ -1,0 +1,1 @@
+test/test_transport.ml: Alcotest Fun Interweave Iw_arch Iw_client Iw_mem Iw_server Iw_transport Iw_types Option String Thread Unix

@@ -1,0 +1,1 @@
+test/test_types.ml: Alcotest Array Fun Iw_arch Iw_types List Printf QCheck QCheck_alcotest Registry

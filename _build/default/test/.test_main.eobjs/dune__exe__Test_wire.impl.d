@@ -1,0 +1,1 @@
+test/test_wire.ml: Alcotest Buf Bytes Diff Fun Gen Iw_arch Iw_types Iw_wire List Printf QCheck QCheck_alcotest Reader

@@ -1,0 +1,1 @@
+test/test_xdr.ml: Alcotest Iw_arch Iw_mem Iw_types Iw_wire Iw_xdr List

@@ -1,0 +1,149 @@
+(* Transactional write critical sections: wl_abort and atomically. *)
+
+open Interweave
+
+let setup () =
+  let server = start_server () in
+  let c = direct_client server in
+  let h = open_segment c "abort/seg" in
+  let a =
+    with_write_lock h (fun () ->
+        let a = malloc h (Desc.array Desc.int 100) ~name:"xs" in
+        for i = 0 to 99 do
+          Client.write_int c (a + (i * 4)) i
+        done;
+        a)
+  in
+  (server, c, h, a)
+
+let test_abort_rolls_back_stores () =
+  let _server, c, h, a = setup () in
+  let v0 = Client.segment_version h in
+  wl_acquire h;
+  for i = 0 to 99 do
+    Client.write_int c (a + (i * 4)) 9999
+  done;
+  wl_abort h;
+  Alcotest.(check bool) "unlocked" false (Client.locked h);
+  Alcotest.(check int) "version unchanged" v0 (Client.segment_version h);
+  for i = 0 to 99 do
+    Alcotest.(check int) (Printf.sprintf "xs[%d] restored" i) i (Client.read_int c (a + (i * 4)))
+  done
+
+let test_abort_removes_created_blocks () =
+  let _server, c, h, _a = setup () in
+  wl_acquire h;
+  let b = malloc h Desc.int ~name:"doomed" in
+  Client.write_int c b 5;
+  wl_abort h;
+  Alcotest.(check bool) "block gone" true (Client.find_named_block h "doomed" = None);
+  Alcotest.(check bool) "address unmapped" true (Client.block_of_addr c b = None)
+
+let test_abort_resurrects_freed_blocks () =
+  let _server, c, h, a = setup () in
+  wl_acquire h;
+  free c a;
+  Alcotest.(check bool) "gone inside cs" true (Client.find_named_block h "xs" = None);
+  wl_abort h;
+  (match Client.find_named_block h "xs" with
+  | Some b ->
+    Alcotest.(check int) "same address" a b.Mem.b_addr;
+    Alcotest.(check int) "data intact" 42 (Client.read_int c (a + (42 * 4)))
+  | None -> Alcotest.fail "freed block not resurrected");
+  (* The block is fully usable in later critical sections. *)
+  with_write_lock h (fun () -> Client.write_int c a 7);
+  Alcotest.(check int) "writable after resurrect" 7 (Client.read_int c a)
+
+let test_abort_invisible_to_others () =
+  let server, c, h, a = setup () in
+  let c2 = direct_client server in
+  let h2 = open_segment ~create:false c2 "abort/seg" in
+  with_read_lock h2 (fun () -> ());
+  wl_acquire h;
+  Client.write_int c a 31337;
+  ignore (malloc h Desc.int ~name:"phantom" : addr);
+  wl_abort h;
+  with_read_lock h2 (fun () ->
+      let b = (Option.get (Client.find_named_block h2 "xs")).Mem.b_addr in
+      Alcotest.(check int) "other client sees original" 0 (Client.read_int c2 b);
+      Alcotest.(check bool) "no phantom block" true (Client.find_named_block h2 "phantom" = None))
+
+let test_abort_releases_server_lock () =
+  let server, c, h, a = setup () in
+  wl_acquire h;
+  Client.write_int c a 1;
+  wl_abort h;
+  (* Another client can take the write lock immediately. *)
+  let c2 = direct_client server in
+  let h2 = open_segment ~create:false c2 "abort/seg" in
+  wl_acquire h2;
+  wl_release h2
+
+let test_commit_after_abort () =
+  let _server, c, h, a = setup () in
+  wl_acquire h;
+  Client.write_int c a 111;
+  wl_abort h;
+  with_write_lock h (fun () -> Client.write_int c a 222);
+  Alcotest.(check int) "commit works after abort" 222 (Client.read_int c a)
+
+let test_abort_requires_lock () =
+  let _server, _c, h, _a = setup () in
+  try
+    wl_abort h;
+    Alcotest.fail "abort without lock accepted"
+  with Client.Error _ -> ()
+
+let test_abort_rejected_in_no_diff_mode () =
+  let _server, c, h, a = setup () in
+  Client.set_no_diff h true;
+  wl_acquire h;
+  Client.write_int c a 5;
+  (try
+     wl_abort h;
+     Alcotest.fail "abort in no-diff mode accepted"
+   with Client.Error _ -> ());
+  wl_release h
+
+let test_atomically () =
+  let _server, c, h, a = setup () in
+  (match atomically h (fun () -> Client.write_int c a 77) with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "commit path failed");
+  Alcotest.(check int) "committed" 77 (Client.read_int c a);
+  (match
+     atomically h (fun () ->
+         Client.write_int c a 88;
+         failwith "business rule violated")
+   with
+  | Ok () -> Alcotest.fail "should have aborted"
+  | Error (Failure msg) -> Alcotest.(check string) "exception propagated" "business rule violated" msg
+  | Error _ -> Alcotest.fail "wrong exception");
+  Alcotest.(check int) "rolled back" 77 (Client.read_int c a);
+  Alcotest.(check bool) "unlocked" false (Client.locked h)
+
+let test_nested_abort_aborts_everything () =
+  let _server, c, h, a = setup () in
+  wl_acquire h;
+  Client.write_int c a 1;
+  wl_acquire h;
+  Client.write_int c (a + 4) 2;
+  wl_abort h;
+  Alcotest.(check bool) "fully unlocked" false (Client.locked h);
+  Alcotest.(check int) "outer write rolled back" 0 (Client.read_int c a);
+  Alcotest.(check int) "inner write rolled back" 1 (Client.read_int c (a + 4))
+
+let suite =
+  ( "abort",
+    [
+      Alcotest.test_case "rolls back stores" `Quick test_abort_rolls_back_stores;
+      Alcotest.test_case "removes created blocks" `Quick test_abort_removes_created_blocks;
+      Alcotest.test_case "resurrects freed blocks" `Quick test_abort_resurrects_freed_blocks;
+      Alcotest.test_case "invisible to others" `Quick test_abort_invisible_to_others;
+      Alcotest.test_case "releases server lock" `Quick test_abort_releases_server_lock;
+      Alcotest.test_case "commit after abort" `Quick test_commit_after_abort;
+      Alcotest.test_case "requires lock" `Quick test_abort_requires_lock;
+      Alcotest.test_case "rejected in no-diff mode" `Quick test_abort_rejected_in_no_diff_mode;
+      Alcotest.test_case "atomically" `Quick test_atomically;
+      Alcotest.test_case "nested abort" `Quick test_nested_abort_aborts_everything;
+    ] )

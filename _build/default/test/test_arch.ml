@@ -1,0 +1,115 @@
+(* Architecture descriptors: endianness, sizes, raw loads/stores. *)
+
+let archs = Iw_arch.all
+
+let test_catalog () =
+  Alcotest.(check int) "four architectures" 4 (List.length archs);
+  Alcotest.(check bool) "find x86_32" true (Iw_arch.find "x86_32" = Some Iw_arch.x86_32);
+  Alcotest.(check bool) "find nonsense" true (Iw_arch.find "vax" = None)
+
+let test_prim_sizes () =
+  let open Iw_arch in
+  Alcotest.(check int) "x86 long" 4 (prim_size x86_32 Long);
+  Alcotest.(check int) "alpha long" 8 (prim_size alpha64 Long);
+  Alcotest.(check int) "x86 ptr" 4 (prim_size x86_32 Pointer);
+  Alcotest.(check int) "alpha ptr" 8 (prim_size alpha64 Pointer);
+  Alcotest.(check int) "string" 256 (prim_size x86_32 (String 256));
+  Alcotest.(check int) "x86 double align" 4 (prim_align x86_32 Double);
+  Alcotest.(check int) "sparc double align" 8 (prim_align sparc32 Double)
+
+let test_align_up () =
+  Alcotest.(check int) "0/4" 0 (Iw_arch.align_up 0 4);
+  Alcotest.(check int) "1/4" 4 (Iw_arch.align_up 1 4);
+  Alcotest.(check int) "4/4" 4 (Iw_arch.align_up 4 4);
+  Alcotest.(check int) "5/8" 8 (Iw_arch.align_up 5 8)
+
+let test_endianness () =
+  let b = Bytes.make 8 '\000' in
+  Iw_arch.store_uint Iw_arch.x86_32 b ~off:0 ~size:4 0x11223344;
+  Alcotest.(check char) "little byte 0" '\x44' (Bytes.get b 0);
+  Alcotest.(check char) "little byte 3" '\x11' (Bytes.get b 3);
+  Iw_arch.store_uint Iw_arch.sparc32 b ~off:4 ~size:4 0x11223344;
+  Alcotest.(check char) "big byte 0" '\x11' (Bytes.get b 4);
+  Alcotest.(check char) "big byte 3" '\x44' (Bytes.get b 7)
+
+let test_sign_extension () =
+  List.iter
+    (fun arch ->
+      let b = Bytes.make 8 '\000' in
+      Iw_arch.store_uint arch b ~off:0 ~size:2 (-2);
+      Alcotest.(check int) (arch.Iw_arch.name ^ " sint16") (-2)
+        (Iw_arch.load_sint arch b ~off:0 ~size:2);
+      Alcotest.(check int) (arch.Iw_arch.name ^ " uint16") 0xfffe
+        (Iw_arch.load_uint arch b ~off:0 ~size:2);
+      Iw_arch.store_uint arch b ~off:0 ~size:4 (-123456);
+      Alcotest.(check int) (arch.Iw_arch.name ^ " sint32") (-123456)
+        (Iw_arch.load_sint arch b ~off:0 ~size:4))
+    archs
+
+let test_doubles_floats () =
+  List.iter
+    (fun arch ->
+      let b = Bytes.make 16 '\000' in
+      List.iter
+        (fun v ->
+          Iw_arch.store_double arch b ~off:0 v;
+          Alcotest.(check (float 0.)) (arch.Iw_arch.name ^ " double") v
+            (Iw_arch.load_double arch b ~off:0))
+        [ 0.; 1.5; -3.25; 6.02e23; Float.min_float; Float.max_float ];
+      Iw_arch.store_float arch b ~off:8 1.5;
+      Alcotest.(check (float 0.)) "float roundtrip" 1.5 (Iw_arch.load_float arch b ~off:8))
+    archs
+
+let test_double_bytes_differ_by_endianness () =
+  let little = Bytes.make 8 '\000' and big = Bytes.make 8 '\000' in
+  Iw_arch.store_double Iw_arch.x86_32 little ~off:0 1.0;
+  Iw_arch.store_double Iw_arch.sparc32 big ~off:0 1.0;
+  Alcotest.(check bool) "byte orders differ" false (Bytes.equal little big);
+  Alcotest.(check char) "big-endian leading byte" '\x3f' (Bytes.get big 0)
+
+let test_cstrings () =
+  let b = Bytes.make 16 '\xff' in
+  Iw_arch.store_cstring b ~off:0 ~capacity:8 "hello";
+  Alcotest.(check string) "roundtrip" "hello" (Iw_arch.load_cstring b ~off:0 ~capacity:8);
+  Alcotest.(check char) "tail zeroed" '\000' (Bytes.get b 7);
+  Iw_arch.store_cstring b ~off:0 ~capacity:4 "overlong";
+  Alcotest.(check string) "truncated to capacity-1" "ove"
+    (Iw_arch.load_cstring b ~off:0 ~capacity:4)
+
+let prop_uint_roundtrip =
+  QCheck.Test.make ~name:"uint store/load roundtrip on all archs" ~count:500
+    QCheck.(pair (int_bound 3) (int_bound 0xffff))
+    (fun (arch_idx, v) ->
+      let arch = List.nth archs arch_idx in
+      let b = Bytes.make 8 '\000' in
+      List.for_all
+        (fun size ->
+          Iw_arch.store_uint arch b ~off:0 ~size v;
+          let mask = if size >= 8 then max_int else (1 lsl (8 * size)) - 1 in
+          Iw_arch.load_uint arch b ~off:0 ~size = v land mask)
+        [ 2; 4; 8 ])
+
+let prop_double_roundtrip =
+  QCheck.Test.make ~name:"double roundtrip on all archs" ~count:300
+    QCheck.(pair (int_bound 3) float)
+    (fun (arch_idx, v) ->
+      let arch = List.nth archs arch_idx in
+      let b = Bytes.make 8 '\000' in
+      Iw_arch.store_double arch b ~off:0 v;
+      let v' = Iw_arch.load_double arch b ~off:0 in
+      v = v' || (Float.is_nan v && Float.is_nan v'))
+
+let suite =
+  ( "arch",
+    [
+      Alcotest.test_case "catalog" `Quick test_catalog;
+      Alcotest.test_case "prim sizes" `Quick test_prim_sizes;
+      Alcotest.test_case "align_up" `Quick test_align_up;
+      Alcotest.test_case "endianness" `Quick test_endianness;
+      Alcotest.test_case "sign extension" `Quick test_sign_extension;
+      Alcotest.test_case "doubles and floats" `Quick test_doubles_floats;
+      Alcotest.test_case "double endianness" `Quick test_double_bytes_differ_by_endianness;
+      Alcotest.test_case "cstrings" `Quick test_cstrings;
+      QCheck_alcotest.to_alcotest prop_uint_roundtrip;
+      QCheck_alcotest.to_alcotest prop_double_roundtrip;
+    ] )

@@ -1,0 +1,138 @@
+(* AVL tree substrate: the metadata trees of both client and server. *)
+
+module T = Iw_avl.Make (Int)
+
+let check = Alcotest.(check (option int))
+
+let kv_list = Alcotest.(check (list (pair int int)))
+
+let of_pairs l = T.of_list l
+
+let test_empty () =
+  Alcotest.(check bool) "is_empty" true (T.is_empty T.empty);
+  Alcotest.(check int) "cardinal" 0 (T.cardinal T.empty);
+  check "find" None (T.find_opt 3 T.empty);
+  check "floor" None (Option.map snd (T.floor 3 T.empty));
+  check "ceiling" None (Option.map snd (T.ceiling 3 T.empty))
+
+let test_add_find () =
+  let t = of_pairs [ (1, 10); (5, 50); (3, 30) ] in
+  Alcotest.(check int) "cardinal" 3 (T.cardinal t);
+  check "find 1" (Some 10) (T.find_opt 1 t);
+  check "find 3" (Some 30) (T.find_opt 3 t);
+  check "find 5" (Some 50) (T.find_opt 5 t);
+  check "find 2" None (T.find_opt 2 t)
+
+let test_replace () =
+  let t = of_pairs [ (1, 10); (1, 11) ] in
+  Alcotest.(check int) "cardinal" 1 (T.cardinal t);
+  check "replaced" (Some 11) (T.find_opt 1 t)
+
+let test_remove () =
+  let t = of_pairs [ (1, 10); (2, 20); (3, 30); (4, 40) ] in
+  let t = T.remove 2 t in
+  Alcotest.(check int) "cardinal" 3 (T.cardinal t);
+  check "gone" None (T.find_opt 2 t);
+  check "still 3" (Some 30) (T.find_opt 3 t);
+  let t = T.remove 99 t in
+  Alcotest.(check int) "remove absent is noop" 3 (T.cardinal t)
+
+let test_floor_ceiling () =
+  let t = of_pairs [ (10, 1); (20, 2); (30, 3) ] in
+  let fl k = Option.map fst (T.floor k t) in
+  let ce k = Option.map fst (T.ceiling k t) in
+  check "floor 5" None (fl 5);
+  check "floor 10" (Some 10) (fl 10);
+  check "floor 15" (Some 10) (fl 15);
+  check "floor 99" (Some 30) (fl 99);
+  check "ceiling 5" (Some 10) (ce 5);
+  check "ceiling 20" (Some 20) (ce 20);
+  check "ceiling 25" (Some 30) (ce 25);
+  check "ceiling 31" None (ce 31)
+
+let test_succ_pred () =
+  let t = of_pairs [ (10, 1); (20, 2); (30, 3) ] in
+  check "succ 10" (Some 20) (Option.map fst (T.succ 10 t));
+  check "succ 30" None (Option.map fst (T.succ 30 t));
+  check "succ 9" (Some 10) (Option.map fst (T.succ 9 t));
+  check "pred 20" (Some 10) (Option.map fst (T.pred 20 t));
+  check "pred 10" None (Option.map fst (T.pred 10 t));
+  check "pred 31" (Some 30) (Option.map fst (T.pred 31 t))
+
+let test_min_max_iteration () =
+  let t = of_pairs [ (3, 30); (1, 10); (2, 20) ] in
+  check "min" (Some 10) (Option.map snd (T.min_binding t));
+  check "max" (Some 30) (Option.map snd (T.max_binding t));
+  kv_list "sorted" [ (1, 10); (2, 20); (3, 30) ] (T.to_list t);
+  let sum = T.fold (fun k v acc -> acc + k + v) t 0 in
+  Alcotest.(check int) "fold" 66 sum
+
+let test_large_sequential () =
+  let n = 10_000 in
+  let t = ref T.empty in
+  for i = 1 to n do
+    t := T.add i i !t
+  done;
+  Alcotest.(check bool) "invariant" true (T.invariant !t);
+  Alcotest.(check int) "cardinal" n (T.cardinal !t);
+  Alcotest.(check bool) "height is logarithmic" true (T.height !t <= 2 * 14);
+  for i = 1 to n do
+    if T.find_opt i !t <> Some i then Alcotest.failf "missing %d" i
+  done
+
+(* Property tests: behave like a sorted association list. *)
+
+let ops_gen =
+  QCheck.(list (pair (int_bound 2) (int_bound 200)))
+
+let model_of_ops ops =
+  List.fold_left
+    (fun (t, m) (op, k) ->
+      match op with
+      | 0 | 1 -> (T.add k (k * 7) t, (k, k * 7) :: List.remove_assoc k m)
+      | _ -> (T.remove k t, List.remove_assoc k m))
+    (T.empty, []) ops
+
+let prop_matches_model =
+  QCheck.Test.make ~name:"avl matches assoc-list model" ~count:500 ops_gen (fun ops ->
+      let t, m = model_of_ops ops in
+      let sorted = List.sort compare m in
+      T.invariant t && T.to_list t = sorted)
+
+let prop_floor_ceiling =
+  QCheck.Test.make ~name:"floor/ceiling agree with filtering" ~count:500
+    QCheck.(pair (list (int_bound 1000)) (int_bound 1000))
+    (fun (keys, probe) ->
+      let t = List.fold_left (fun t k -> T.add k k t) T.empty keys in
+      let le = List.filter (fun k -> k <= probe) (List.sort_uniq compare keys) in
+      let ge = List.filter (fun k -> k >= probe) (List.sort_uniq compare keys) in
+      Option.map fst (T.floor probe t) = (match List.rev le with [] -> None | x :: _ -> Some x)
+      && Option.map fst (T.ceiling probe t) = (match ge with [] -> None | x :: _ -> Some x))
+
+let prop_remove_keeps_invariant =
+  QCheck.Test.make ~name:"removal keeps AVL invariant" ~count:200
+    QCheck.(list (int_bound 100))
+    (fun keys ->
+      let t = List.fold_left (fun t k -> T.add k k t) T.empty keys in
+      let t =
+        List.fold_left
+          (fun t k -> if k mod 2 = 0 then T.remove k t else t)
+          t keys
+      in
+      T.invariant t)
+
+let suite =
+  ( "avl",
+    [
+      Alcotest.test_case "empty" `Quick test_empty;
+      Alcotest.test_case "add/find" `Quick test_add_find;
+      Alcotest.test_case "replace" `Quick test_replace;
+      Alcotest.test_case "remove" `Quick test_remove;
+      Alcotest.test_case "floor/ceiling" `Quick test_floor_ceiling;
+      Alcotest.test_case "succ/pred" `Quick test_succ_pred;
+      Alcotest.test_case "min/max/iteration" `Quick test_min_max_iteration;
+      Alcotest.test_case "large sequential" `Quick test_large_sequential;
+      QCheck_alcotest.to_alcotest prop_matches_model;
+      QCheck_alcotest.to_alcotest prop_floor_ceiling;
+      QCheck_alcotest.to_alcotest prop_remove_keeps_invariant;
+    ] )

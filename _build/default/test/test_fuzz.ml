@@ -1,0 +1,158 @@
+(* Randomized end-to-end properties over the full stack: random descriptors
+   and random update schedules must produce identical views on every
+   architecture, and survive server checkpoint/restart. *)
+
+open Interweave
+
+(* Random block descriptors: modest sizes, no pointers (pointer correctness
+   has dedicated tests; here the target is layout/translation coverage). *)
+let desc_gen =
+  let open QCheck.Gen in
+  let prim =
+    oneofl
+      [
+        Types.Prim Iw_arch.Char;
+        Types.Prim Iw_arch.Short;
+        Types.Prim Iw_arch.Int;
+        Types.Prim Iw_arch.Long;
+        Types.Prim Iw_arch.Float;
+        Types.Prim Iw_arch.Double;
+        Types.Prim (Iw_arch.String 8);
+      ]
+  in
+  let rec d n =
+    if n = 0 then prim
+    else
+      frequency
+        [
+          (4, prim);
+          (2, map2 (fun t k -> Types.Array (t, 1 + k)) (d (n - 1)) (int_bound 6));
+          ( 2,
+            map
+              (fun ts ->
+                Types.Struct
+                  (Array.of_list (List.mapi (fun i t -> { Types.fname = Printf.sprintf "f%d" i; ftype = t }) ts)))
+              (list_size (int_range 1 5) (d (n - 1))) );
+        ]
+  in
+  d 3
+
+(* Deterministic per-index values of each primitive type. *)
+let write_prim c lay base i seed =
+  let loc = Types.locate_prim lay i in
+  let a = base + loc.Types.l_off in
+  let v = (i * 37) + seed in
+  match loc.Types.l_prim with
+  | Iw_arch.Char -> Client.write_char c a (Char.chr (v land 0x7f))
+  | Short -> Client.write_short c a ((v land 0x7fff) - 0x4000)
+  | Int -> Client.write_int c a (v * 1001)
+  | Long -> Client.write_long c a (v * 100003)
+  | Float -> Client.write_float c a (float_of_int v)
+  | Double -> Client.write_double c a (float_of_int v /. 7.)
+  | Pointer -> ()
+  | String cap -> Client.write_string c ~capacity:cap a (string_of_int (v mod 10000))
+
+let read_prim c lay base i =
+  let loc = Types.locate_prim lay i in
+  let a = base + loc.Types.l_off in
+  match loc.Types.l_prim with
+  | Iw_arch.Char -> `C (Client.read_char c a)
+  | Short -> `I (Client.read_short c a)
+  | Int -> `I (Client.read_int c a)
+  | Long -> `I (Client.read_long c a)
+  | Float -> `F (Client.read_float c a)
+  | Double -> `F (Client.read_double c a)
+  | Pointer -> `I (Client.read_ptr c a)
+  | String cap -> `S (Client.read_string c ~capacity:cap a)
+
+let views_equal cw lw aw cr lr ar n =
+  let rec go i =
+    i >= n
+    ||
+    (read_prim cw lw aw i = read_prim cr lr ar i && go (i + 1))
+  in
+  go 0
+
+let prop_random_desc_cross_arch =
+  QCheck.Test.make ~name:"random descriptors translate across all architectures" ~count:60
+    (QCheck.make desc_gen) (fun desc ->
+      QCheck.assume (Types.validate desc = Ok ());
+      let server = start_server () in
+      let w = direct_client ~arch:Arch.x86_32 server in
+      let hw = open_segment w "fuzz/seg" in
+      let lw = Types.layout (Types.local (Client.arch w)) desc in
+      let n = Types.prim_count desc in
+      let aw =
+        with_write_lock hw (fun () ->
+            let a = malloc hw desc ~name:"b" in
+            for i = 0 to n - 1 do
+              write_prim w lw a i 1
+            done;
+            a)
+      in
+      List.for_all
+        (fun arch ->
+          let r = direct_client ~arch server in
+          let hr = open_segment ~create:false r "fuzz/seg" in
+          with_read_lock hr (fun () ->
+              let br = Option.get (Client.find_named_block hr "b") in
+              let lr = br.Mem.b_layout in
+              (* The writer's longs are 32-bit (x86_32), so no reader can
+                 truncate them and plain equality is exact. *)
+              Types.layout_prim_count lr = n
+              && views_equal w lw aw r lr br.Mem.b_addr n))
+        [ Arch.x86_32; Arch.sparc32; Arch.mips32 ])
+
+let prop_random_updates_converge_and_survive_checkpoint =
+  QCheck.Test.make ~name:"random update schedule converges and survives restart" ~count:15
+    QCheck.(list_of_size Gen.(int_range 1 25) (pair (int_bound 199) (int_bound 3)))
+    (fun ops ->
+      let dir = Filename.temp_file "iwfuzz" "" in
+      Sys.remove dir;
+      let server = Server.create ~checkpoint_dir:dir () in
+      let w = Interweave.direct_client ~arch:Arch.x86_32 server in
+      let r = Interweave.direct_client ~arch:Arch.sparc32 server in
+      let desc = Desc.array Desc.int 200 in
+      let hw = open_segment w "fuzz/ckpt" in
+      let aw = with_write_lock hw (fun () -> malloc hw desc ~name:"xs") in
+      let hr = open_segment ~create:false r "fuzz/ckpt" in
+      with_read_lock hr (fun () -> ());
+      (* Random single-word writes, a few per critical section. *)
+      List.iteri
+        (fun round (idx, _) ->
+          with_write_lock hw (fun () ->
+              Client.write_int w (aw + (idx * 4)) (round + 1)))
+        ops;
+      with_read_lock hr (fun () -> ());
+      let ar = (Option.get (Client.find_named_block hr "xs")).Mem.b_addr in
+      let same_view () =
+        let rec go i =
+          i >= 200
+          || (Client.read_int w (aw + (i * 4)) = Client.read_int r (ar + (i * 4)) && go (i + 1))
+        in
+        go 0
+      in
+      let converged = same_view () in
+      (* Restart the server from its checkpoint; a fresh client must see the
+         same contents. *)
+      Server.checkpoint server;
+      let server2 = Server.create ~checkpoint_dir:dir () in
+      let f = Interweave.direct_client server2 in
+      let hf = open_segment ~create:false f "fuzz/ckpt" in
+      with_read_lock hf (fun () -> ());
+      let af = (Option.get (Client.find_named_block hf "xs")).Mem.b_addr in
+      let survived =
+        let rec go i =
+          i >= 200
+          || (Client.read_int w (aw + (i * 4)) = Client.read_int f (af + (i * 4)) && go (i + 1))
+        in
+        go 0
+      in
+      converged && survived)
+
+let suite =
+  ( "fuzz",
+    [
+      QCheck_alcotest.to_alcotest prop_random_desc_cross_arch;
+      QCheck_alcotest.to_alcotest prop_random_updates_converge_and_survive_checkpoint;
+    ] )

@@ -1,0 +1,167 @@
+(* The IDL compiler: parsing, semantic checks, and code generation. *)
+
+let parse_one src =
+  match Iw_idl.parse src with
+  | [ d ] -> d
+  | ds -> Alcotest.failf "expected one declaration, got %d" (List.length ds)
+
+let test_simple_struct () =
+  let d = parse_one "struct point { double x; double y; };" in
+  Alcotest.(check string) "name" "point" d.Iw_idl.d_name;
+  match d.Iw_idl.d_desc with
+  | Iw_types.Struct [| { fname = "x"; ftype = Prim Iw_arch.Double }; { fname = "y"; ftype = Prim Iw_arch.Double } |]
+    -> ()
+  | d -> Alcotest.failf "unexpected desc %a" Iw_types.pp d
+
+let test_all_primitives () =
+  let d =
+    parse_one
+      "struct prims { byte b; short s; int i; long l; float f; double d; char name[8]; void *p; };"
+  in
+  match d.Iw_idl.d_desc with
+  | Iw_types.Struct fields ->
+    let ft i = fields.(i).Iw_types.ftype in
+    Alcotest.(check bool) "byte" true (ft 0 = Prim Iw_arch.Char);
+    Alcotest.(check bool) "short" true (ft 1 = Prim Iw_arch.Short);
+    Alcotest.(check bool) "int" true (ft 2 = Prim Iw_arch.Int);
+    Alcotest.(check bool) "long" true (ft 3 = Prim Iw_arch.Long);
+    Alcotest.(check bool) "float" true (ft 4 = Prim Iw_arch.Float);
+    Alcotest.(check bool) "double" true (ft 5 = Prim Iw_arch.Double);
+    Alcotest.(check bool) "char[8] is a string" true (ft 6 = Prim (Iw_arch.String 8));
+    Alcotest.(check bool) "void* is opaque" true (ft 7 = Prim Iw_arch.Pointer)
+  | d -> Alcotest.failf "unexpected %a" Iw_types.pp d
+
+let test_arrays_and_byte_arrays () =
+  let d = parse_one "struct a { int xs[10]; byte raw[16]; double m[4]; };" in
+  match d.Iw_idl.d_desc with
+  | Iw_types.Struct [| xs; raw; m |] ->
+    Alcotest.(check bool) "int[10]" true (xs.Iw_types.ftype = Array (Prim Iw_arch.Int, 10));
+    Alcotest.(check bool) "byte[16] stays a char array" true
+      (raw.Iw_types.ftype = Array (Prim Iw_arch.Char, 16));
+    Alcotest.(check bool) "double[4]" true (m.Iw_types.ftype = Array (Prim Iw_arch.Double, 4))
+  | d -> Alcotest.failf "unexpected %a" Iw_types.pp d
+
+let test_self_reference () =
+  let d = parse_one "struct node { int key; node *next; };" in
+  match d.Iw_idl.d_desc with
+  | Iw_types.Struct [| _; next |] ->
+    Alcotest.(check bool) "self pointer" true (next.Iw_types.ftype = Iw_types.Ptr "node")
+  | d -> Alcotest.failf "unexpected %a" Iw_types.pp d
+
+let test_by_value_embedding () =
+  let ds =
+    Iw_idl.parse
+      "struct point { double x; double y; };\nstruct seg { point a; point b; point path[4]; };"
+  in
+  Alcotest.(check int) "two declarations" 2 (List.length ds);
+  let seg = List.nth ds 1 in
+  match seg.Iw_idl.d_desc with
+  | Iw_types.Struct [| a; _; path |] ->
+    (match a.Iw_types.ftype with
+    | Iw_types.Struct _ -> ()
+    | _ -> Alcotest.fail "embedded struct expected");
+    (match path.Iw_types.ftype with
+    | Iw_types.Array (Iw_types.Struct _, 4) -> ()
+    | _ -> Alcotest.fail "array of structs expected")
+  | d -> Alcotest.failf "unexpected %a" Iw_types.pp d
+
+let test_comments_and_whitespace () =
+  let d =
+    parse_one
+      "// leading comment\nstruct c { /* inline */ int x; // trailing\n  double y; /* multi\n line */ };"
+  in
+  Alcotest.(check int) "two fields survive comments" 2
+    (Iw_types.prim_count d.Iw_idl.d_desc)
+
+let expect_error src =
+  try
+    ignore (Iw_idl.parse src : Iw_idl.decl list);
+    Alcotest.failf "expected a parse error for %S" src
+  with Iw_idl.Parse_error _ -> ()
+
+let test_errors () =
+  expect_error "struct x { int; };";
+  expect_error "struct x { int a };";
+  expect_error "struct x { };";
+  expect_error "struct x { unknown_t a; };";
+  expect_error "struct x { int a; }";
+  expect_error "struct x { int *p; };" (* pointer to primitive *);
+  expect_error "struct x { void v; };";
+  expect_error "struct x { node *p; };" (* pointer to undefined struct *);
+  expect_error "struct x { int a[0]; };";
+  expect_error "struct x { char s[1]; };";
+  expect_error "struct x { int a; }; struct x { int b; };" (* duplicate *);
+  expect_error "int x;";
+  expect_error "struct x { int a; /* unterminated";
+  expect_error "struct x { int a[abc]; };"
+
+let test_error_reports_line () =
+  try
+    ignore (Iw_idl.parse "struct ok { int a; };\n\nstruct bad { int; };" : Iw_idl.decl list);
+    Alcotest.fail "expected error"
+  with Iw_idl.Parse_error msg ->
+    Alcotest.(check bool) ("line number in " ^ msg) true
+      (String.length msg >= 6 && String.sub msg 0 5 = "line ")
+
+let test_register_all () =
+  let ds = Iw_idl.parse "struct a { int x; };\nstruct b { a *link; };" in
+  let r = Iw_types.Registry.create () in
+  Iw_idl.register_all r ds;
+  Alcotest.(check bool) "a resolvable" true (Iw_types.Registry.resolve_name r "a" <> None);
+  Alcotest.(check bool) "b resolvable" true (Iw_types.Registry.resolve_name r "b" <> None);
+  Alcotest.(check bool) "lookup finds" true (Iw_idl.lookup ds "a" <> None);
+  Alcotest.(check bool) "lookup misses" true (Iw_idl.lookup ds "zzz" = None)
+
+let test_codegen_contains_accessors () =
+  let ds = Iw_idl.parse "struct node { int key; char tag[16]; node *next; double w; };" in
+  let code = Iw_idl.to_ocaml ds in
+  let contains needle =
+    let n = String.length needle and h = String.length code in
+    let rec go i = i + n <= h && (String.sub code i n = needle || go (i + 1)) in
+    Alcotest.(check bool) ("generated code contains " ^ needle) true (go 0)
+  in
+  contains "module Node";
+  contains "let get_key";
+  contains "let set_key";
+  contains "let get_tag";
+  contains "~capacity:16";
+  contains "let get_next";
+  contains "let get_w";
+  contains "let malloc";
+  contains "Iw_types.Ptr \"node\"";
+  let prefixed = Iw_idl.to_ocaml ~module_prefix:"Gen_" ds in
+  let n = String.length "module Gen_Node" in
+  let rec go i =
+    (i + n <= String.length prefixed && String.sub prefixed i n = "module Gen_Node") || (i + n <= String.length prefixed && go (i + 1))
+  in
+  Alcotest.(check bool) "prefix honoured" true (go 0)
+
+let test_generated_descriptor_matches () =
+  (* The descriptor in generated code is the same value the parser built:
+     compare layout sizes across architectures for a representative type. *)
+  let ds = Iw_idl.parse "struct rec { int a; double b; char s[24]; rec *next; };" in
+  let d = (List.hd ds).Iw_idl.d_desc in
+  List.iter
+    (fun arch ->
+      let lay = Iw_types.layout (Iw_types.local arch) d in
+      Alcotest.(check bool)
+        (arch.Iw_arch.name ^ " layout sane")
+        true
+        (Iw_types.size lay > 0 && Iw_types.layout_prim_count lay = 4))
+    Iw_arch.all
+
+let suite =
+  ( "idl",
+    [
+      Alcotest.test_case "simple struct" `Quick test_simple_struct;
+      Alcotest.test_case "all primitives" `Quick test_all_primitives;
+      Alcotest.test_case "arrays and byte arrays" `Quick test_arrays_and_byte_arrays;
+      Alcotest.test_case "self reference" `Quick test_self_reference;
+      Alcotest.test_case "by-value embedding" `Quick test_by_value_embedding;
+      Alcotest.test_case "comments" `Quick test_comments_and_whitespace;
+      Alcotest.test_case "errors" `Quick test_errors;
+      Alcotest.test_case "errors carry line numbers" `Quick test_error_reports_line;
+      Alcotest.test_case "register_all" `Quick test_register_all;
+      Alcotest.test_case "codegen accessors" `Quick test_codegen_contains_accessors;
+      Alcotest.test_case "generated descriptor" `Quick test_generated_descriptor_matches;
+    ] )

@@ -1,0 +1,21 @@
+let () =
+  Alcotest.run "interweave"
+    [
+      Test_avl.suite;
+      Test_arch.suite;
+      Test_types.suite;
+      Test_mem.suite;
+      Test_wire.suite;
+      Test_proto.suite;
+      Test_transport.suite;
+      Test_server.suite;
+      Test_xdr.suite;
+      Test_idl.suite;
+      Test_system.suite;
+      Test_client.suite;
+      Test_notify.suite;
+      Test_abort.suite;
+      Test_fuzz.suite;
+      Test_seqmine.suite;
+      Test_sim.suite;
+    ]

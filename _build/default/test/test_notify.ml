@@ -1,0 +1,148 @@
+(* The adaptive polling/notification protocol (paper, Section 2.2). *)
+
+open Interweave
+
+let setup () =
+  let server = start_server () in
+  let writer = direct_client server in
+  let reader = direct_client server in
+  let hw = open_segment writer "notify/seg" in
+  let a =
+    with_write_lock hw (fun () ->
+        let a = malloc hw (Desc.array Desc.int 16) ~name:"xs" in
+        Client.write_int writer a 1;
+        a)
+  in
+  let hr = open_segment ~create:false reader "notify/seg" in
+  with_read_lock hr (fun () -> ());
+  (server, writer, reader, hw, hr, a)
+
+let test_subscribed_reads_skip_server () =
+  let _server, _writer, reader, _hw, hr, _a = setup () in
+  Client.subscribe hr;
+  Alcotest.(check bool) "subscribed" true (Client.subscribed hr);
+  let calls0 = (Client.stats reader).Client.calls in
+  for _ = 1 to 20 do
+    with_read_lock hr (fun () -> ())
+  done;
+  Alcotest.(check int) "no server communication while nothing changes" calls0
+    (Client.stats reader).Client.calls
+
+let test_notification_triggers_update () =
+  let _server, writer, reader, hw, hr, a = setup () in
+  Client.subscribe hr;
+  with_read_lock hr (fun () -> ());
+  (* Writer publishes a change: the reader must be notified and fetch it. *)
+  with_write_lock hw (fun () -> Client.write_int writer a 42);
+  Alcotest.(check bool) "notification received" true
+    ((Client.stats reader).Client.notifications >= 1);
+  with_read_lock hr (fun () ->
+      let b = (Option.get (Client.find_named_block hr "xs")).Mem.b_addr in
+      Alcotest.(check int) "fresh value" 42 (Client.read_int reader b));
+  (* And after that fetch, reads skip again. *)
+  let calls0 = (Client.stats reader).Client.calls in
+  with_read_lock hr (fun () -> ());
+  Alcotest.(check int) "skipping again" calls0 (Client.stats reader).Client.calls
+
+let test_writer_not_notified_of_own_writes () =
+  let _server, writer, _reader, hw, _hr, a = setup () in
+  Client.subscribe hw;
+  Client.reset_stats writer;
+  with_write_lock hw (fun () -> Client.write_int writer a 9);
+  Alcotest.(check int) "no self-notification" 0 (Client.stats writer).Client.notifications
+
+let test_adaptive_auto_subscribe () =
+  let _server, _writer, _reader, _hw, hr, _a = setup () in
+  Alcotest.(check bool) "not subscribed initially" false (Client.subscribed hr);
+  (* Wasted polls: the library switches from polling to notification. *)
+  for _ = 1 to 6 do
+    with_read_lock hr (fun () -> ())
+  done;
+  Alcotest.(check bool) "auto-subscribed after wasted polls" true (Client.subscribed hr)
+
+let test_auto_subscribe_disabled () =
+  let _server, _writer, reader, _hw, hr, _a = setup () in
+  (Client.options reader).Client.auto_subscribe <- false;
+  for _ = 1 to 10 do
+    with_read_lock hr (fun () -> ())
+  done;
+  Alcotest.(check bool) "stays polling" false (Client.subscribed hr)
+
+let test_unsubscribe_returns_to_polling () =
+  let _server, _writer, reader, _hw, hr, _a = setup () in
+  (Client.options reader).Client.auto_subscribe <- false;
+  Client.subscribe hr;
+  with_read_lock hr (fun () -> ());
+  Client.unsubscribe hr;
+  Alcotest.(check bool) "unsubscribed" false (Client.subscribed hr);
+  let calls0 = (Client.stats reader).Client.calls in
+  with_read_lock hr (fun () -> ());
+  Alcotest.(check bool) "polling resumed" true ((Client.stats reader).Client.calls > calls0)
+
+let test_no_channel_rejected () =
+  let server = start_server () in
+  (* A bare client on a raw link has no notification channel. *)
+  let c = Iw_client.connect (Iw_server.direct_link server) in
+  let h = Iw_client.open_segment c "notify/raw" in
+  try
+    Client.subscribe h;
+    Alcotest.fail "subscribe without a channel must fail"
+  with Client.Error _ -> ()
+
+let test_notifications_over_loopback () =
+  let server = start_server () in
+  let writer = loopback_client server in
+  let reader = loopback_client server in
+  let hw = open_segment writer "notify/loop" in
+  let a =
+    with_write_lock hw (fun () ->
+        let a = malloc hw Desc.int ~name:"v" in
+        Client.write_int writer a 1;
+        a)
+  in
+  let hr = open_segment ~create:false reader "notify/loop" in
+  with_read_lock hr (fun () -> ());
+  Client.subscribe hr;
+  with_write_lock hw (fun () -> Client.write_int writer a 2);
+  (* The push crosses a thread boundary; allow it a moment. *)
+  let rec wait_notified n =
+    if n > 0 && (Client.stats reader).Client.notifications = 0 then begin
+      Thread.delay 0.01;
+      wait_notified (n - 1)
+    end
+  in
+  wait_notified 100;
+  Alcotest.(check bool) "notification over loopback" true
+    ((Client.stats reader).Client.notifications >= 1);
+  with_read_lock hr (fun () ->
+      let b = (Option.get (Client.find_named_block hr "v")).Mem.b_addr in
+      Alcotest.(check int) "value" 2 (Client.read_int reader b));
+  Client.disconnect writer;
+  Client.disconnect reader
+
+let test_stale_flag_not_lost_across_race () =
+  (* Clearing the flag happens before the server call, so a change committed
+     after the response arrives is never missed. *)
+  let _server, writer, reader, hw, hr, a = setup () in
+  Client.subscribe hr;
+  with_read_lock hr (fun () -> ());
+  with_write_lock hw (fun () -> Client.write_int writer a 5);
+  with_read_lock hr (fun () -> ());
+  with_write_lock hw (fun () -> Client.write_int writer a 6);
+  with_read_lock hr (fun () ->
+      let b = (Option.get (Client.find_named_block hr "xs")).Mem.b_addr in
+      Alcotest.(check int) "second change seen" 6 (Client.read_int reader b))
+
+let suite =
+  ( "notify",
+    [
+      Alcotest.test_case "subscribed reads skip server" `Quick test_subscribed_reads_skip_server;
+      Alcotest.test_case "notification triggers update" `Quick test_notification_triggers_update;
+      Alcotest.test_case "no self-notification" `Quick test_writer_not_notified_of_own_writes;
+      Alcotest.test_case "adaptive auto-subscribe" `Quick test_adaptive_auto_subscribe;
+      Alcotest.test_case "auto-subscribe disabled" `Quick test_auto_subscribe_disabled;
+      Alcotest.test_case "unsubscribe" `Quick test_unsubscribe_returns_to_polling;
+      Alcotest.test_case "no channel rejected" `Quick test_no_channel_rejected;
+      Alcotest.test_case "loopback notifications" `Quick test_notifications_over_loopback;
+      Alcotest.test_case "no lost changes" `Quick test_stale_flag_not_lost_across_race;
+    ] )

@@ -1,0 +1,158 @@
+(* Protocol message codecs: every request/response variant roundtrips, and a
+   framed link carries them over a byte transport. *)
+
+open Iw_proto
+
+let roundtrip_request req =
+  let buf = Iw_wire.Buf.create () in
+  encode_request buf req;
+  decode_request (Iw_wire.Reader.of_string (Iw_wire.Buf.contents buf))
+
+let roundtrip_response resp =
+  let buf = Iw_wire.Buf.create () in
+  encode_response buf resp;
+  decode_response (Iw_wire.Reader.of_string (Iw_wire.Buf.contents buf))
+
+let sample_diff =
+  {
+    Iw_wire.Diff.from_version = 1;
+    to_version = 2;
+    new_descs = [ (3, Iw_types.Prim Iw_arch.Double) ];
+    changes =
+      [
+        Iw_wire.Diff.Update
+          { serial = 4; runs = [ { Iw_wire.Diff.start_pu = 2; len_pu = 3; payload = "xyz" } ] };
+        Iw_wire.Diff.Free { serial = 9 };
+      ];
+  }
+
+let all_requests =
+  [
+    Hello { arch = "sparc32" };
+    Open_segment { session = 1; name = "a/b"; create = true };
+    Open_segment { session = 2; name = "a/b"; create = false };
+    Segment_meta { session = 3; name = "s" };
+    Read_lock { session = 4; name = "s"; version = 7; coherence = Full };
+    Read_lock { session = 4; name = "s"; version = 7; coherence = Delta 3 };
+    Read_lock { session = 4; name = "s"; version = 7; coherence = Temporal 2.5 };
+    Read_lock { session = 4; name = "s"; version = 7; coherence = Diff_pct 12.5 };
+    Read_release { session = 5; name = "s" };
+    Write_lock { session = 6; name = "s"; version = 0 };
+    Write_release { session = 7; name = "s"; diff = sample_diff };
+    Register_desc { session = 8; name = "s"; desc = Iw_types.Ptr "node" };
+    Get_version { session = 9; name = "s" };
+    Checkpoint { session = 10 };
+    Stat { session = 11; name = "s" };
+  ]
+
+let all_responses =
+  [
+    R_hello { session = 42 };
+    R_segment { version = 17 };
+    R_meta
+      {
+        version = 3;
+        descs = [ (1, Iw_types.Prim Iw_arch.Int) ];
+        blocks =
+          [
+            { mb_serial = 1; mb_name = Some "head"; mb_desc_serial = 1 };
+            { mb_serial = 2; mb_name = None; mb_desc_serial = 1 };
+          ];
+      };
+    R_up_to_date;
+    R_update sample_diff;
+    R_granted None;
+    R_granted (Some sample_diff);
+    R_busy;
+    R_version 12;
+    R_serial 5;
+    R_stat
+      {
+        st_version = 1;
+        st_blocks = 2;
+        st_total_units = 3;
+        st_diff_cache_hits = 4;
+        st_diff_cache_misses = 5;
+      };
+    R_ok;
+    R_error "boom";
+  ]
+
+let test_request_roundtrips () =
+  List.iteri
+    (fun i req ->
+      if roundtrip_request req <> req then Alcotest.failf "request %d did not roundtrip" i)
+    all_requests
+
+let test_response_roundtrips () =
+  List.iteri
+    (fun i resp ->
+      if roundtrip_response resp <> resp then Alcotest.failf "response %d did not roundtrip" i)
+    all_responses
+
+let test_malformed_rejected () =
+  (try
+     ignore (decode_request (Iw_wire.Reader.of_string "\xff") : request);
+     Alcotest.fail "bad request tag accepted"
+   with Iw_wire.Malformed _ -> ());
+  try
+    ignore (decode_response (Iw_wire.Reader.of_string "\xff") : response);
+    Alcotest.fail "bad response tag accepted"
+  with Iw_wire.Malformed _ -> ()
+
+let test_framed_link () =
+  (* An echo "server" that decodes the request and answers with a canned
+     response per request type, over the loopback transport. *)
+  let client_end, server_end = Iw_transport.loopback () in
+  let server () =
+    let rec loop () =
+      match Iw_transport.(server_end.recv ()) with
+      | frame ->
+        let req = decode_request (Iw_wire.Reader.of_string frame) in
+        let resp =
+          match req with
+          | Hello _ -> R_hello { session = 99 }
+          | Get_version _ -> R_version 5
+          | _ -> R_ok
+        in
+        let buf = Iw_wire.Buf.create () in
+        encode_response buf resp;
+        Iw_transport.(server_end.send (Iw_wire.Buf.contents buf));
+        loop ()
+      | exception Iw_transport.Closed -> ()
+    in
+    loop ()
+  in
+  let t = Thread.create server () in
+  let link =
+    framed_link
+      ~send:client_end.Iw_transport.send
+      ~recv:(fun () -> client_end.Iw_transport.recv ())
+      ~close:client_end.Iw_transport.close ~description:"test"
+  in
+  (match link.call (Hello { arch = "x86_32" }) with
+  | R_hello { session } -> Alcotest.(check int) "hello" 99 session
+  | _ -> Alcotest.fail "unexpected");
+  (match link.call (Get_version { session = 99; name = "s" }) with
+  | R_version v -> Alcotest.(check int) "version" 5 v
+  | _ -> Alcotest.fail "unexpected");
+  link.close ();
+  Thread.join t
+
+let test_pp_coherence () =
+  let s m = Format.asprintf "%a" pp_coherence m in
+  Alcotest.(check string) "full" "full" (s Full);
+  Alcotest.(check string) "delta" "delta-3" (s (Delta 3));
+  Alcotest.(check bool) "temporal mentions seconds" true
+    (String.length (s (Temporal 1.5)) > 0);
+  Alcotest.(check bool) "diff mentions pct" true (String.length (s (Diff_pct 10.)) > 0)
+
+let suite =
+  ( "proto",
+    [
+      Alcotest.test_case "request roundtrips" `Quick test_request_roundtrips;
+      Alcotest.test_case "response roundtrips" `Quick test_response_roundtrips;
+      Alcotest.test_case "malformed rejected" `Quick test_malformed_rejected;
+      Alcotest.test_case "framed link" `Quick test_framed_link;
+      Alcotest.test_case "pp coherence" `Quick test_pp_coherence;
+    ] )

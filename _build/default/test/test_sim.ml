@@ -1,0 +1,145 @@
+(* The Astroflow-style simulation substrate. *)
+
+let make () =
+  let server = Interweave.start_server () in
+  let simc = Interweave.direct_client ~arch:Iw_arch.alpha64 server in
+  let sim = Iw_sim.create simc ~segment:"sim/test" ~width:16 ~height:8 in
+  (server, sim)
+
+let test_create_dimensions () =
+  let _server, sim = make () in
+  Alcotest.(check int) "width" 16 (Iw_sim.width sim);
+  Alcotest.(check int) "height" 8 (Iw_sim.height sim);
+  Alcotest.(check int) "no steps yet" 0 (Iw_sim.steps_published sim)
+
+let test_step_publishes () =
+  let _server, sim = make () in
+  Iw_sim.step sim;
+  Iw_sim.step sim;
+  Alcotest.(check int) "two steps" 2 (Iw_sim.steps_published sim);
+  let frame = Iw_sim.read_frame sim in
+  Alcotest.(check int) "frame size" (16 * 8) (Array.length frame);
+  Alcotest.(check bool) "source injected some density" true
+    (Array.exists (fun v -> v > 0.) frame)
+
+let test_viewer_sees_identical_frame () =
+  let server, sim = make () in
+  for _ = 1 to 5 do
+    Iw_sim.step sim
+  done;
+  let vizc = Interweave.direct_client ~arch:Iw_arch.sparc32 server in
+  let viz = Iw_sim.attach vizc ~segment:"sim/test" in
+  Alcotest.(check int) "viewer dims" 16 (Iw_sim.width viz);
+  let sum_sim = Iw_sim.checksum sim and sum_viz = Iw_sim.checksum viz in
+  Alcotest.(check (float 1e-9)) "checksums identical across archs" sum_sim sum_viz;
+  Alcotest.(check int) "viewer sees the step counter" 5 (Iw_sim.steps_published viz)
+
+let test_determinism () =
+  let _s1, sim1 = make () in
+  let server2 = Interweave.start_server () in
+  let c2 = Interweave.direct_client ~arch:Iw_arch.x86_32 server2 in
+  let sim2 = Iw_sim.create c2 ~segment:"sim/test" ~width:16 ~height:8 in
+  for _ = 1 to 8 do
+    Iw_sim.step sim1;
+    Iw_sim.step sim2
+  done;
+  Alcotest.(check (float 1e-9)) "same physics on different archs"
+    (Iw_sim.checksum sim1) (Iw_sim.checksum sim2)
+
+let test_temporal_bound_lets_viewer_lag () =
+  let server, sim = make () in
+  Iw_sim.step sim;
+  let vizc = Interweave.direct_client server in
+  let viz = Iw_sim.attach vizc ~segment:"sim/test" in
+  Iw_sim.set_viewer_interval viz 3600.;
+  Alcotest.(check int) "initial frame" 1 (Iw_sim.steps_published viz);
+  Iw_sim.step sim;
+  Iw_sim.step sim;
+  (* Within the temporal bound: the viewer's copy may (must, here) lag. *)
+  Alcotest.(check int) "viewer still sees step 1" 1 (Iw_sim.steps_published viz);
+  (* Dropping the bound to zero forces a fetch. *)
+  Iw_sim.set_viewer_interval viz 0.;
+  Alcotest.(check int) "viewer catches up" 3 (Iw_sim.steps_published viz)
+
+let test_viewer_cannot_step () =
+  let server, sim = make () in
+  Iw_sim.step sim;
+  let vizc = Interweave.direct_client server in
+  let viz = Iw_sim.attach vizc ~segment:"sim/test" in
+  try
+    Iw_sim.step viz;
+    Alcotest.fail "viewers must not step"
+  with Invalid_argument _ -> ()
+
+let test_density_bounds () =
+  let _server, sim = make () in
+  Iw_sim.step sim;
+  ignore (Iw_sim.density_at sim ~x:0 ~y:0 : float);
+  ignore (Iw_sim.density_at sim ~x:15 ~y:7 : float);
+  try
+    ignore (Iw_sim.density_at sim ~x:16 ~y:0 : float);
+    Alcotest.fail "out of bounds accepted"
+  with Invalid_argument _ -> ()
+
+let test_steering_strength () =
+  let server, sim = make () in
+  Iw_sim.step sim;
+  let vizc = Interweave.direct_client server in
+  let viz = Iw_sim.attach vizc ~segment:"sim/test" in
+  Alcotest.(check (float 1e-9)) "default strength" 10. (Iw_sim.source_strength viz);
+  (* The viewer turns the source off; the field must now decay. *)
+  Iw_sim.set_source_strength viz 0.;
+  Alcotest.(check (float 1e-9)) "simulator sees the knob" 0. (Iw_sim.source_strength sim);
+  let before = Iw_sim.checksum sim in
+  for _ = 1 to 10 do
+    Iw_sim.step sim
+  done;
+  Alcotest.(check bool) "field decays with source off" true (Iw_sim.checksum sim < before);
+  (* Turn it up: the field grows again. *)
+  Iw_sim.set_source_strength viz 50.;
+  let low = Iw_sim.checksum sim in
+  for _ = 1 to 5 do
+    Iw_sim.step sim
+  done;
+  Alcotest.(check bool) "field grows with a strong source" true (Iw_sim.checksum sim > low)
+
+let test_steering_pause () =
+  let server, sim = make () in
+  Iw_sim.step sim;
+  let vizc = Interweave.direct_client server in
+  let viz = Iw_sim.attach vizc ~segment:"sim/test" in
+  Iw_sim.set_paused viz true;
+  Alcotest.(check bool) "paused visible" true (Iw_sim.paused sim);
+  let frozen = Iw_sim.checksum sim in
+  for _ = 1 to 5 do
+    Iw_sim.step sim
+  done;
+  Alcotest.(check (float 1e-9)) "physics frozen while paused" frozen (Iw_sim.checksum sim);
+  Alcotest.(check int) "step counter still advances" 6 (Iw_sim.steps_published sim);
+  Iw_sim.set_paused viz false;
+  Iw_sim.step sim;
+  Alcotest.(check bool) "physics resumes" true (Iw_sim.checksum sim <> frozen)
+
+let test_attach_requires_initialized () =
+  let server = Interweave.start_server () in
+  let c = Interweave.direct_client server in
+  let _seg = Interweave.open_segment c "sim/empty" in
+  try
+    ignore (Iw_sim.attach c ~segment:"sim/empty" : Iw_sim.t);
+    Alcotest.fail "attach to uninitialized segment should fail"
+  with Invalid_argument _ | Iw_client.Error _ -> ()
+
+let suite =
+  ( "sim",
+    [
+      Alcotest.test_case "create dimensions" `Quick test_create_dimensions;
+      Alcotest.test_case "step publishes" `Quick test_step_publishes;
+      Alcotest.test_case "viewer identical frame" `Quick test_viewer_sees_identical_frame;
+      Alcotest.test_case "deterministic physics" `Quick test_determinism;
+      Alcotest.test_case "temporal bound lag" `Quick test_temporal_bound_lets_viewer_lag;
+      Alcotest.test_case "viewer cannot step" `Quick test_viewer_cannot_step;
+      Alcotest.test_case "density bounds" `Quick test_density_bounds;
+      Alcotest.test_case "steering strength" `Quick test_steering_strength;
+      Alcotest.test_case "steering pause" `Quick test_steering_pause;
+      Alcotest.test_case "attach requires init" `Quick test_attach_requires_initialized;
+    ] )

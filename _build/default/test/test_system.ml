@@ -1,0 +1,515 @@
+(* End-to-end client/server integration: the paper's programming model. *)
+
+open Interweave
+
+let int_array n = Desc.array Desc.int n
+
+let fresh_env ?(arch = Arch.x86_32) () =
+  let server = start_server () in
+  let c = direct_client ~arch server in
+  (server, c)
+
+let test_create_write_read_back () =
+  let _server, c = fresh_env () in
+  let h = open_segment c "host/data" in
+  wl_acquire h;
+  let a = malloc h (int_array 100) ~name:"xs" in
+  for i = 0 to 99 do
+    Client.write_int c (a + (i * 4)) (i * i)
+  done;
+  wl_release h;
+  rl_acquire h;
+  for i = 0 to 99 do
+    Alcotest.(check int) (Printf.sprintf "xs[%d]" i) (i * i) (Client.read_int c (a + (i * 4)))
+  done;
+  rl_release h
+
+let test_two_clients_share () =
+  let server, c1 = fresh_env () in
+  let c2 = direct_client ~arch:Arch.sparc32 server in
+  let h1 = open_segment c1 "host/shared" in
+  wl_acquire h1;
+  let a1 = malloc h1 (int_array 10) ~name:"xs" in
+  for i = 0 to 9 do
+    Client.write_int c1 (a1 + (i * 4)) (100 + i)
+  done;
+  wl_release h1;
+  (* Second client, different architecture, sees the data. *)
+  let h2 = open_segment ~create:false c2 "host/shared" in
+  rl_acquire h2;
+  let b =
+    match Client.find_named_block h2 "xs" with
+    | Some b -> b
+    | None -> Alcotest.fail "block xs not visible at client 2"
+  in
+  let a2 = b.Mem.b_addr in
+  for i = 0 to 9 do
+    Alcotest.(check int) (Printf.sprintf "c2 xs[%d]" i) (100 + i) (Client.read_int c2 (a2 + (i * 4)))
+  done;
+  rl_release h2;
+  (* Write back from client 2, read at client 1. *)
+  wl_acquire h2;
+  Client.write_int c2 a2 777;
+  wl_release h2;
+  rl_acquire h1;
+  Alcotest.(check int) "c1 sees c2's write" 777 (Client.read_int c1 a1);
+  rl_release h1
+
+let test_incremental_diff_only_changes () =
+  let server, c1 = fresh_env () in
+  let c2 = direct_client server in
+  let h1 = open_segment c1 "host/inc" in
+  wl_acquire h1;
+  let a = malloc h1 (int_array 10000) in
+  wl_release h1;
+  let h2 = open_segment ~create:false c2 "host/inc" in
+  rl_acquire h2;
+  rl_release h2;
+  Client.reset_stats c2;
+  (* Small update: only a few words change. *)
+  wl_acquire h1;
+  Client.write_int c1 (a + 400) 1;
+  Client.write_int c1 (a + 404) 2;
+  wl_release h1;
+  rl_acquire h2;
+  rl_release h2;
+  let st = Client.stats c2 in
+  Alcotest.(check bool)
+    (Printf.sprintf "small diff (%d bytes)" st.Client.bytes_received)
+    true
+    (st.Client.bytes_received < 1024);
+  (* The changed values arrived. *)
+  let b2 = List.hd (Client.blocks h2) in
+  Alcotest.(check int) "value 1" 1 (Client.read_int c2 (b2.Mem.b_addr + 400));
+  Alcotest.(check int) "value 2" 2 (Client.read_int c2 (b2.Mem.b_addr + 404))
+
+let test_heterogeneous_struct_translation () =
+  let server, c1 = fresh_env ~arch:Arch.x86_32 () in
+  let c2 = direct_client ~arch:Arch.sparc32 server in
+  let c3 = direct_client ~arch:Arch.alpha64 server in
+  let node =
+    Desc.structure
+      [
+        Desc.field "i" Desc.int;
+        Desc.field "d" Desc.double;
+        Desc.field "tag" (Desc.string 16);
+        Desc.field "l" Desc.long;
+      ]
+  in
+  let h1 = open_segment c1 "host/het" in
+  wl_acquire h1;
+  let a = malloc h1 node ~name:"n" in
+  let w path = deref c1 node a path in
+  Client.write_int c1 (w [ F "i" ]) (-123);
+  Client.write_double c1 (w [ F "d" ]) 2.5;
+  Client.write_string c1 ~capacity:16 (w [ F "tag" ]) "hello";
+  Client.write_long c1 (w [ F "l" ]) (-77);
+  wl_release h1;
+  List.iter
+    (fun (c, label) ->
+      let h = open_segment ~create:false c "host/het" in
+      rl_acquire h;
+      let b = Option.get (Client.find_named_block h "n") in
+      let r path = deref c node b.Mem.b_addr path in
+      Alcotest.(check int) (label ^ " int") (-123) (Client.read_int c (r [ F "i" ]));
+      Alcotest.(check (float 0.)) (label ^ " double") 2.5 (Client.read_double c (r [ F "d" ]));
+      Alcotest.(check string) (label ^ " string") "hello"
+        (Client.read_string c ~capacity:16 (r [ F "tag" ]));
+      Alcotest.(check int) (label ^ " long") (-77) (Client.read_long c (r [ F "l" ]));
+      rl_release h)
+    [ (c2, "sparc32"); (c3, "alpha64") ]
+
+let test_linked_list_pointers () =
+  (* The paper's Figure 1: a shared linked list with swizzled pointers. *)
+  let server, c1 = fresh_env () in
+  let c2 = direct_client ~arch:Arch.alpha64 server in
+  let node =
+    Desc.structure [ Desc.field "key" Desc.int; Desc.field "next" (Desc.ptr "node") ]
+  in
+  let h1 = open_segment c1 "host/list" in
+  let next_of c a = deref c node a [ F "next" ] in
+  wl_acquire h1;
+  let head = malloc h1 node ~name:"head" in
+  (* insert 5, 10, 15 at the front *)
+  List.iter
+    (fun key ->
+      let p = malloc h1 node in
+      Client.write_int c1 p key;
+      Client.write_ptr c1 (next_of c1 p) (Client.read_ptr c1 (next_of c1 head));
+      Client.write_ptr c1 (next_of c1 head) p)
+    [ 5; 10; 15 ];
+  wl_release h1;
+  (* Walk at the second (64-bit!) client. *)
+  let h2 = open_segment ~create:false c2 "host/list" in
+  rl_acquire h2;
+  let head2 = (Option.get (Client.find_named_block h2 "head")).Mem.b_addr in
+  let rec walk a acc =
+    if a = 0 then List.rev acc
+    else walk (Client.read_ptr c2 (next_of c2 a)) (Client.read_int c2 a :: acc)
+  in
+  Alcotest.(check (list int)) "list walked via swizzled pointers" [ 15; 10; 5 ]
+    (walk (Client.read_ptr c2 (next_of c2 head2)) []);
+  rl_release h2
+
+let test_mip_roundtrip () =
+  let _server, c = fresh_env () in
+  let h = open_segment c "host/mips" in
+  wl_acquire h;
+  let a = malloc h (int_array 100) ~name:"xs" in
+  wl_release h;
+  let mip = ptr_to_mip c a in
+  Alcotest.(check string) "block mip" "host/mips#1" mip;
+  Alcotest.(check int) "roundtrip" a (mip_to_ptr c mip);
+  let interior = a + 40 in
+  let mip2 = ptr_to_mip c interior in
+  Alcotest.(check string) "interior mip counts primitive units" "host/mips#1#10" mip2;
+  Alcotest.(check int) "interior roundtrip" interior (mip_to_ptr c mip2);
+  (* Named lookup also works. *)
+  Alcotest.(check int) "by name" a (mip_to_ptr c "host/mips#xs")
+
+let test_cross_segment_pointers () =
+  let server, c1 = fresh_env () in
+  let h1 = open_segment c1 "host/a" in
+  let h2 = open_segment c1 "host/b" in
+  wl_acquire h2;
+  let target = malloc h2 (int_array 4) ~name:"target" in
+  Client.write_int c1 target 99;
+  wl_release h2;
+  wl_acquire h1;
+  let holder = malloc h1 (Desc.structure [ Desc.field "p" Desc.opaque_ptr ]) ~name:"holder" in
+  Client.write_ptr c1 holder target;
+  wl_release h1;
+  (* A second client opening only segment a follows the pointer into b. *)
+  let c2 = direct_client server in
+  let g1 = open_segment ~create:false c2 "host/a" in
+  rl_acquire g1;
+  let holder2 = (Option.get (Client.find_named_block g1 "holder")).Mem.b_addr in
+  let p = Client.read_ptr c2 holder2 in
+  Alcotest.(check bool) "pointer swizzled to a local address" true (p <> 0);
+  (* Data in b arrives once b is locked. *)
+  let g2 = Option.get (Client.find_segment c2 "host/b") in
+  rl_acquire g2;
+  Alcotest.(check int) "followed cross-segment pointer" 99 (Client.read_int c2 p);
+  rl_release g2;
+  rl_release g1
+
+let test_free_propagates () =
+  let server, c1 = fresh_env () in
+  let c2 = direct_client server in
+  let h1 = open_segment c1 "host/frees" in
+  wl_acquire h1;
+  let _keep = malloc h1 (int_array 10) ~name:"keep" in
+  let dead = malloc h1 (int_array 10) ~name:"dead" in
+  wl_release h1;
+  let h2 = open_segment ~create:false c2 "host/frees" in
+  rl_acquire h2;
+  Alcotest.(check int) "two blocks" 2 (List.length (Client.blocks h2));
+  rl_release h2;
+  wl_acquire h1;
+  free c1 dead;
+  wl_release h1;
+  rl_acquire h2;
+  Alcotest.(check int) "one block after free" 1 (List.length (Client.blocks h2));
+  Alcotest.(check bool) "the right one" true (Client.find_named_block h2 "keep" <> None);
+  rl_release h2
+
+let test_delta_coherence () =
+  let server, writer = fresh_env () in
+  let reader = direct_client server in
+  let hw = open_segment writer "host/delta" in
+  wl_acquire hw;
+  let a = malloc hw (int_array 10) ~name:"xs" in
+  Client.write_int writer a 0;
+  wl_release hw;
+  let hr = open_segment ~create:false reader "host/delta" in
+  set_coherence hr (Proto.Delta 2);
+  rl_acquire hr;
+  rl_release hr;
+  let v0 = Client.segment_version hr in
+  (* Two writer versions: within the delta bound, reader must not update. *)
+  for i = 1 to 2 do
+    wl_acquire hw;
+    Client.write_int writer a i;
+    wl_release hw
+  done;
+  rl_acquire hr;
+  Alcotest.(check int) "still at old version" v0 (Client.segment_version hr);
+  rl_release hr;
+  (* A third version exceeds the bound. *)
+  wl_acquire hw;
+  Client.write_int writer a 3;
+  wl_release hw;
+  rl_acquire hr;
+  Alcotest.(check bool) "updated past delta bound" true (Client.segment_version hr > v0);
+  let b = (List.hd (Client.blocks hr)).Mem.b_addr in
+  Alcotest.(check int) "sees latest value" 3 (Client.read_int reader b);
+  rl_release hr
+
+let test_temporal_coherence_skips_server () =
+  let server, writer = fresh_env () in
+  let reader = direct_client server in
+  let hw = open_segment writer "host/temporal" in
+  wl_acquire hw;
+  let a = malloc hw (int_array 4) in
+  Client.write_int writer a 1;
+  wl_release hw;
+  let hr = open_segment ~create:false reader "host/temporal" in
+  set_coherence hr (Proto.Temporal 3600.);
+  rl_acquire hr;
+  rl_release hr;
+  let calls_before = (Client.stats reader).Client.calls in
+  for _ = 1 to 10 do
+    rl_acquire hr;
+    rl_release hr
+  done;
+  Alcotest.(check int) "no server calls within the temporal bound" calls_before
+    (Client.stats reader).Client.calls
+
+let test_diff_coherence () =
+  let server, writer = fresh_env () in
+  let reader = direct_client server in
+  let hw = open_segment writer "host/diffco" in
+  wl_acquire hw;
+  let a = malloc hw (int_array 1000) in
+  wl_release hw;
+  let hr = open_segment ~create:false reader "host/diffco" in
+  set_coherence hr (Proto.Diff_pct 50.);
+  rl_acquire hr;
+  rl_release hr;
+  let v0 = Client.segment_version hr in
+  (* Modify 1% -> under the 50% bound, no update. *)
+  wl_acquire hw;
+  for i = 0 to 9 do
+    Client.write_int writer (a + (i * 4)) 1
+  done;
+  wl_release hw;
+  rl_acquire hr;
+  Alcotest.(check int) "1%% stale is recent enough" v0 (Client.segment_version hr);
+  rl_release hr;
+  (* Modify most of it -> must update. *)
+  wl_acquire hw;
+  for i = 0 to 699 do
+    Client.write_int writer (a + (i * 4)) 2
+  done;
+  wl_release hw;
+  rl_acquire hr;
+  Alcotest.(check bool) "70%% stale forces update" true (Client.segment_version hr > v0);
+  rl_release hr
+
+let test_write_lock_exclusion () =
+  let server, c1 = fresh_env () in
+  let c2 = direct_client server in
+  let h1 = open_segment c1 "host/lock" in
+  let h2 = open_segment ~create:false c2 "host/lock" in
+  wl_acquire h1;
+  (try
+     wl_acquire h2;
+     Alcotest.fail "expected Busy"
+   with Client.Busy -> ());
+  wl_release h1;
+  wl_acquire h2;
+  wl_release h2
+
+let test_lock_misuse_rejected () =
+  let _server, c = fresh_env () in
+  let h = open_segment c "host/misuse" in
+  (try
+     wl_release h;
+     Alcotest.fail "release without acquire"
+   with Client.Error _ -> ());
+  (try
+     ignore (malloc h (int_array 1) : addr);
+     Alcotest.fail "malloc without write lock"
+   with Client.Error _ -> ());
+  rl_acquire h;
+  (try
+     ignore (malloc h (int_array 1) : addr);
+     Alcotest.fail "malloc under read lock"
+   with Client.Error _ -> ());
+  rl_release h
+
+let test_nested_locks () =
+  let _server, c = fresh_env () in
+  let h = open_segment c "host/nest" in
+  wl_acquire h;
+  wl_acquire h;
+  let a = malloc h (int_array 1) in
+  Client.write_int c a 5;
+  wl_release h;
+  (* still locked *)
+  Client.write_int c a 6;
+  wl_release h;
+  rl_acquire h;
+  rl_acquire h;
+  Alcotest.(check int) "value" 6 (Client.read_int c a);
+  rl_release h;
+  rl_release h
+
+let test_no_diff_mode_equivalent () =
+  let server, c1 = fresh_env () in
+  let c2 = direct_client server in
+  let h1 = open_segment c1 "host/nodiff" in
+  Client.set_no_diff h1 true;
+  wl_acquire h1;
+  let a = malloc h1 (int_array 100) in
+  for i = 0 to 99 do
+    Client.write_int c1 (a + (i * 4)) i
+  done;
+  wl_release h1;
+  wl_acquire h1;
+  Client.write_int c1 (a + 40) 999;
+  wl_release h1;
+  let h2 = open_segment ~create:false c2 "host/nodiff" in
+  rl_acquire h2;
+  let b = (List.hd (Client.blocks h2)).Mem.b_addr in
+  Alcotest.(check int) "updated word" 999 (Client.read_int c2 (b + 40));
+  Alcotest.(check int) "other word" 99 (Client.read_int c2 (b + 396));
+  rl_release h2
+
+let test_auto_no_diff_switches () =
+  let _server, c = fresh_env () in
+  let h = open_segment c "host/autonodiff" in
+  wl_acquire h;
+  let a = malloc h (int_array 1000) in
+  wl_release h;
+  Alcotest.(check bool) "starts diffing" false (Client.no_diff_mode h);
+  (* Repeatedly modify everything: after 3 full-modification releases the
+     client must stop diffing. *)
+  for round = 1 to 4 do
+    wl_acquire h;
+    for i = 0 to 999 do
+      Client.write_int c (a + (i * 4)) (round + i)
+    done;
+    wl_release h
+  done;
+  Alcotest.(check bool) "switched to no-diff" true (Client.no_diff_mode h)
+
+let test_empty_release_keeps_version () =
+  let _server, c = fresh_env () in
+  let h = open_segment c "host/empty" in
+  wl_acquire h;
+  let _a = malloc h (int_array 4) in
+  wl_release h;
+  let v = Client.segment_version h in
+  wl_acquire h;
+  wl_release h;
+  Alcotest.(check int) "no-op release keeps version" v (Client.segment_version h)
+
+let test_reserved_then_filled () =
+  (* mip_to_ptr into a segment that was never locked: space is reserved,
+     data arrives at first lock. *)
+  let server, c1 = fresh_env () in
+  let h1 = open_segment c1 "host/reserve" in
+  wl_acquire h1;
+  let a = malloc h1 (int_array 10) ~name:"xs" in
+  Client.write_int c1 a 31337;
+  wl_release h1;
+  let c2 = direct_client server in
+  let p = mip_to_ptr c2 "host/reserve#xs" in
+  Alcotest.(check bool) "address reserved" true (p > 0);
+  Alcotest.(check int) "no data yet" 0 (Client.read_int c2 p);
+  let g = Option.get (Client.find_segment c2 "host/reserve") in
+  rl_acquire g;
+  Alcotest.(check int) "data after lock" 31337 (Client.read_int c2 p);
+  rl_release g
+
+let test_loopback_transport () =
+  let server = start_server () in
+  let c1 = loopback_client server in
+  let c2 = loopback_client ~arch:Arch.sparc32 server in
+  let h1 = open_segment c1 "host/loop" in
+  wl_acquire h1;
+  let a = malloc h1 (int_array 16) ~name:"xs" in
+  for i = 0 to 15 do
+    Client.write_int c1 (a + (i * 4)) (i * 3)
+  done;
+  wl_release h1;
+  let h2 = open_segment ~create:false c2 "host/loop" in
+  rl_acquire h2;
+  let b = (Option.get (Client.find_named_block h2 "xs")).Mem.b_addr in
+  for i = 0 to 15 do
+    Alcotest.(check int) (Printf.sprintf "loopback xs[%d]" i) (i * 3)
+      (Client.read_int c2 (b + (i * 4)))
+  done;
+  rl_release h2;
+  Client.disconnect c1;
+  Client.disconnect c2
+
+let test_checkpoint_restart () =
+  let dir = Filename.temp_file "iw" "ckpt" in
+  Sys.remove dir;
+  let server = start_server ~checkpoint_dir:dir () in
+  let c = direct_client server in
+  let h = open_segment c "host/persist" in
+  wl_acquire h;
+  let a = malloc h (int_array 10) ~name:"xs" in
+  Client.write_int c a 4242;
+  wl_release h;
+  Server.checkpoint server;
+  (* A brand new server process reloads the segment. *)
+  let server2 = start_server ~checkpoint_dir:dir () in
+  Alcotest.(check (list string)) "segment reloaded" [ "host/persist" ]
+    (Server.segment_names server2);
+  let c2 = direct_client server2 in
+  let h2 = open_segment ~create:false c2 "host/persist" in
+  rl_acquire h2;
+  let b = (Option.get (Client.find_named_block h2 "xs")).Mem.b_addr in
+  Alcotest.(check int) "data survived restart" 4242 (Client.read_int c2 b);
+  rl_release h2
+
+let test_strings_and_doubles_diff () =
+  let server, c1 = fresh_env ~arch:Arch.x86_32 () in
+  let c2 = direct_client ~arch:Arch.mips32 server in
+  let rec_t =
+    Desc.structure
+      [
+        Desc.field "label" (Desc.string 64);
+        Desc.field "values" (Desc.array Desc.double 8);
+      ]
+  in
+  let h1 = open_segment c1 "host/mixed" in
+  wl_acquire h1;
+  let a = malloc h1 rec_t ~name:"r" in
+  Client.write_string c1 ~capacity:64 (deref c1 rec_t a [ F "label" ]) "initial";
+  wl_release h1;
+  let h2 = open_segment ~create:false c2 "host/mixed" in
+  rl_acquire h2;
+  rl_release h2;
+  (* Update just the label and one double. *)
+  wl_acquire h1;
+  Client.write_string c1 ~capacity:64 (deref c1 rec_t a [ F "label" ]) "updated";
+  Client.write_double c1 (deref c1 rec_t a [ F "values"; I 3 ]) 9.5;
+  wl_release h1;
+  rl_acquire h2;
+  let b = (Option.get (Client.find_named_block h2 "r")).Mem.b_addr in
+  Alcotest.(check string) "string updated" "updated"
+    (Client.read_string c2 ~capacity:64 (deref c2 rec_t b [ F "label" ]));
+  Alcotest.(check (float 0.)) "double updated" 9.5
+    (Client.read_double c2 (deref c2 rec_t b [ F "values"; I 3 ]));
+  rl_release h2
+
+let suite =
+  ( "system",
+    [
+      Alcotest.test_case "create/write/read" `Quick test_create_write_read_back;
+      Alcotest.test_case "two clients share" `Quick test_two_clients_share;
+      Alcotest.test_case "incremental diffs" `Quick test_incremental_diff_only_changes;
+      Alcotest.test_case "heterogeneous structs" `Quick test_heterogeneous_struct_translation;
+      Alcotest.test_case "linked list pointers" `Quick test_linked_list_pointers;
+      Alcotest.test_case "MIP roundtrip" `Quick test_mip_roundtrip;
+      Alcotest.test_case "cross-segment pointers" `Quick test_cross_segment_pointers;
+      Alcotest.test_case "free propagates" `Quick test_free_propagates;
+      Alcotest.test_case "delta coherence" `Quick test_delta_coherence;
+      Alcotest.test_case "temporal coherence" `Quick test_temporal_coherence_skips_server;
+      Alcotest.test_case "diff coherence" `Quick test_diff_coherence;
+      Alcotest.test_case "write lock exclusion" `Quick test_write_lock_exclusion;
+      Alcotest.test_case "lock misuse rejected" `Quick test_lock_misuse_rejected;
+      Alcotest.test_case "nested locks" `Quick test_nested_locks;
+      Alcotest.test_case "no-diff mode" `Quick test_no_diff_mode_equivalent;
+      Alcotest.test_case "auto no-diff switch" `Quick test_auto_no_diff_switches;
+      Alcotest.test_case "empty release" `Quick test_empty_release_keeps_version;
+      Alcotest.test_case "reserve then fill" `Quick test_reserved_then_filled;
+      Alcotest.test_case "loopback transport" `Quick test_loopback_transport;
+      Alcotest.test_case "checkpoint restart" `Quick test_checkpoint_restart;
+      Alcotest.test_case "strings and doubles" `Quick test_strings_and_doubles_diff;
+    ] )

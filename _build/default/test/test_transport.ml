@@ -1,0 +1,125 @@
+(* Transports: loopback queue pair and TCP framing. *)
+
+let test_loopback_roundtrip () =
+  let a, b = Iw_transport.loopback () in
+  a.Iw_transport.send "hello";
+  Alcotest.(check string) "b receives" "hello" (b.Iw_transport.recv ());
+  b.Iw_transport.send "world";
+  Alcotest.(check string) "a receives" "world" (a.Iw_transport.recv ());
+  a.Iw_transport.send "";
+  Alcotest.(check string) "empty frame" "" (b.Iw_transport.recv ())
+
+let test_loopback_ordering () =
+  let a, b = Iw_transport.loopback () in
+  for i = 1 to 100 do
+    a.Iw_transport.send (string_of_int i)
+  done;
+  for i = 1 to 100 do
+    Alcotest.(check string) "fifo order" (string_of_int i) (b.Iw_transport.recv ())
+  done
+
+let test_loopback_blocking_recv () =
+  let a, b = Iw_transport.loopback () in
+  let got = ref "" in
+  let t = Thread.create (fun () -> got := b.Iw_transport.recv ()) () in
+  Thread.delay 0.02;
+  a.Iw_transport.send "late";
+  Thread.join t;
+  Alcotest.(check string) "blocked recv woke" "late" !got
+
+let test_loopback_close () =
+  let a, b = Iw_transport.loopback () in
+  a.Iw_transport.close ();
+  (try
+     ignore (b.Iw_transport.recv () : string);
+     Alcotest.fail "recv after close should raise"
+   with Iw_transport.Closed -> ());
+  try
+    a.Iw_transport.send "x";
+    Alcotest.fail "send after close should raise"
+  with Iw_transport.Closed -> ()
+
+let with_tcp_server handler f =
+  let port = 17000 + (Unix.getpid () mod 1000) in
+  let stop = ref false in
+  let t = Thread.create (fun () -> Iw_transport.tcp_server ~port ~stop handler) () in
+  Thread.delay 0.05;
+  Fun.protect
+    ~finally:(fun () ->
+      stop := true;
+      Thread.join t)
+    (fun () -> f port)
+
+let test_tcp_roundtrip () =
+  with_tcp_server
+    (fun conn ->
+      let rec loop () =
+        let frame = conn.Iw_transport.recv () in
+        conn.Iw_transport.send ("echo:" ^ frame);
+        loop ()
+      in
+      try loop () with Iw_transport.Closed -> ())
+    (fun port ->
+      let c = Iw_transport.tcp_connect ~host:"127.0.0.1" ~port in
+      c.Iw_transport.send "ping";
+      Alcotest.(check string) "echo" "echo:ping" (c.Iw_transport.recv ());
+      (* Large frame crosses the length-prefix path. *)
+      let big = String.make 300_000 'z' in
+      c.Iw_transport.send big;
+      Alcotest.(check string) "big echo" ("echo:" ^ big) (c.Iw_transport.recv ());
+      c.Iw_transport.close ())
+
+let test_tcp_full_stack () =
+  (* A real InterWeave server behind TCP, exercised end to end. *)
+  let server = Interweave.start_server () in
+  with_tcp_server
+    (fun conn -> Iw_server.serve_conn server conn)
+    (fun port ->
+      let c1 = Interweave.tcp_client ~host:"127.0.0.1" ~port () in
+      let c2 = Interweave.tcp_client ~arch:Iw_arch.sparc32 ~host:"127.0.0.1" ~port () in
+      let h1 = Interweave.open_segment c1 "tcp/seg" in
+      Iw_client.wl_acquire h1;
+      let a = Interweave.malloc h1 (Iw_types.Array (Prim Iw_arch.Int, 8)) ~name:"xs" in
+      for i = 0 to 7 do
+        Iw_client.write_int c1 (a + (i * 4)) (i * 5)
+      done;
+      Iw_client.wl_release h1;
+      let h2 = Interweave.open_segment ~create:false c2 "tcp/seg" in
+      Iw_client.rl_acquire h2;
+      let b = (Option.get (Iw_client.find_named_block h2 "xs")).Iw_mem.b_addr in
+      for i = 0 to 7 do
+        Alcotest.(check int) "value over tcp" (i * 5) (Iw_client.read_int c2 (b + (i * 4)))
+      done;
+      Iw_client.rl_release h2;
+      Iw_client.disconnect c1;
+      Iw_client.disconnect c2)
+
+let test_tcp_lock_released_on_disconnect () =
+  let server = Interweave.start_server () in
+  with_tcp_server
+    (fun conn -> Iw_server.serve_conn server conn)
+    (fun port ->
+      let c1 = Interweave.tcp_client ~host:"127.0.0.1" ~port () in
+      let h1 = Interweave.open_segment c1 "tcp/locked" in
+      Iw_client.wl_acquire h1;
+      (* Client 1 dies holding the write lock; the server must release it. *)
+      Iw_client.disconnect c1;
+      Thread.delay 0.1;
+      let c2 = Interweave.tcp_client ~host:"127.0.0.1" ~port () in
+      let h2 = Interweave.open_segment ~create:false c2 "tcp/locked" in
+      Iw_client.wl_acquire h2;
+      Iw_client.wl_release h2;
+      Iw_client.disconnect c2)
+
+let suite =
+  ( "transport",
+    [
+      Alcotest.test_case "loopback roundtrip" `Quick test_loopback_roundtrip;
+      Alcotest.test_case "loopback ordering" `Quick test_loopback_ordering;
+      Alcotest.test_case "loopback blocking recv" `Quick test_loopback_blocking_recv;
+      Alcotest.test_case "loopback close" `Quick test_loopback_close;
+      Alcotest.test_case "tcp roundtrip" `Quick test_tcp_roundtrip;
+      Alcotest.test_case "tcp full stack" `Quick test_tcp_full_stack;
+      Alcotest.test_case "tcp lock release on disconnect" `Quick
+        test_tcp_lock_released_on_disconnect;
+    ] )

@@ -1,0 +1,217 @@
+(* The RPC/XDR baseline: encoding rules, deep-copy pointers, sizes. *)
+
+let registry =
+  let r = Iw_types.Registry.create () in
+  Iw_types.Registry.define_name r "int" (Iw_types.Prim Iw_arch.Int);
+  Iw_types.Registry.define_name r "pair"
+    (Iw_types.Struct
+       [|
+         { Iw_types.fname = "x"; ftype = Prim Iw_arch.Int };
+         { Iw_types.fname = "y"; ftype = Prim Iw_arch.Int };
+       |]);
+  r
+
+let make_client arch =
+  let sp = Iw_mem.create_space arch in
+  let heap = Iw_mem.create_heap sp ~seg_id:1 in
+  (sp, heap)
+
+let alloc heap desc =
+  let conv = Iw_types.local (Iw_mem.arch (Iw_mem.heap_space heap)) in
+  let serial = ref 100 in
+  let b =
+    Iw_mem.alloc heap
+      ~serial:
+        (incr serial;
+         !serial)
+      ~desc_serial:0 (Iw_types.layout conv desc)
+  in
+  (b.Iw_mem.b_addr, Iw_types.layout conv desc)
+
+let test_int_is_4_bytes () =
+  let sp, heap = make_client Iw_arch.x86_32 in
+  let a, lay = alloc heap (Iw_types.Prim Iw_arch.Int) in
+  Iw_mem.store_prim sp Iw_arch.Int a (-5);
+  let buf = Iw_wire.Buf.create () in
+  Iw_xdr.marshal buf sp ~registry ~addr:a lay;
+  Alcotest.(check int) "int is 4 bytes" 4 (Iw_wire.Buf.length buf);
+  Alcotest.(check string) "big endian two's complement" "\xff\xff\xff\xfb"
+    (Iw_wire.Buf.contents buf)
+
+let test_char_short_widen () =
+  let sp, heap = make_client Iw_arch.x86_32 in
+  let desc =
+    Iw_types.Struct
+      [|
+        { Iw_types.fname = "c"; ftype = Prim Iw_arch.Char };
+        { Iw_types.fname = "s"; ftype = Prim Iw_arch.Short };
+      |]
+  in
+  let a, lay = alloc heap desc in
+  ignore sp;
+  let buf = Iw_wire.Buf.create () in
+  Iw_xdr.marshal buf sp ~registry ~addr:a lay;
+  Alcotest.(check int) "char and short widen to 4 bytes each" 8 (Iw_wire.Buf.length buf)
+
+let test_string_padding () =
+  let sp, heap = make_client Iw_arch.x86_32 in
+  let a, lay = alloc heap (Iw_types.Prim (Iw_arch.String 16)) in
+  Iw_mem.store_string sp ~capacity:16 a "abcde";
+  let buf = Iw_wire.Buf.create () in
+  Iw_xdr.marshal buf sp ~registry ~addr:a lay;
+  (* 4 length + 5 bytes + 3 pad *)
+  Alcotest.(check int) "padded to 4" 12 (Iw_wire.Buf.length buf);
+  Alcotest.(check int) "size function agrees" 12
+    (Iw_xdr.marshaled_size sp ~registry ~addr:a lay)
+
+let test_null_pointer () =
+  let sp, heap = make_client Iw_arch.x86_32 in
+  let a, lay = alloc heap (Iw_types.Ptr "int") in
+  ignore sp;
+  let buf = Iw_wire.Buf.create () in
+  Iw_xdr.marshal buf sp ~registry ~addr:a lay;
+  Alcotest.(check string) "null is a zero flag" "\x00\x00\x00\x00" (Iw_wire.Buf.contents buf)
+
+let test_deep_copy () =
+  let sp, heap = make_client Iw_arch.x86_32 in
+  let target, _ = alloc heap (Iw_types.Prim Iw_arch.Int) in
+  Iw_mem.store_prim sp Iw_arch.Int target 777;
+  let a, lay = alloc heap (Iw_types.Ptr "int") in
+  Iw_mem.store_prim sp Iw_arch.Pointer a target;
+  let buf = Iw_wire.Buf.create () in
+  Iw_xdr.marshal buf sp ~registry ~addr:a lay;
+  (* flag + pointee *)
+  Alcotest.(check int) "flag + int" 8 (Iw_wire.Buf.length buf);
+  let r = Iw_wire.Reader.of_string (Iw_wire.Buf.contents buf) in
+  Alcotest.(check int) "present" 1 (Iw_wire.Reader.u32 r);
+  Alcotest.(check int) "pointee value" 777 (Iw_wire.Reader.u32 r)
+
+let test_unmarshal_rebuilds_pointees () =
+  (* Marshal a pointer on x86, unmarshal on alpha: a fresh pointee block must
+     appear in the destination heap. *)
+  let sp, heap = make_client Iw_arch.x86_32 in
+  let target, _ = alloc heap (Iw_types.Prim Iw_arch.Int) in
+  Iw_mem.store_prim sp Iw_arch.Int target 31415;
+  let a, lay = alloc heap (Iw_types.Ptr "int") in
+  Iw_mem.store_prim sp Iw_arch.Pointer a target;
+  let buf = Iw_wire.Buf.create () in
+  Iw_xdr.marshal buf sp ~registry ~addr:a lay;
+  let dsp, dheap = make_client Iw_arch.alpha64 in
+  let da, dlay = alloc dheap (Iw_types.Ptr "int") in
+  let serial = ref 1000 in
+  let fresh_serial () =
+    incr serial;
+    !serial
+  in
+  let before = List.length (Iw_mem.heap_blocks dheap) in
+  Iw_xdr.unmarshal
+    (Iw_wire.Reader.of_string (Iw_wire.Buf.contents buf))
+    dheap ~registry ~addr:da ~fresh_serial dlay;
+  Alcotest.(check int) "one new block" (before + 1) (List.length (Iw_mem.heap_blocks dheap));
+  let p = Iw_mem.load_prim dsp Iw_arch.Pointer da in
+  Alcotest.(check bool) "pointer set" true (p <> 0);
+  Alcotest.(check int) "pointee value" 31415 (Iw_mem.load_prim dsp Iw_arch.Int p)
+
+let test_roundtrip_struct_cross_arch () =
+  let desc =
+    Iw_types.Struct
+      [|
+        { Iw_types.fname = "i"; ftype = Prim Iw_arch.Int };
+        { Iw_types.fname = "d"; ftype = Prim Iw_arch.Double };
+        { Iw_types.fname = "s"; ftype = Prim (Iw_arch.String 12) };
+        { Iw_types.fname = "l"; ftype = Prim Iw_arch.Long };
+        { Iw_types.fname = "xs"; ftype = Array (Prim Iw_arch.Short, 3) };
+      |]
+  in
+  let sp, heap = make_client Iw_arch.sparc32 in
+  let a, lay = alloc heap desc in
+  let off i = (Iw_types.locate_prim lay i).Iw_types.l_off in
+  Iw_mem.store_prim sp Iw_arch.Int (a + off 0) 42;
+  Iw_mem.store_double sp (a + off 1) (-0.5);
+  Iw_mem.store_string sp ~capacity:12 (a + off 2) "xdr";
+  Iw_mem.store_prim sp Iw_arch.Long (a + off 3) (-9);
+  List.iteri (fun i v -> Iw_mem.store_prim sp Iw_arch.Short (a + off (4 + i)) v) [ 1; -2; 3 ];
+  let buf = Iw_wire.Buf.create () in
+  Iw_xdr.marshal buf sp ~registry ~addr:a lay;
+  let dsp, dheap = make_client Iw_arch.x86_32 in
+  let da, dlay = alloc dheap desc in
+  let doff i = (Iw_types.locate_prim dlay i).Iw_types.l_off in
+  Iw_xdr.unmarshal
+    (Iw_wire.Reader.of_string (Iw_wire.Buf.contents buf))
+    dheap ~registry ~addr:da
+    ~fresh_serial:(fun () -> 999)
+    dlay;
+  Alcotest.(check int) "int" 42 (Iw_mem.load_prim dsp Iw_arch.Int (da + doff 0));
+  Alcotest.(check (float 0.)) "double" (-0.5) (Iw_mem.load_double dsp (da + doff 1));
+  Alcotest.(check string) "string" "xdr" (Iw_mem.load_string dsp ~capacity:12 (da + doff 2));
+  Alcotest.(check int) "long" (-9) (Iw_mem.load_prim dsp Iw_arch.Long (da + doff 3));
+  List.iteri
+    (fun i v ->
+      Alcotest.(check int) "short" v (Iw_mem.load_prim dsp Iw_arch.Short (da + doff (4 + i))))
+    [ 1; -2; 3 ]
+
+let test_cycle_detected () =
+  (* A self-referential node makes deep copy diverge; the library reports it
+     rather than looping forever. *)
+  let node =
+    Iw_types.Struct
+      [|
+        { Iw_types.fname = "v"; ftype = Prim Iw_arch.Int };
+        { Iw_types.fname = "next"; ftype = Ptr "cyc_node" };
+      |]
+  in
+  let r = Iw_types.Registry.create () in
+  Iw_types.Registry.define_name r "cyc_node" node;
+  let sp, heap = make_client Iw_arch.x86_32 in
+  let a, lay = alloc heap node in
+  (* point next at itself *)
+  let next_off = (Iw_types.locate_prim lay 1).Iw_types.l_off in
+  Iw_mem.store_prim sp Iw_arch.Pointer (a + next_off) a;
+  let buf = Iw_wire.Buf.create () in
+  try
+    Iw_xdr.marshal buf sp ~registry:r ~addr:a lay;
+    Alcotest.fail "expected Cycle"
+  with Iw_xdr.Cycle -> ()
+
+let test_acyclic_list_ok () =
+  let node =
+    Iw_types.Struct
+      [|
+        { Iw_types.fname = "v"; ftype = Prim Iw_arch.Int };
+        { Iw_types.fname = "next"; ftype = Ptr "list_node" };
+      |]
+  in
+  let r = Iw_types.Registry.create () in
+  Iw_types.Registry.define_name r "list_node" node;
+  let sp, heap = make_client Iw_arch.x86_32 in
+  let conv = Iw_types.local Iw_arch.x86_32 in
+  let lay = Iw_types.layout conv node in
+  let next_off = (Iw_types.locate_prim lay 1).Iw_types.l_off in
+  let serial = ref 0 in
+  let mk v next =
+    incr serial;
+    let b = Iw_mem.alloc heap ~serial:!serial ~desc_serial:0 lay in
+    Iw_mem.store_prim sp Iw_arch.Int b.Iw_mem.b_addr v;
+    Iw_mem.store_prim sp Iw_arch.Pointer (b.Iw_mem.b_addr + next_off) next;
+    b.Iw_mem.b_addr
+  in
+  let l = mk 1 (mk 2 (mk 3 0)) in
+  let buf = Iw_wire.Buf.create () in
+  Iw_xdr.marshal buf sp ~registry:r ~addr:l lay;
+  (* 3 nodes x (int 4 + flag 4) + final null flag... each node: v(4) + ptr
+     flag(4), plus two pointees inline. total = 3*8 = 24 *)
+  Alcotest.(check int) "whole list marshaled" 24 (Iw_wire.Buf.length buf)
+
+let suite =
+  ( "xdr",
+    [
+      Alcotest.test_case "int is 4 bytes" `Quick test_int_is_4_bytes;
+      Alcotest.test_case "char/short widen" `Quick test_char_short_widen;
+      Alcotest.test_case "string padding" `Quick test_string_padding;
+      Alcotest.test_case "null pointer" `Quick test_null_pointer;
+      Alcotest.test_case "deep copy" `Quick test_deep_copy;
+      Alcotest.test_case "unmarshal rebuilds pointees" `Quick test_unmarshal_rebuilds_pointees;
+      Alcotest.test_case "cross-arch roundtrip" `Quick test_roundtrip_struct_cross_arch;
+      Alcotest.test_case "cycle detected" `Quick test_cycle_detected;
+      Alcotest.test_case "acyclic list ok" `Quick test_acyclic_list_ok;
+    ] )
