@@ -1,0 +1,16 @@
+.PHONY: all build test check clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# Build everything, run the test suite, and lint the example IDL.
+check:
+	dune build @check
+
+clean:
+	dune clean

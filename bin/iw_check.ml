@@ -1,0 +1,91 @@
+(* Standalone driver for the analysis tooling: lints IDL files against every
+   (or a chosen set of) machine architecture descriptors.  Exit status: 0
+   when clean (notes never fail a run), 1 when errors — or, under --Werror,
+   warnings — were reported, 2 on usage or parse failures. *)
+
+let resolve_arches = function
+  | [] -> Ok Iw_arch.all
+  | names ->
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | n :: rest -> (
+        match Iw_arch.find n with
+        | Some a -> go (a :: acc) rest
+        | None ->
+          Error
+            (Printf.sprintf "unknown architecture %S (known: %s)" n
+               (String.concat ", " (List.map (fun a -> a.Iw_arch.name) Iw_arch.all))))
+    in
+    go [] names
+
+let run files json werror arch_names =
+  match resolve_arches arch_names with
+  | Error msg ->
+    Printf.eprintf "iw-check: %s\n" msg;
+    2
+  | Ok arches -> (
+    try
+      let per_file =
+        List.map
+          (fun file ->
+            let decls = Iw_idl.parse_file file in
+            (file, Iw_lint.lint ~arches decls))
+          files
+      in
+      if json then begin
+        let entry (file, ds) =
+          Printf.sprintf "{\"file\":\"%s\",\"diagnostics\":%s}" file (Iw_lint.to_json ds)
+        in
+        print_endline ("[" ^ String.concat "," (List.map entry per_file) ^ "]")
+      end
+      else
+        List.iter
+          (fun (file, ds) ->
+            List.iter
+              (fun d -> Format.printf "%a@." (Iw_lint.pp_diagnostic ~file) d)
+              ds)
+          per_file;
+      let worst = Iw_lint.worst (List.concat_map snd per_file) in
+      match worst with
+      | Some Iw_lint.Error -> 1
+      | Some Iw_lint.Warning when werror -> 1
+      | _ -> 0
+    with
+    | Iw_idl.Parse_error msg ->
+      Printf.eprintf "iw-check: %s\n" msg;
+      2
+    | Sys_error msg ->
+      Printf.eprintf "iw-check: %s\n" msg;
+      2)
+
+open Cmdliner
+
+let files =
+  Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE.idl" ~doc:"IDL files to lint.")
+
+let json =
+  Arg.(value & flag & info [ "json" ] ~doc:"Emit diagnostics as a JSON array.")
+
+let werror =
+  Arg.(value & flag & info [ "Werror" ] ~doc:"Treat warnings as errors (exit 1).")
+
+let arch_names =
+  Arg.(
+    value
+    & opt_all string []
+    & info [ "arch" ] ~docv:"NAME"
+        ~doc:"Architecture(s) to check layouts against (repeatable; default: all).")
+
+(* --lint is the default and only mode today; the flag exists so invocations
+   read naturally and stay stable when further modes are added. *)
+let lint_flag =
+  Arg.(value & flag & info [ "lint" ] ~doc:"Run the IDL lint pass (the default).")
+
+let cmd =
+  let doc = "static checks for InterWeave IDL files" in
+  Cmd.v
+    (Cmd.info "iw-check" ~doc)
+    Term.(const (fun files json werror arches _lint -> run files json werror arches)
+          $ files $ json $ werror $ arch_names $ lint_flag)
+
+let () = exit (Cmd.eval' cmd)

@@ -2,10 +2,20 @@
    OCaml binding modules (descriptors + typed accessors), the counterpart of
    the paper's IDL compiler for C/C++/Java/Fortran (Sec. 2.1). *)
 
-let run input output prefix check_only =
+let run input output prefix check_only lint werror =
   try
     let decls = Iw_idl.parse_file input in
-    if check_only then begin
+    if lint then begin
+      let ds = Iw_lint.lint decls in
+      List.iter
+        (fun d -> Format.eprintf "%a@." (Iw_lint.pp_diagnostic ~file:input) d)
+        ds;
+      match Iw_lint.worst ds with
+      | Some Iw_lint.Error -> 1
+      | Some Iw_lint.Warning when werror -> 1
+      | _ -> 0
+    end
+    else if check_only then begin
       List.iter
         (fun (d : Iw_idl.decl) ->
           Printf.printf "struct %-20s %4d primitive units\n" d.Iw_idl.d_name
@@ -48,8 +58,17 @@ let prefix =
 let check_only =
   Arg.(value & flag & info [ "check" ] ~doc:"Parse and report sizes; generate nothing.")
 
+let lint =
+  Arg.(
+    value & flag
+    & info [ "lint" ] ~doc:"Run the Iw_lint static checks; generate nothing.")
+
+let werror =
+  Arg.(value & flag & info [ "Werror" ] ~doc:"With $(b,--lint), treat warnings as errors.")
+
 let cmd =
   let doc = "InterWeave IDL compiler" in
-  Cmd.v (Cmd.info "iw-idlc" ~doc) Term.(const run $ input $ output $ prefix $ check_only)
+  Cmd.v (Cmd.info "iw-idlc" ~doc)
+    Term.(const run $ input $ output $ prefix $ check_only $ lint $ werror)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,413 @@
+(* Static lint over IDL declarations.  See the interface for the catalogue
+   of codes.  Layout-sensitive checks run the real layout engine over every
+   architecture descriptor rather than re-deriving sizes, so they stay
+   correct if conventions change. *)
+
+type severity =
+  | Error
+  | Warning
+  | Note
+
+type diagnostic = {
+  code : string;
+  severity : severity;
+  decl : string;
+  field : string option;
+  line : int;
+  col : int;
+  message : string;
+}
+
+let severity_name = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Note -> "note"
+
+let severity_rank = function Error -> 2 | Warning -> 1 | Note -> 0
+
+let worst = function
+  | [] -> None
+  | ds ->
+      Some
+        (List.fold_left
+           (fun acc d -> if severity_rank d.severity > severity_rank acc then d.severity else acc)
+           Note ds)
+
+(* {2 Descriptor walks} *)
+
+let rec iter_desc f (d : Iw_types.desc) =
+  f d;
+  match d with
+  | Iw_types.Prim _ | Iw_types.Ptr _ -> ()
+  | Iw_types.Array (e, _) -> iter_desc f e
+  | Iw_types.Struct fs -> Array.iter (fun fl -> iter_desc f fl.Iw_types.ftype) fs
+
+let ptr_targets d =
+  let acc = ref [] in
+  iter_desc (function Iw_types.Ptr n -> acc := n :: !acc | _ -> ()) d;
+  List.rev !acc
+
+let contains_ptr_to name d = List.mem name (ptr_targets d)
+
+(* The primitive a field stores, looking through arrays: [int x[10]] is an
+   int field for lint purposes. *)
+let rec field_base = function
+  | Iw_types.Array (e, _) -> field_base e
+  | d -> d
+
+let top_fields (d : Iw_idl.decl) =
+  match d.Iw_idl.d_desc with
+  | Iw_types.Struct fs -> Array.to_list fs
+  | _ -> []
+
+let diag ~code ~severity ~(d : Iw_idl.decl) ?field message =
+  let loc =
+    match field with
+    | None -> d.Iw_idl.d_loc
+    | Some f -> Iw_idl.field_loc d f
+  in
+  {
+    code;
+    severity;
+    decl = d.Iw_idl.d_name;
+    field;
+    line = loc.Iw_idl.l_line;
+    col = loc.Iw_idl.l_col;
+    message;
+  }
+
+(* {2 IDL001: pointer cycles}
+
+   Strongly connected components of the points-to graph via Tarjan.  A
+   multi-struct SCC is always diagnosed; a self-loop is diagnosed only when
+   the struct carries two or more pointers back to itself (the doubly-linked
+   idiom), because a single self-pointer is the ordinary acyclic list and
+   the reason [Ptr] names its target at all (paper, Section 2.1). *)
+
+let sccs (nodes : string list) (succ : string -> string list) =
+  let index = Hashtbl.create 16
+  and lowlink = Hashtbl.create 16
+  and on_stack = Hashtbl.create 16 in
+  let stack = ref [] and counter = ref 0 and out = ref [] in
+  let rec strong v =
+    Hashtbl.replace index v !counter;
+    Hashtbl.replace lowlink v !counter;
+    incr counter;
+    stack := v :: !stack;
+    Hashtbl.replace on_stack v true;
+    List.iter
+      (fun w ->
+        if not (Hashtbl.mem index w) then begin
+          strong w;
+          Hashtbl.replace lowlink v (min (Hashtbl.find lowlink v) (Hashtbl.find lowlink w))
+        end
+        else if Hashtbl.mem on_stack w then
+          Hashtbl.replace lowlink v (min (Hashtbl.find lowlink v) (Hashtbl.find index w)))
+      (succ v);
+    if Hashtbl.find lowlink v = Hashtbl.find index v then begin
+      let rec pop acc =
+        match !stack with
+        | [] -> acc
+        | w :: rest ->
+            stack := rest;
+            Hashtbl.remove on_stack w;
+            if w = v then w :: acc else pop (w :: acc)
+      in
+      out := pop [] :: !out
+    end
+  in
+  List.iter (fun v -> if not (Hashtbl.mem index v) then strong v) nodes;
+  !out
+
+let check_cycles (decls : Iw_idl.decl list) =
+  let names = List.map (fun d -> d.Iw_idl.d_name) decls in
+  let known n = List.mem n names in
+  let by_name n = List.find (fun d -> d.Iw_idl.d_name = n) decls in
+  let succ n = List.filter known (ptr_targets (by_name n).Iw_idl.d_desc) in
+  let components = sccs names succ in
+  List.concat_map
+    (fun comp ->
+      let cyclic =
+        match comp with
+        | [ n ] ->
+            (* self-loop: flag only >= 2 pointers back to self *)
+            List.length (List.filter (( = ) n) (succ n)) >= 2
+        | _ :: _ :: _ -> true
+        | [] -> false
+      in
+      if not cyclic then []
+      else
+        let ring = String.concat " -> " (comp @ [ List.hd comp ]) in
+        List.filter_map
+          (fun n ->
+            let d = by_name n in
+            let fld =
+              List.find_opt
+                (fun fl ->
+                  List.exists (fun t -> List.mem t comp) (ptr_targets fl.Iw_types.ftype))
+                (top_fields d)
+            in
+            match fld with
+            | None -> None
+            | Some fl ->
+                Some
+                  (diag ~code:"IDL001" ~severity:Warning ~d ~field:fl.Iw_types.fname
+                     (Printf.sprintf
+                        "pointer cycle %s: instances form cyclic graphs that XDR deep copy \
+                         (Iw_xdr.marshal) rejects"
+                        ring)))
+          comp)
+    components
+
+(* {2 IDL002 / IDL003: reference checks} *)
+
+let check_unresolved (decls : Iw_idl.decl list) =
+  let names = List.map (fun d -> d.Iw_idl.d_name) decls in
+  List.concat_map
+    (fun d ->
+      List.filter_map
+        (fun fl ->
+          match
+            List.find_opt (fun t -> not (List.mem t names)) (ptr_targets fl.Iw_types.ftype)
+          with
+          | None -> None
+          | Some t ->
+              Some
+                (diag ~code:"IDL002" ~severity:Error ~d ~field:fl.Iw_types.fname
+                   (Printf.sprintf
+                      "pointer to undeclared struct '%s': the descriptor cannot be registered"
+                      t)))
+        (top_fields d))
+    decls
+
+let check_unused (decls : Iw_idl.decl list) =
+  match decls with
+  | [] | [ _ ] -> []
+  | _ ->
+      let last = List.nth decls (List.length decls - 1) in
+      let referenced (d : Iw_idl.decl) =
+        List.exists
+          (fun (e : Iw_idl.decl) ->
+            e.Iw_idl.d_name <> d.Iw_idl.d_name
+            && (contains_ptr_to d.Iw_idl.d_name e.Iw_idl.d_desc
+               ||
+               (* by-value embedding inlines the descriptor, so detect it
+                  structurally *)
+               let hit = ref false in
+               iter_desc
+                 (fun sub ->
+                   if sub != e.Iw_idl.d_desc && Iw_types.equal sub d.Iw_idl.d_desc then
+                     hit := true)
+                 e.Iw_idl.d_desc;
+               !hit))
+          decls
+      in
+      List.filter_map
+        (fun d ->
+          if d.Iw_idl.d_name = last.Iw_idl.d_name || referenced d then None
+          else
+            Some
+              (diag ~code:"IDL003" ~severity:Note ~d
+                 (Printf.sprintf
+                    "struct '%s' is never embedded or pointed to by another declaration"
+                    d.Iw_idl.d_name)))
+        decls
+
+(* {2 IDL004 / IDL005 / IDL007: per-field primitive checks} *)
+
+let check_fields (decls : Iw_idl.decl list) =
+  List.concat_map
+    (fun d ->
+      List.filter_map
+        (fun fl ->
+          let f = fl.Iw_types.fname in
+          match field_base fl.Iw_types.ftype with
+          | Iw_types.Prim Iw_arch.Pointer ->
+              Some
+                (diag ~code:"IDL004" ~severity:Warning ~d ~field:f
+                   "untyped pointer (void *) cannot be swizzled; remote readers see only \
+                    a presence flag")
+          | Iw_types.Prim (Iw_arch.String n) when n < 4 ->
+              Some
+                (diag ~code:"IDL005" ~severity:Warning ~d ~field:f
+                   (Printf.sprintf
+                      "inline string char[%d] holds at most %d usable byte%s before the \
+                       NUL terminator; did you mean a byte array?"
+                      n (n - 1)
+                      (if n - 1 = 1 then "" else "s")))
+          | Iw_types.Prim Iw_arch.Long ->
+              Some
+                (diag ~code:"IDL007" ~severity:Warning ~d ~field:f
+                   "'long' is 4 bytes on 32-bit architectures and 8 on alpha64; values \
+                    wider than 32 bits silently truncate on 32-bit clients (use int for \
+                    portable 4-byte data)")
+          | _ -> None)
+        (top_fields d))
+    decls
+
+(* {2 IDL006 / IDL008 / IDL009: layout checks} *)
+
+let field_offsets conv (d : Iw_idl.decl) =
+  let off = ref 0 in
+  List.map
+    (fun fl ->
+      let lay = Iw_types.layout conv fl.Iw_types.ftype in
+      off := Iw_arch.align_up !off (Iw_types.align lay);
+      let here = !off in
+      off := !off + Iw_types.size lay;
+      (fl.Iw_types.fname, here))
+    (top_fields d)
+
+let check_layouts ~arches (decls : Iw_idl.decl list) =
+  List.concat_map
+    (fun d ->
+      let layouts =
+        List.map
+          (fun a -> (a, Iw_types.layout (Iw_types.local a) d.Iw_idl.d_desc))
+          arches
+      in
+      (* IDL009: block larger than a page on some architecture *)
+      let oversized =
+        let worst =
+          List.fold_left
+            (fun acc (a, lay) ->
+              let sz = Iw_types.size lay in
+              match acc with Some (_, w) when w >= sz -> acc | _ -> Some (a, sz))
+            None layouts
+        in
+        match worst with
+        | Some (a, sz) when sz > Iw_mem.page_size ->
+            [
+              diag ~code:"IDL009" ~severity:Warning ~d
+                (Printf.sprintf
+                   "layout is %d bytes on %s, larger than the %d-byte page: every block \
+                    spans pages and degrades twin/diff granularity"
+                   sz a.Iw_arch.name Iw_mem.page_size);
+            ]
+        | _ -> []
+      in
+      (* IDL006: alignment padding waste *)
+      let padding =
+        let worst =
+          List.fold_left
+            (fun acc (a, lay) ->
+              let sz = Iw_types.size lay in
+              let payload =
+                Iw_types.fold_prims lay ~from:0
+                  ~upto:(Iw_types.layout_prim_count lay) ~init:0
+                  ~f:(fun acc l -> acc + Iw_arch.prim_size a l.Iw_types.l_prim)
+              in
+              let waste = sz - payload in
+              match acc with
+              | Some (_, _, _, w) when w >= waste -> acc
+              | _ -> Some (a, sz, payload, waste))
+            None layouts
+        in
+        match worst with
+        | Some (a, sz, _, waste) when waste >= 8 && waste * 4 >= sz ->
+            [
+              diag ~code:"IDL006" ~severity:Note ~d
+                (Printf.sprintf
+                   "%d of %d bytes on %s are alignment padding; reordering fields \
+                    (widest first) would shrink every cached copy"
+                   waste sz a.Iw_arch.name);
+            ]
+        | _ -> []
+      in
+      (* IDL008: x86_32 and sparc32 share every primitive size and differ
+         only in double alignment, so any offset divergence between them is
+         purely alignment-driven. *)
+      let divergence =
+        let a1 = Iw_arch.x86_32 and a2 = Iw_arch.sparc32 in
+        if List.exists (fun a -> a.Iw_arch.name = a1.Iw_arch.name) arches
+           && List.exists (fun a -> a.Iw_arch.name = a2.Iw_arch.name) arches
+        then begin
+          let off1 = field_offsets (Iw_types.local a1) d
+          and off2 = field_offsets (Iw_types.local a2) d in
+          match
+            List.find_opt
+              (fun ((_, o1), (_, o2)) -> o1 <> o2)
+              (List.combine off1 off2)
+          with
+          | Some ((f, o1), (_, o2)) ->
+              [
+                diag ~code:"IDL008" ~severity:Note ~d ~field:f
+                  (Printf.sprintf
+                     "field offset differs between x86_32 (%d) and sparc32 (%d) from \
+                      double alignment alone; word-granular diff runs will not line up \
+                      across machines"
+                     o1 o2);
+              ]
+          | None ->
+              let s1 = Iw_types.size (Iw_types.layout (Iw_types.local a1) d.Iw_idl.d_desc)
+              and s2 = Iw_types.size (Iw_types.layout (Iw_types.local a2) d.Iw_idl.d_desc) in
+              if s1 <> s2 then
+                [
+                  diag ~code:"IDL008" ~severity:Note ~d
+                    (Printf.sprintf
+                       "struct size differs between x86_32 (%d) and sparc32 (%d) from \
+                        double alignment alone (trailing padding)"
+                       s1 s2);
+                ]
+              else []
+        end
+        else []
+      in
+      oversized @ padding @ divergence)
+    decls
+
+(* {2 Driver} *)
+
+let lint ?(arches = Iw_arch.all) (decls : Iw_idl.decl list) =
+  let ds =
+    check_unresolved decls @ check_cycles decls @ check_unused decls
+    @ check_fields decls @ check_layouts ~arches decls
+  in
+  List.stable_sort
+    (fun a b ->
+      match compare (a.line, a.col) (b.line, b.col) with
+      | 0 -> compare a.code b.code
+      | c -> c)
+    ds
+
+(* {2 Rendering} *)
+
+let pp_diagnostic ?file ppf d =
+  let where =
+    match file with
+    | None -> Printf.sprintf "%d:%d" d.line d.col
+    | Some f -> Printf.sprintf "%s:%d:%d" f d.line d.col
+  in
+  let subject =
+    match d.field with
+    | None -> Printf.sprintf "struct '%s'" d.decl
+    | Some f -> Printf.sprintf "struct '%s' field '%s'" d.decl f
+  in
+  Format.fprintf ppf "%s: %s %s: %s: %s" where (severity_name d.severity) d.code subject
+    d.message
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json ds =
+  let one d =
+    Printf.sprintf
+      "{\"code\":\"%s\",\"severity\":\"%s\",\"struct\":\"%s\",\"field\":%s,\"line\":%d,\"col\":%d,\"message\":\"%s\"}"
+      d.code (severity_name d.severity) (json_escape d.decl)
+      (match d.field with
+      | None -> "null"
+      | Some f -> Printf.sprintf "\"%s\"" (json_escape f))
+      d.line d.col (json_escape d.message)
+  in
+  "[" ^ String.concat "," (List.map one ds) ^ "]"

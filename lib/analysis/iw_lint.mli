@@ -1,0 +1,73 @@
+(** Static lint over IDL declarations.
+
+    Cross-checks every declaration against all built-in architecture
+    descriptors, so a type that happens to look fine on the machine its
+    author tested is still diagnosed when its layout misbehaves on another
+    (paper, Sections 2–3).  Each diagnostic carries a stable code, a
+    severity, and the source position recorded by the parser.
+
+    Codes:
+    - [IDL001] {e warning} — pointer cycle that breaks XDR deep copy: a
+      cycle through typed pointers across two or more structs, or a struct
+      with two or more pointers back into its own cycle (the doubly-linked
+      idiom).  Instances of such types are cyclic by construction and
+      {!Iw_xdr.marshal} cannot deep-copy them.  A single self-referential
+      pointer (the ordinary list idiom) is not flagged.
+    - [IDL002] {e error} — unresolvable pointer target: a [Ptr] naming a
+      struct not present in the declaration list (possible when linting
+      hand-built descriptors; the parser rejects this in source).
+    - [IDL003] {e note} — unused struct: in a multi-struct file, a
+      declaration other than the final one that no other declaration embeds
+      or points to.
+    - [IDL004] {e warning} — [void*] field: an untyped pointer travels as a
+      presence flag only and defeats swizzling; readers on other machines
+      cannot follow it.
+    - [IDL005] {e warning} — inline-string capacity confusion: [char[N]]
+      with [N < 4] holds at most [N-1] usable bytes; a byte array was
+      probably intended ([byte[N]]).
+    - [IDL006] {e note} — padding waste: on some architecture at least 25%
+      (and at least 8 bytes) of the struct's local layout is alignment
+      padding; reordering fields would shrink every cached copy and diff.
+    - [IDL007] {e warning} — [long] field: 4 bytes on the 32-bit
+      architectures but 8 on [alpha64]; values wider than 32 bits silently
+      truncate on 32-bit clients.
+    - [IDL008] {e note} — alignment-driven layout divergence: a field whose
+      byte offset (or the struct whose size) differs between [x86_32] and
+      [sparc32] — same primitive sizes, different [double] alignment — so
+      word-granular modification runs cover different unit ranges per
+      machine and wire diffs silently bloat.
+    - [IDL009] {e warning} — block layout larger than {!Iw_mem.page_size}
+      on some architecture: every such block spans pages, degrading
+      twin/diff granularity. *)
+
+type severity =
+  | Error
+  | Warning
+  | Note
+
+type diagnostic = {
+  code : string;  (** stable, e.g. ["IDL004"] *)
+  severity : severity;
+  decl : string;  (** struct name *)
+  field : string option;
+  line : int;
+  col : int;
+  message : string;
+}
+
+val lint : ?arches:Iw_arch.t list -> Iw_idl.decl list -> diagnostic list
+(** Run every check over the declarations.  [arches] defaults to
+    {!Iw_arch.all}.  Diagnostics come back in source order. *)
+
+val severity_name : severity -> string
+(** ["error"], ["warning"], or ["note"]. *)
+
+val worst : diagnostic list -> severity option
+(** Most severe level present, [None] for an empty report. *)
+
+val pp_diagnostic : ?file:string -> Format.formatter -> diagnostic -> unit
+(** [file:line:col: severity code: struct 's' field 'f': message]. *)
+
+val to_json : diagnostic list -> string
+(** A JSON array of diagnostic objects with keys [code], [severity],
+    [struct], [field], [line], [col], [message]. *)

@@ -1,0 +1,287 @@
+(* Dynamic lockset/lifetime checker.  All state is driven by the client's
+   observation hooks; the client itself is never consulted ahead of time, so
+   attaching the sanitizer cannot change program behaviour (under [Collect]).
+
+   Hooks fire at operation entry, before the client validates or mutates
+   anything, so lock states observed here are the pre-operation states. *)
+
+type policy =
+  | Collect
+  | Raise
+
+type report = {
+  r_code : string;
+  r_segment : string option;
+  r_addr : Iw_mem.addr option;
+  r_message : string;
+}
+
+exception Violation of report
+
+(* A byte range remembered for lifetime checks, tagged with its segment. *)
+type range = {
+  rg_lo : int;
+  rg_len : int;
+  rg_seg : string;
+}
+
+type t = {
+  sz_client : Iw_client.t;
+  sz_policy : policy;
+  sz_strict_reads : bool;
+  mutable sz_reports : report list;  (* newest first *)
+  mutable sz_freed : range list;  (* frees committed by a write-lock release *)
+  mutable sz_pending_free : range list;  (* freed in the current critical section *)
+  mutable sz_aborted : range list;  (* blocks created in aborted critical sections *)
+  mutable sz_cs_allocs : range list;  (* allocated in the current critical section *)
+  sz_tainted : (int, unit) Hashtbl.t;  (* suspect pointer values *)
+  sz_blessed : (int, unit) Hashtbl.t;  (* addresses produced by mip_to_ptr *)
+  mutable sz_held : string list;  (* segment lock order, innermost first *)
+  sz_order : (string * string, unit) Hashtbl.t;  (* observed locked-before edges *)
+  mutable sz_active : bool;
+}
+
+let record t ?segment ?addr code fmt =
+  Printf.ksprintf
+    (fun msg ->
+      let r = { r_code = code; r_segment = segment; r_addr = addr; r_message = msg } in
+      t.sz_reports <- r :: t.sz_reports;
+      match t.sz_policy with Collect -> () | Raise -> raise (Violation r))
+    fmt
+
+let in_range a r = a >= r.rg_lo && a < r.rg_lo + r.rg_len
+
+let overlaps lo len r = lo < r.rg_lo + r.rg_len && r.rg_lo < lo + len
+
+let state_name = function
+  | `Unlocked -> "unlocked"
+  | `Read n -> Printf.sprintf "read-locked (depth %d)" n
+  | `Write n -> Printf.sprintf "write-locked (depth %d)" n
+
+(* {2 Memory accesses} *)
+
+let lock_check t ~store a =
+  match Iw_client.segment_of_addr t.sz_client a with
+  | None -> ()
+  | Some g -> (
+      let segment = Iw_client.segment_name g in
+      match Iw_client.lock_state g with
+      | `Write _ -> ()
+      | `Read _ ->
+          if store then
+            record t ~segment ~addr:a "SAN02"
+              "store to segment '%s' under a read lock; writes need the write lock" segment
+      | `Unlocked ->
+          if store then
+            record t ~segment ~addr:a "SAN02"
+              "store to segment '%s' outside any critical section" segment
+          else if t.sz_strict_reads then
+            record t ~segment ~addr:a "SAN01"
+              "load from segment '%s' outside any critical section" segment)
+
+let on_access t ~store a ~len:_ =
+  if t.sz_active then begin
+    let live = Iw_client.block_of_addr t.sz_client a <> None in
+    if Hashtbl.mem t.sz_tainted a then begin
+      (* a suspect pointer value designating live data is retroactively fine *)
+      Hashtbl.remove t.sz_tainted a;
+      if not live then
+        record t ~addr:a "SAN09"
+          "dereference of unswizzled pointer value %d: not a live block and never \
+           produced by mip_to_ptr"
+          a
+    end;
+    (* Lifetime checks run before the liveness shortcut: a block freed in the
+       current critical section is still live at the memory layer (the real
+       free happens at commit so aborts can resurrect it).  Stale ranges are
+       purged whenever an allocation reuses their addresses, so any hit is a
+       genuine stale access. *)
+    match List.find_opt (in_range a) (t.sz_pending_free @ t.sz_freed) with
+    | Some r ->
+        record t ~segment:r.rg_seg ~addr:a "SAN05"
+          "use-after-free: address %d is inside a freed block of segment '%s'" a r.rg_seg
+    | None -> (
+        match List.find_opt (in_range a) t.sz_aborted with
+        | Some r ->
+            record t ~segment:r.rg_seg ~addr:a "SAN06"
+              "access to a block created in an aborted critical section of segment '%s'"
+              r.rg_seg
+        | None -> lock_check t ~store a)
+  end
+
+(* {2 Lock operations} *)
+
+let drop_seg t name = t.sz_held <- List.filter (( <> ) name) t.sz_held
+
+let on_lock t g op =
+  if t.sz_active then begin
+    let segment = Iw_client.segment_name g in
+    let st = Iw_client.lock_state g in
+    match (op : Iw_client.lock_op) with
+    | Op_rl_acquire | Op_wl_acquire -> (
+        match st with
+        | `Unlocked ->
+            List.iter
+              (fun held ->
+                if Hashtbl.mem t.sz_order (segment, held) then
+                  record t ~segment "SAN08"
+                    "lock-order inversion: '%s' locked while holding '%s', but the \
+                     opposite order was used earlier"
+                    segment held;
+                Hashtbl.replace t.sz_order (held, segment) ())
+              t.sz_held;
+            t.sz_held <- segment :: t.sz_held
+        | `Read _ | `Write _ -> ())
+    | Op_rl_release -> (
+        match st with
+        | `Read 1 -> drop_seg t segment
+        | `Read _ -> ()
+        | (`Unlocked | `Write _) as st ->
+            record t ~segment "SAN07"
+              "read-lock release on segment '%s' which is %s" segment (state_name st))
+    | Op_wl_release -> (
+        match st with
+        | `Write 1 ->
+            (* outermost release: the critical section commits *)
+            let mine r = r.rg_seg = segment in
+            t.sz_freed <- List.filter mine t.sz_pending_free @ t.sz_freed;
+            t.sz_pending_free <- List.filter (fun r -> not (mine r)) t.sz_pending_free;
+            t.sz_cs_allocs <- List.filter (fun r -> not (mine r)) t.sz_cs_allocs;
+            drop_seg t segment
+        | `Write _ -> ()
+        | (`Unlocked | `Read _) as st ->
+            record t ~segment "SAN07"
+              "write-lock release on segment '%s' which is %s" segment (state_name st))
+    | Op_wl_abort -> (
+        match st with
+        | `Write _ ->
+            (* blocks created in the aborted section vanish; frees roll back *)
+            let mine r = r.rg_seg = segment in
+            t.sz_aborted <- List.filter mine t.sz_cs_allocs @ t.sz_aborted;
+            t.sz_cs_allocs <- List.filter (fun r -> not (mine r)) t.sz_cs_allocs;
+            t.sz_pending_free <- List.filter (fun r -> not (mine r)) t.sz_pending_free;
+            drop_seg t segment
+        | (`Unlocked | `Read _) as st ->
+            record t ~segment "SAN07" "abort on segment '%s' which is %s" segment
+              (state_name st))
+  end
+
+(* {2 Allocation lifecycle} *)
+
+let on_malloc t g =
+  if t.sz_active then
+    let segment = Iw_client.segment_name g in
+    match Iw_client.lock_state g with
+    | `Write _ -> ()
+    | st ->
+        record t ~segment "SAN03"
+          "allocation in segment '%s' which is %s; malloc needs the write lock" segment
+          (state_name st)
+
+let on_alloc t g a ~len =
+  if t.sz_active then begin
+    let segment = Iw_client.segment_name g in
+    (* the address range is being reused: stale lifetime records die *)
+    let fresh rs = List.filter (fun r -> not (overlaps a len r)) rs in
+    t.sz_freed <- fresh t.sz_freed;
+    t.sz_pending_free <- fresh t.sz_pending_free;
+    t.sz_aborted <- fresh t.sz_aborted;
+    t.sz_cs_allocs <- { rg_lo = a; rg_len = len; rg_seg = segment } :: t.sz_cs_allocs
+  end
+
+let on_free t a =
+  if t.sz_active then
+    match Iw_client.block_of_addr t.sz_client a with
+    | Some (b, _) -> (
+        let g = Iw_client.segment_of_addr t.sz_client a in
+        let segment = Option.map Iw_client.segment_name g in
+        let write_locked =
+          match g with
+          | Some g -> ( match Iw_client.lock_state g with `Write _ -> true | _ -> false)
+          | None -> false
+        in
+        if not write_locked then
+          record t ?segment ~addr:a "SAN04"
+            "free in a segment which is %s; free needs the write lock"
+            (match g with
+            | Some g -> state_name (Iw_client.lock_state g)
+            | None -> "not a segment")
+        else
+          (* only a free the client will actually perform creates a freed
+             range *)
+          t.sz_pending_free <-
+            {
+              rg_lo = b.Iw_mem.b_addr;
+              rg_len = b.Iw_mem.b_size;
+              rg_seg = (match segment with Some s -> s | None -> "?");
+            }
+            :: t.sz_pending_free)
+    | None -> (
+        match List.find_opt (in_range a) (t.sz_pending_free @ t.sz_freed) with
+        | Some r ->
+            record t ~segment:r.rg_seg ~addr:a "SAN05"
+              "double free: address %d is inside an already-freed block" a
+        | None -> () (* the client reports garbage frees itself *))
+
+(* {2 Pointer provenance} *)
+
+let on_read_ptr t _loc v =
+  if t.sz_active && v <> 0 then
+    if Iw_client.block_of_addr t.sz_client v = None && not (Hashtbl.mem t.sz_blessed v)
+    then Hashtbl.replace t.sz_tainted v ()
+
+let on_swizzled t a =
+  if t.sz_active then begin
+    Hashtbl.replace t.sz_blessed a ();
+    Hashtbl.remove t.sz_tainted a
+  end
+
+(* {2 Lifecycle} *)
+
+let attach ?(policy = Collect) ?(strict_reads = true) client =
+  let t =
+    {
+      sz_client = client;
+      sz_policy = policy;
+      sz_strict_reads = strict_reads;
+      sz_reports = [];
+      sz_freed = [];
+      sz_pending_free = [];
+      sz_aborted = [];
+      sz_cs_allocs = [];
+      sz_tainted = Hashtbl.create 16;
+      sz_blessed = Hashtbl.create 16;
+      sz_held = [];
+      sz_order = Hashtbl.create 16;
+      sz_active = true;
+    }
+  in
+  let monitor =
+    {
+      Iw_client.mon_lock = on_lock t;
+      mon_malloc = on_malloc t;
+      mon_alloc = on_alloc t;
+      mon_free = on_free t;
+      mon_read_ptr = on_read_ptr t;
+      mon_swizzled = on_swizzled t;
+    }
+  in
+  Iw_client.set_monitor client (Some monitor);
+  Iw_mem.set_access_hook (Iw_client.space client)
+    (Some (fun ~store a ~len -> on_access t ~store a ~len));
+  t
+
+let detach t =
+  t.sz_active <- false;
+  Iw_client.set_monitor t.sz_client None;
+  Iw_mem.set_access_hook (Iw_client.space t.sz_client) None
+
+let reports t = List.rev t.sz_reports
+
+let clear t = t.sz_reports <- []
+
+let pp_report ppf r =
+  Format.fprintf ppf "%s:%s%s %s" r.r_code
+    (match r.r_segment with None -> "" | Some s -> Printf.sprintf " [%s]" s)
+    (match r.r_addr with None -> "" | Some a -> Printf.sprintf " @%d" a)
+    r.r_message

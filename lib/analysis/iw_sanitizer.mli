@@ -1,0 +1,64 @@
+(** Dynamic lockset and lifetime sanitizer for client shared-memory access.
+
+    InterWeave's API contract (paper, Section 2.2) requires every access to
+    shared data to happen inside a reader–writer lock critical section: reads
+    under at least a read lock, writes and allocation under the write lock.
+    Outside a critical section the local copy may be concurrently overwritten
+    by an incoming diff, and writes would escape modification tracking.  The
+    emulation cannot segfault on such misuse — {!Iw_mem} happily reads freed
+    blocks whose pages are still mapped — so this checker makes the contract
+    observable: it attaches to a client's observation hooks
+    ({!Iw_client.set_monitor}, {!Iw_mem.set_access_hook}) and reports every
+    violation with a stable code.
+
+    Codes:
+    - [SAN01] — load of shared data outside any critical section.
+    - [SAN02] — store outside a write critical section (includes stores
+      under a read lock).
+    - [SAN03] — allocation without the segment's write lock.
+    - [SAN04] — free without the segment's write lock.
+    - [SAN05] — access to a freed block (use-after-free).
+    - [SAN06] — access to a block created in an aborted critical section.
+    - [SAN07] — lock imbalance: a release or abort that does not match the
+      lock actually held.
+    - [SAN08] — lock-order inversion: two segments locked in opposite orders
+      at different times (deadlock potential on a real multi-client run).
+    - [SAN09] — dereference of an unswizzled pointer: a pointer value loaded
+      from shared memory that designates no live block and never came from
+      {!Iw_client.mip_to_ptr}.
+
+    The sanitizer is entirely opt-in: with no checker attached the client's
+    hot paths pay one branch per operation. *)
+
+type policy =
+  | Collect  (** record reports; execution continues *)
+  | Raise  (** raise {!Violation} at the first report *)
+
+type report = {
+  r_code : string;  (** stable, e.g. ["SAN02"] *)
+  r_segment : string option;
+  r_addr : Iw_mem.addr option;
+  r_message : string;
+}
+
+exception Violation of report
+
+type t
+
+val attach : ?policy:policy -> ?strict_reads:bool -> Iw_client.t -> t
+(** Install the sanitizer on a client.  [policy] defaults to [Collect].
+    [strict_reads] (default [true]) controls [SAN01]: when [false], loads
+    outside critical sections are tolerated — useful over test harnesses
+    that verify results after releasing their locks.  Only one sanitizer
+    can be attached to a client at a time; attaching replaces any previous
+    observer. *)
+
+val detach : t -> unit
+(** Remove the sanitizer's hooks from the client. *)
+
+val reports : t -> report list
+(** Everything recorded since {!attach} or {!clear}, in program order. *)
+
+val clear : t -> unit
+
+val pp_report : Format.formatter -> report -> unit

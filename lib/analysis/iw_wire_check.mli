@@ -1,0 +1,56 @@
+(** Well-formedness validator for wire-format diffs.
+
+    A diff arriving over the protocol is untrusted input: a buggy or hostile
+    client can send runs past the end of a block, overlapping runs, payloads
+    whose length disagrees with the primitive units they claim to cover, or
+    pointers that are not syntactically valid MIPs.  This module checks a
+    decoded {!Iw_wire.Diff.t} against what the receiver knows about the
+    segment — which blocks exist and what types they have — and reports every
+    problem found.  The server runs it on incoming [Write_release] diffs when
+    validation is enabled ({!Iw_server.set_validate_diffs}); the fuzz suite
+    runs it on every diff crossing a link in either direction.
+
+    Codes:
+    - [WIRE01] — run exceeds the block's primitive-unit bounds.
+    - [WIRE02] — runs out of ascending order or overlapping.
+    - [WIRE03] — update or free of a block serial the receiver does not know
+      (or one freed earlier in the same diff).
+    - [WIRE04] — reference to an unknown type-descriptor serial.
+    - [WIRE05] — pointer payload is not a syntactically valid MIP.
+    - [WIRE06] — payload length disagrees with the covered units (truncated,
+      trailing bytes, or an inline string exceeding its capacity).
+    - [WIRE07] — version regression: [to_version < from_version], or a
+      non-empty diff with [to_version = from_version] (an {e empty} diff at
+      the same version is a legitimate no-change write-lock release).
+    - [WIRE08] — create of a block serial that already exists (or appears
+      twice in the diff).
+    - [WIRE09] — run with non-positive length or negative start offset.
+    - [WIRE10] — new descriptor conflicts with an existing serial binding,
+      appears twice, or fails {!Iw_types.validate}. *)
+
+type issue = {
+  i_code : string;  (** stable, e.g. ["WIRE01"] *)
+  i_serial : int option;  (** block serial involved, when applicable *)
+  i_message : string;
+}
+
+(** What the receiver knows about the segment the diff applies to. *)
+type ctx = {
+  cx_desc : int -> Iw_types.desc option;  (** descriptor by serial *)
+  cx_block : int -> (int * int) option;
+      (** block serial to (descriptor serial, primitive-unit count) *)
+}
+
+val empty_ctx : ctx
+(** Knows no blocks and no descriptors — suitable for checking the initial
+    create-only diff of a fresh segment. *)
+
+val valid_mip : string -> bool
+(** MIP syntax: [""] (null) or [segment#block] or [segment#block#offset]
+    with non-empty segment and block parts and a decimal offset. *)
+
+val check : ctx -> Iw_wire.Diff.t -> issue list
+(** All problems found, in diff order.  An empty list means the diff is
+    well-formed with respect to the context. *)
+
+val pp_issue : Format.formatter -> issue -> unit

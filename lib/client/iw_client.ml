@@ -38,6 +38,13 @@ type lock_state =
   | Read_locked of int
   | Write_locked of int
 
+type lock_op =
+  | Op_rl_acquire
+  | Op_rl_release
+  | Op_wl_acquire
+  | Op_wl_release
+  | Op_wl_abort
+
 type mode =
   | Diffing
   | No_diff of int  (* write releases left before re-probing with diffs *)
@@ -70,6 +77,15 @@ type seg = {
   mutable g_uptodate_streak : int;  (* consecutive wasted polls; drives auto-subscribe *)
 }
 
+and monitor = {
+  mon_lock : seg -> lock_op -> unit;
+  mon_malloc : seg -> unit;
+  mon_alloc : seg -> Iw_mem.addr -> len:int -> unit;
+  mon_free : Iw_mem.addr -> unit;
+  mon_read_ptr : Iw_mem.addr -> Iw_mem.addr -> unit;
+  mon_swizzled : Iw_mem.addr -> unit;
+}
+
 and t = {
   c_space : Iw_mem.space;
   c_link : Iw_proto.link;
@@ -88,7 +104,13 @@ and t = {
   c_stale : (string, unit) Hashtbl.t;
   c_stale_mutex : Mutex.t;
   mutable c_notifications_enabled : bool;
+  (* Observation hooks for dynamic checkers; one branch per event when
+     disabled (the default). *)
+  mutable c_monitor : monitor option;
 }
+
+let notify_lock g op =
+  match g.g_client.c_monitor with None -> () | Some m -> m.mon_lock g op
 
 let now () = Unix.gettimeofday ()
 
@@ -162,7 +184,10 @@ let connect ?(arch = Iw_arch.x86_32) ?(busy_wait = None) link =
     c_stale = Hashtbl.create 8;
     c_stale_mutex = Mutex.create ();
     c_notifications_enabled = false;
+    c_monitor = None;
   }
+
+let set_monitor c m = c.c_monitor <- m
 
 let disconnect c = c.c_link.Iw_proto.close ()
 
@@ -179,6 +204,12 @@ let coherence g = g.g_coherence
 let set_coherence g m = g.g_coherence <- m
 
 let locked g = g.g_lock <> Unlocked
+
+let lock_state g =
+  match g.g_lock with
+  | Unlocked -> `Unlocked
+  | Read_locked n -> `Read n
+  | Write_locked n -> `Write n
 
 let no_diff_mode g = match g.g_mode with No_diff _ -> true | Diffing -> false
 
@@ -366,11 +397,15 @@ let mip_to_ptr c mip =
   match b with
   | None -> error "MIP %S: no such block" mip
   | Some b ->
-    if pu = 0 then b.Iw_mem.b_addr
-    else begin
-      let loc = Iw_types.locate_prim b.Iw_mem.b_layout pu in
-      b.Iw_mem.b_addr + loc.Iw_types.l_off
-    end
+    let a =
+      if pu = 0 then b.Iw_mem.b_addr
+      else begin
+        let loc = Iw_types.locate_prim b.Iw_mem.b_layout pu in
+        b.Iw_mem.b_addr + loc.Iw_types.l_off
+      end
+    in
+    (match c.c_monitor with None -> () | Some m -> m.mon_swizzled a);
+    a
 
 (* Pointer-rich data keeps referencing the same objects, so swizzling is
    memoized per diff operation: the first occurrence of an address (or MIP)
@@ -537,6 +572,7 @@ let subscribed g = g.g_subscribed
 let cached_version g = if g.g_valid then g.g_version else 0
 
 let rl_acquire g =
+  notify_lock g Op_rl_acquire;
   match g.g_lock with
   | Read_locked n -> g.g_lock <- Read_locked (n + 1)
   | Write_locked _ -> error "segment %s: read lock inside write lock" g.g_name
@@ -586,12 +622,14 @@ let rl_acquire g =
     g.g_lock <- Read_locked 1
 
 let rl_release g =
+  notify_lock g Op_rl_release;
   match g.g_lock with
   | Read_locked 1 -> g.g_lock <- Unlocked
   | Read_locked n -> g.g_lock <- Read_locked (n - 1)
   | Write_locked _ | Unlocked -> error "segment %s: read lock not held" g.g_name
 
 let wl_acquire g =
+  notify_lock g Op_wl_acquire;
   match g.g_lock with
   | Write_locked n -> g.g_lock <- Write_locked (n + 1)
   | Read_locked _ -> error "segment %s: cannot upgrade read lock" g.g_name
@@ -633,6 +671,7 @@ let require_write_lock g op =
   | Read_locked _ | Unlocked -> error "segment %s: %s requires the write lock" g.g_name op
 
 let malloc ?name g desc =
+  (match g.g_client.c_monitor with None -> () | Some m -> m.mon_malloc g);
   require_write_lock g "malloc";
   (match Iw_types.validate desc with
   | Ok () -> ()
@@ -652,9 +691,13 @@ let malloc ?name g desc =
   let b = Iw_mem.alloc g.g_heap ~serial ?name ~desc_serial:serial_d lay in
   register_block g b;
   Hashtbl.replace g.g_created serial b;
+  (match c.c_monitor with
+  | None -> ()
+  | Some m -> m.mon_alloc g b.Iw_mem.b_addr ~len:b.Iw_mem.b_size);
   b.Iw_mem.b_addr
 
 let free c a =
+  (match c.c_monitor with None -> () | Some m -> m.mon_free a);
   match Iw_mem.find_block c.c_space a with
   | None -> error "free: address %d is not in a live block" a
   | Some (b, _) ->
@@ -898,6 +941,7 @@ let set_no_diff g on =
   g.g_mode <- (if on then No_diff max_int else Diffing)
 
 let wl_release g =
+  notify_lock g Op_wl_release;
   match g.g_lock with
   | Write_locked n when n > 1 -> g.g_lock <- Write_locked (n - 1)
   | Write_locked _ ->
@@ -936,6 +980,7 @@ let wl_release g =
    rolled back, created blocks vanish, freed blocks are resurrected, and the
    server lock is released without publishing a version. *)
 let wl_abort g =
+  notify_lock g Op_wl_abort;
   match g.g_lock with
   | Read_locked _ | Unlocked -> error "segment %s: write lock not held" g.g_name
   | Write_locked _ ->
@@ -1003,7 +1048,10 @@ let read_float c a = Iw_mem.load_float c.c_space a
 
 let write_float c a v = Iw_mem.store_float c.c_space a v
 
-let read_ptr c a = Iw_mem.load_prim c.c_space Iw_arch.Pointer a
+let read_ptr c a =
+  let v = Iw_mem.load_prim c.c_space Iw_arch.Pointer a in
+  (match c.c_monitor with None -> () | Some m -> m.mon_read_ptr a v);
+  v
 
 let write_ptr c a v = Iw_mem.store_prim c.c_space Iw_arch.Pointer a v
 

@@ -112,6 +112,9 @@ val wl_abort : seg -> unit
 
 val locked : seg -> bool
 
+val lock_state : seg -> [ `Unlocked | `Read of int | `Write of int ]
+(** Current lock mode and nesting depth of the segment's lock. *)
+
 (** {1 Allocation}
 
     Must be called under the segment's write lock. *)
@@ -204,6 +207,33 @@ type options = {
 }
 
 val options : t -> options
+
+(** {1 Observation hooks}
+
+    Event stream for dynamic checkers ({!Iw_sanitizer} in
+    [interweave.analysis]).  Each hook fires at the {e entry} of the
+    corresponding operation — before argument validation, state changes, or
+    errors — so an observer sees misuses the client itself rejects.  With no
+    monitor installed (the default) every instrumented path pays exactly one
+    branch. *)
+
+type lock_op =
+  | Op_rl_acquire
+  | Op_rl_release
+  | Op_wl_acquire
+  | Op_wl_release
+  | Op_wl_abort
+
+type monitor = {
+  mon_lock : seg -> lock_op -> unit;  (** entry of every lock operation *)
+  mon_malloc : seg -> unit;  (** entry of {!malloc} *)
+  mon_alloc : seg -> addr -> len:int -> unit;  (** successful allocation *)
+  mon_free : addr -> unit;  (** entry of {!free} *)
+  mon_read_ptr : addr -> addr -> unit;  (** location, value just loaded *)
+  mon_swizzled : addr -> unit;  (** address produced by {!mip_to_ptr} *)
+}
+
+val set_monitor : t -> monitor option -> unit
 
 (** {1 Statistics} *)
 

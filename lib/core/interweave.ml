@@ -44,12 +44,35 @@ end
 
 let start_server ?checkpoint_dir () = Iw_server.create ?checkpoint_dir ()
 
+(* IW_SANITIZE=1 in the environment attaches a collecting Iw_sanitizer to
+   every client these helpers build, so a whole program or test suite can be
+   swept for lock-discipline violations without code changes.  Reads outside
+   critical sections are tolerated (harnesses routinely verify results after
+   releasing their locks); everything else reports.  Findings are dumped to
+   stderr at process exit. *)
+let sanitize_env =
+  match Sys.getenv_opt "IW_SANITIZE" with
+  | None | Some "" | Some "0" -> false
+  | Some _ -> true
+
+let maybe_sanitize c =
+  if sanitize_env then begin
+    let s = Iw_sanitizer.attach ~policy:Iw_sanitizer.Collect ~strict_reads:false c in
+    at_exit (fun () ->
+        match Iw_sanitizer.reports s with
+        | [] -> ()
+        | rs ->
+          Format.eprintf "IW_SANITIZE: %d violation(s)@." (List.length rs);
+          List.iter (fun r -> Format.eprintf "  %a@." Iw_sanitizer.pp_report r) rs)
+  end;
+  c
+
 let direct_client ?arch server =
   let c = Iw_client.connect ?arch (Iw_server.direct_link server) in
   Iw_server.register_notifier server ~session:(Iw_client.session c)
     ~push:(Iw_client.handle_notification c);
   Iw_client.enable_notifications c;
-  c
+  maybe_sanitize c
 
 (* Clients behind a byte transport receive notifications through the tagged
    demux link; the forward reference is resolved once the client exists. *)
@@ -62,7 +85,7 @@ let demux_client ?arch ~busy_wait conn =
   let c = Iw_client.connect ?arch ~busy_wait link in
   client := Some c;
   Iw_client.enable_notifications c;
-  c
+  maybe_sanitize c
 
 let loopback_client ?arch server =
   let client_end, server_end = Iw_transport.loopback () in

@@ -71,6 +71,13 @@ end
 val start_server : ?checkpoint_dir:string -> unit -> server
 (** An in-process server. *)
 
+(** The three client constructors below also honour the [IW_SANITIZE]
+    environment variable: any value other than empty or ["0"] attaches a
+    collecting {!Iw_sanitizer} (with relaxed out-of-lock reads) to every
+    client they build and prints its findings to stderr at process exit —
+    a zero-code-change sweep of a whole program for lock-discipline
+    violations. *)
+
 val direct_client : ?arch:Arch.t -> server -> client
 (** A client wired straight to an in-process server — no transport between
     them.  This is the configuration the paper's translation-cost experiments

@@ -1,9 +1,23 @@
+type loc = {
+  l_line : int;
+  l_col : int;
+}
+
 type decl = {
   d_name : string;
   d_desc : Iw_types.desc;
+  d_loc : loc;
+  d_fields : (string * loc) list;
 }
 
 exception Parse_error of string
+
+let perror_at loc fmt =
+  Format.kasprintf
+    (fun s ->
+      raise
+        (Parse_error (Printf.sprintf "line %d, column %d: %s" loc.l_line loc.l_col s)))
+    fmt
 
 (* Lexer. *)
 
@@ -21,58 +35,67 @@ type token =
 let lex src =
   let n = String.length src in
   let line = ref 1 in
+  let bol = ref 0 in  (* index of the first character of the current line *)
   let toks = ref [] in
-  let error fmt = Format.kasprintf (fun s -> raise (Parse_error s)) fmt in
   let i = ref 0 in
+  let here () = { l_line = !line; l_col = !i - !bol + 1 } in
+  let error loc fmt = perror_at loc fmt in
+  let newline () =
+    incr line;
+    bol := !i + 1
+  in
   let peek () = if !i < n then Some src.[!i] else None in
   while !i < n do
     let c = src.[!i] in
     (match c with
     | ' ' | '\t' | '\r' -> incr i
     | '\n' ->
-      incr line;
+      newline ();
       incr i
     | '/' when !i + 1 < n && src.[!i + 1] = '/' ->
       while !i < n && src.[!i] <> '\n' do
         incr i
       done
     | '/' when !i + 1 < n && src.[!i + 1] = '*' ->
+      let start = here () in
       i := !i + 2;
       let closed = ref false in
       while (not !closed) && !i < n do
-        if src.[!i] = '\n' then incr line;
+        if src.[!i] = '\n' then newline ();
         if !i + 1 < n && src.[!i] = '*' && src.[!i + 1] = '/' then begin
           closed := true;
           i := !i + 2
         end
         else incr i
       done;
-      if not !closed then error "line %d: unterminated comment" !line
+      if not !closed then error start "unterminated comment"
     | '{' ->
-      toks := (Lbrace, !line) :: !toks;
+      toks := (Lbrace, here ()) :: !toks;
       incr i
     | '}' ->
-      toks := (Rbrace, !line) :: !toks;
+      toks := (Rbrace, here ()) :: !toks;
       incr i
     | '[' ->
-      toks := (Lbracket, !line) :: !toks;
+      toks := (Lbracket, here ()) :: !toks;
       incr i
     | ']' ->
-      toks := (Rbracket, !line) :: !toks;
+      toks := (Rbracket, here ()) :: !toks;
       incr i
     | ';' ->
-      toks := (Semi, !line) :: !toks;
+      toks := (Semi, here ()) :: !toks;
       incr i
     | '*' ->
-      toks := (Star, !line) :: !toks;
+      toks := (Star, here ()) :: !toks;
       incr i
     | '0' .. '9' ->
+      let loc = here () in
       let start = !i in
       while (match peek () with Some ('0' .. '9') -> true | _ -> false) do
         incr i
       done;
-      toks := (Num (int_of_string (String.sub src start (!i - start))), !line) :: !toks
+      toks := (Num (int_of_string (String.sub src start (!i - start))), loc) :: !toks
     | 'a' .. 'z' | 'A' .. 'Z' | '_' ->
+      let loc = here () in
       let start = !i in
       while
         match peek () with
@@ -81,35 +104,33 @@ let lex src =
       do
         incr i
       done;
-      toks := (Ident (String.sub src start (!i - start)), !line) :: !toks
-    | c -> error "line %d: unexpected character %C" !line c)
+      toks := (Ident (String.sub src start (!i - start)), loc) :: !toks
+    | c -> error (here ()) "unexpected character %C" c)
   done;
-  List.rev ((Eof, !line) :: !toks)
+  List.rev ((Eof, here ()) :: !toks)
 
 (* Parser: recursive descent over the token list. *)
 
 type state = {
-  mutable toks : (token * int) list;
+  mutable toks : (token * loc) list;
   mutable decls : decl list;  (* reverse order *)
 }
 
-let perror line fmt =
-  Format.kasprintf (fun s -> raise (Parse_error (Printf.sprintf "line %d: %s" line s))) fmt
-
-let cur st = match st.toks with [] -> (Eof, 0) | t :: _ -> t
+let cur st =
+  match st.toks with [] -> (Eof, { l_line = 0; l_col = 0 }) | t :: _ -> t
 
 let advance st = match st.toks with [] -> () | _ :: rest -> st.toks <- rest
 
 let expect st want desc =
-  let tok, line = cur st in
-  if tok = want then advance st else perror line "expected %s" desc
+  let tok, loc = cur st in
+  if tok = want then advance st else perror_at loc "expected %s" desc
 
 let expect_ident st what =
   match cur st with
-  | Ident s, _ ->
+  | Ident s, loc ->
     advance st;
-    s
-  | _, line -> perror line "expected %s" what
+    (s, loc)
+  | _, loc -> perror_at loc "expected %s" what
 
 let prim_of_name = function
   | "char" -> Some `Char_string
@@ -127,8 +148,7 @@ let find_decl st name =
 
 (* field := type ['*'] ident ['[' num ']'] ';' *)
 let parse_field st =
-  let tyname = expect_ident st "a type name" in
-  let _, line = cur st in
+  let tyname, tyloc = expect_ident st "a type name" in
   let base = prim_of_name tyname in
   let is_ptr =
     match cur st with
@@ -137,18 +157,18 @@ let parse_field st =
       true
     | _ -> false
   in
-  let fname = expect_ident st "a field name" in
+  let fname, floc = expect_ident st "a field name" in
   let array_len =
     match cur st with
-    | Lbracket, lline -> begin
+    | Lbracket, lloc -> begin
       advance st;
       match cur st with
       | Num k, _ ->
         advance st;
         expect st Rbracket "']'";
-        if k <= 0 then perror lline "array length must be positive";
+        if k <= 0 then perror_at lloc "array length must be positive";
         Some k
-      | _ -> perror lline "expected an array length"
+      | _ -> perror_at lloc "expected an array length"
     end
     | _ -> None
   in
@@ -157,7 +177,7 @@ let parse_field st =
     if is_ptr then begin
       match base with
       | Some `Void -> Prim Iw_arch.Pointer
-      | Some _ -> perror line "pointers to primitives are not supported; use void*"
+      | Some _ -> perror_at tyloc "pointers to primitives are not supported; use void*"
       | None ->
         (* Pointers may reference any struct, including the one being
            defined or one defined later. *)
@@ -165,65 +185,80 @@ let parse_field st =
     end
     else begin
       match base with
-      | Some `Void -> perror line "void is only valid as a pointer"
-      | Some `Char_string -> begin
-        match array_len with
-        | Some _ -> Prim Iw_arch.Char (* handled below as String *)
-        | None -> Prim Iw_arch.Char
-      end
+      | Some `Void -> perror_at tyloc "void is only valid as a pointer"
+      | Some `Char_string -> Prim Iw_arch.Char (* [array_len] case handled below *)
       | Some (`Prim p) -> Prim p
       | None -> begin
         match find_decl st tyname with
         | Some d -> d
-        | None -> perror line "unknown type %s (by-value use requires earlier definition)" tyname
+        | None ->
+          perror_at tyloc "unknown type %s (by-value use requires earlier definition)"
+            tyname
       end
     end
   in
   let ftype : Iw_types.desc =
     match (array_len, base, is_ptr) with
     | Some k, Some `Char_string, false ->
-      if k < 2 then perror line "char[%d]: string capacity must be at least 2" k;
+      if k < 2 then perror_at floc "char[%d]: string capacity must be at least 2" k;
       Prim (Iw_arch.String k)
     | Some k, _, _ -> Array (elem, k)
     | None, Some `Char_string, false -> Prim Iw_arch.Char
     | None, _, _ -> elem
   in
-  { Iw_types.fname; ftype }
+  ({ Iw_types.fname; ftype }, floc)
 
 let parse_struct st =
   expect st (Ident "struct") "'struct'";
-  let name = expect_ident st "a struct name" in
+  let name, nloc = expect_ident st "a struct name" in
   if find_decl st name <> None then
-    perror (snd (cur st)) "duplicate definition of struct %s" name;
+    perror_at nloc "duplicate definition of struct %s" name;
   expect st Lbrace "'{'";
   let fields = ref [] in
   let rec fields_loop () =
     match cur st with
     | Rbrace, _ -> advance st
-    | Eof, line -> perror line "unexpected end of input in struct %s" name
+    | Eof, loc -> perror_at loc "unexpected end of input in struct %s" name
     | _ ->
       fields := parse_field st :: !fields;
       fields_loop ()
   in
   fields_loop ();
   expect st Semi "';' after struct definition";
-  let fields = Array.of_list (List.rev !fields) in
-  if Array.length fields = 0 then
-    perror (snd (cur st)) "struct %s has no fields" name;
-  { d_name = name; d_desc = Iw_types.Struct fields }
+  let fields = List.rev !fields in
+  if fields = [] then perror_at nloc "struct %s has no fields" name;
+  {
+    d_name = name;
+    d_desc = Iw_types.Struct (Array.of_list (List.map fst fields));
+    d_loc = nloc;
+    d_fields = List.map (fun ((f : Iw_types.field), loc) -> (f.fname, loc)) fields;
+  }
 
+(* Pointers may reference forward declarations, so targets are resolved after
+   the whole file is parsed.  The error points at the offending field. *)
 let check_pointers decls =
   List.iter
     (fun d ->
-      let rec check : Iw_types.desc -> unit = function
-        | Prim _ -> ()
-        | Ptr name ->
-          if not (List.exists (fun d -> d.d_name = name) decls) then
-            raise (Parse_error (Printf.sprintf "pointer to undefined struct %s" name))
-        | Array (t, _) -> check t
-        | Struct fields -> Array.iter (fun (f : Iw_types.field) -> check f.ftype) fields
-      in
-      check d.d_desc)
+      match d.d_desc with
+      | Iw_types.Struct fields ->
+        Array.iter
+          (fun (f : Iw_types.field) ->
+            let floc =
+              match List.assoc_opt f.fname d.d_fields with
+              | Some l -> l
+              | None -> d.d_loc
+            in
+            let rec check : Iw_types.desc -> unit = function
+              | Prim _ -> ()
+              | Ptr name ->
+                if not (List.exists (fun d -> d.d_name = name) decls) then
+                  perror_at floc "pointer to undefined struct %s" name
+              | Array (t, _) -> check t
+              | Struct fs -> Array.iter (fun (f : Iw_types.field) -> check f.ftype) fs
+            in
+            check f.ftype)
+          fields
+      | _ -> ())
     decls
 
 let parse src =
@@ -234,7 +269,7 @@ let parse src =
     | Ident "struct", _ ->
       st.decls <- parse_struct st :: st.decls;
       loop ()
-    | _, line -> perror line "expected a struct definition"
+    | _, loc -> perror_at loc "expected a struct definition"
   in
   loop ();
   let decls = List.rev st.decls in
@@ -243,7 +278,7 @@ let parse src =
     (fun d ->
       match Iw_types.validate d.d_desc with
       | Ok () -> ()
-      | Error msg -> raise (Parse_error (Printf.sprintf "struct %s: %s" d.d_name msg)))
+      | Error msg -> perror_at d.d_loc "struct %s: %s" d.d_name msg)
     decls;
   decls
 
@@ -259,6 +294,9 @@ let register_all registry decls =
 
 let lookup decls name =
   List.find_map (fun d -> if d.d_name = name then Some d.d_desc else None) decls
+
+let field_loc d fname =
+  match List.assoc_opt fname d.d_fields with Some l -> l | None -> d.d_loc
 
 (* OCaml code generation. *)
 

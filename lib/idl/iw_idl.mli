@@ -27,13 +27,23 @@
     capacity [N]; [byte\[N\]] is a plain character array.  [//] and
     [/* ... */] comments are allowed. *)
 
+(** Source position of a token, 1-based. *)
+type loc = {
+  l_line : int;
+  l_col : int;
+}
+
 type decl = {
   d_name : string;
   d_desc : Iw_types.desc;
+  d_loc : loc;  (** position of the struct's name in its declaration *)
+  d_fields : (string * loc) list;  (** position of each top-level field name *)
 }
 
 exception Parse_error of string
-(** Carries a message with line information. *)
+(** Carries a message of the form ["line L, column C: ..."]: every parse and
+    semantic error reports both the line and the column of the offending
+    token. *)
 
 val parse : string -> decl list
 (** Parse IDL source text.  Declarations may reference earlier struct names
@@ -47,6 +57,10 @@ val register_all : Iw_types.Registry.t -> decl list -> unit
     resolvable (e.g. for XDR deep copy). *)
 
 val lookup : decl list -> string -> Iw_types.desc option
+
+val field_loc : decl -> string -> loc
+(** Position of a top-level field by name; the declaration's own position
+    when the field is unknown.  Used by lint diagnostics. *)
 
 val to_ocaml : ?module_prefix:string -> decl list -> string
 (** Generate OCaml binding source: one module per struct with its descriptor

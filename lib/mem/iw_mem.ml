@@ -9,6 +9,10 @@ type space = {
   mutable sp_subsegs : subsegment Addr_tree.t;
   mutable sp_next_base : addr;
   mutable sp_splice_gap : int;  (* words; 0 disables run splicing *)
+  (* Observation hook for dynamic checkers (the lockset sanitizer): fired on
+     every typed access before the address is resolved, so the observer sees
+     accesses to freed or unmapped addresses too.  None costs one branch. *)
+  mutable sp_on_access : (store:bool -> addr -> len:int -> unit) option;
 }
 
 and subsegment = {
@@ -45,7 +49,13 @@ let create_space arch =
     sp_subsegs = Addr_tree.empty;
     sp_next_base = page_size;
     sp_splice_gap = 2;
+    sp_on_access = None;
   }
+
+let set_access_hook sp hook = sp.sp_on_access <- hook
+
+let observe sp ~store a len =
+  match sp.sp_on_access with None -> () | Some f -> f ~store a ~len
 
 let set_splice_gap sp words =
   if words < 0 then invalid_arg "Iw_mem.set_splice_gap";
@@ -352,6 +362,7 @@ let store_barrier sp a len =
 let load_prim sp prim a =
   let arch = sp.sp_arch in
   let size = Iw_arch.prim_size arch prim in
+  observe sp ~store:false a size;
   let ss, off = locate sp a size in
   match prim with
   | Iw_arch.Char | Short | Int | Long ->
@@ -363,6 +374,7 @@ let load_prim sp prim a =
 let store_prim sp prim a v =
   let arch = sp.sp_arch in
   let size = Iw_arch.prim_size arch prim in
+  observe sp ~store:true a size;
   let ss, off = store_barrier sp a size in
   match prim with
   | Iw_arch.Char | Short | Int | Long | Pointer ->
@@ -371,26 +383,32 @@ let store_prim sp prim a v =
     invalid_arg "Iw_mem.store_prim: not an integer primitive"
 
 let load_double sp a =
+  observe sp ~store:false a 8;
   let ss, off = locate sp a 8 in
   Iw_arch.load_double sp.sp_arch ss.ss_bytes ~off
 
 let store_double sp a v =
+  observe sp ~store:true a 8;
   let ss, off = store_barrier sp a 8 in
   Iw_arch.store_double sp.sp_arch ss.ss_bytes ~off v
 
 let load_float sp a =
+  observe sp ~store:false a 4;
   let ss, off = locate sp a 4 in
   Iw_arch.load_float sp.sp_arch ss.ss_bytes ~off
 
 let store_float sp a v =
+  observe sp ~store:true a 4;
   let ss, off = store_barrier sp a 4 in
   Iw_arch.store_float sp.sp_arch ss.ss_bytes ~off v
 
 let load_string sp ~capacity a =
+  observe sp ~store:false a capacity;
   let ss, off = locate sp a capacity in
   Iw_arch.load_cstring ss.ss_bytes ~off ~capacity
 
 let store_string sp ~capacity a s =
+  observe sp ~store:true a capacity;
   let ss, off = store_barrier sp a capacity in
   Iw_arch.store_cstring ss.ss_bytes ~off ~capacity s
 

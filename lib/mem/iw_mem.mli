@@ -136,3 +136,14 @@ val with_raw : space -> addr -> (Bytes.t -> int -> 'a) -> 'a
 val touch : space -> addr -> len:int -> unit
 (** Run the write barrier for the byte range without storing — used by
     [apply] paths that write through {!with_raw} while protection is on. *)
+
+(** {1 Access observation}
+
+    Dynamic-checking hook for {!Iw_sanitizer}-style tools.  When set, every
+    typed load and store above reports [~store], the address, and the access
+    length {e before} the address is resolved (so the observer also sees
+    accesses to freed or unmapped addresses).  Internal diff machinery going
+    through {!with_raw} is not reported.  When unset ([None], the default)
+    the typed-access hot path pays exactly one branch. *)
+
+val set_access_hook : space -> (store:bool -> addr -> len:int -> unit) option -> unit

@@ -72,11 +72,14 @@ type t = {
   mutable prediction : bool;
   t_scratch : Iw_wire.Buf.t;  (* reused payload buffer; handler is serialized *)
   notifiers : (int, Iw_proto.notification -> unit) Hashtbl.t;  (* session -> push *)
+  mutable validate_diffs : bool;  (* run Iw_wire_check on incoming diffs *)
 }
 
 let stats t = t.t_stats
 
 let set_prediction t b = t.prediction <- b
+
+let set_validate_diffs t b = t.validate_diffs <- b
 
 (* Version-list primitives. *)
 
@@ -655,6 +658,7 @@ let create ?checkpoint_dir ?(diff_cache_capacity = 64) () =
       diff_cache_capacity;
       t_scratch = Iw_wire.Buf.create ~capacity:65536 ();
       notifiers = Hashtbl.create 16;
+      validate_diffs = false;
       t_stats =
         {
           requests = 0;
@@ -700,6 +704,24 @@ let seg_of t name =
   match Hashtbl.find_opt t.segs name with
   | Some seg -> seg
   | None -> raise (Reject (Printf.sprintf "unknown segment %S" name))
+
+(* What Iw_wire_check needs to know about a segment: descriptor serials and
+   block extents.  The closures read the live server structures, so callers
+   outside [handle] must not race with concurrent request handling. *)
+let ctx_of_seg seg =
+  {
+    Iw_wire_check.cx_desc = (fun serial -> Iw_types.Registry.find seg.s_registry serial);
+    cx_block =
+      (fun serial ->
+        match Serial_tree.find_opt serial seg.s_blocks with
+        | Some sb -> Some (sb.sb_desc_serial, sb.sb_pcount)
+        | None -> None);
+  }
+
+let diff_ctx t name =
+  match Hashtbl.find_opt t.segs name with
+  | Some seg -> ctx_of_seg seg
+  | None -> Iw_wire_check.empty_ctx
 
 let handle_locked t (req : Iw_proto.request) : Iw_proto.response =
   t.t_stats.requests <- t.t_stats.requests + 1;
@@ -778,6 +800,21 @@ let handle_locked t (req : Iw_proto.request) : Iw_proto.response =
     begin
       match seg.s_writer with
       | Some s when s = session ->
+        if t.validate_diffs then begin
+          match Iw_wire_check.check (ctx_of_seg seg) diff with
+          | [] -> ()
+          | issues ->
+            (* Refuse the whole diff before any of it is applied, and drop
+               the write lock so the segment is not wedged. *)
+            seg.s_writer <- None;
+            raise
+              (Reject
+                 (Printf.sprintf "invalid diff: %s"
+                    (String.concat "; "
+                       (List.map
+                          (fun i -> Format.asprintf "%a" Iw_wire_check.pp_issue i)
+                          issues))))
+        end;
         let before = seg.s_version in
         let v = apply_diff t seg diff in
         seg.s_writer <- None;

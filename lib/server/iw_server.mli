@@ -73,3 +73,18 @@ val stats : t -> stats
 
 val set_prediction : t -> bool -> unit
 (** Enable/disable last-block prediction (ablation; default on). *)
+
+(** {1 Diff validation (debug mode)} *)
+
+val set_validate_diffs : t -> bool -> unit
+(** When enabled (default off), every incoming [Write_release] diff is run
+    through {!Iw_wire_check.check} against the segment before being applied;
+    a diff with any issue is rejected whole with an [R_error] naming the
+    issues, and the write lock is released so the segment is not wedged. *)
+
+val diff_ctx : t -> string -> Iw_wire_check.ctx
+(** The named segment's validation context — descriptor serials and block
+    extents — for checking diffs outside the server (fuzz harnesses validate
+    both directions of traffic with it).  An unknown segment yields
+    {!Iw_wire_check.empty_ctx}.  The context reads live server state: do not
+    use it concurrently with request handling. *)

@@ -1,0 +1,473 @@
+(* The analysis subsystem: IDL lint, lockset sanitizer, wire-diff checks. *)
+
+open Interweave
+
+let contains_sub s sub =
+  let n = String.length sub in
+  let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+(* {1 IDL lint} *)
+
+let lint_codes ds = List.sort_uniq compare (List.map (fun d -> d.Iw_lint.code) ds)
+
+(* dune runtest runs from the test directory; dune exec from the root *)
+let list_idl =
+  if Sys.file_exists "../examples/list.idl" then "../examples/list.idl"
+  else "examples/list.idl"
+
+let test_lint_list_idl_clean () =
+  let decls = Iw_idl.parse_file list_idl in
+  Alcotest.(check (list string)) "no diagnostics" [] (lint_codes (Iw_lint.lint decls))
+
+(* The acceptance fixture: pointer cycle, void*, tiny inline string, long,
+   oversized block, and an unused struct. *)
+let bad_src =
+  "struct orphan {\n\
+  \    int unused_payload;\n\
+   };\n\
+   \n\
+   struct edge {\n\
+  \    void *cookie;\n\
+  \    graph *owner;\n\
+  \    char tag[2];\n\
+   };\n\
+   \n\
+   struct graph {\n\
+  \    long id;\n\
+  \    edge *first;\n\
+  \    double weights[600];\n\
+   };\n"
+
+let test_lint_bad_fixture () =
+  let ds = Iw_lint.lint (Iw_idl.parse bad_src) in
+  Alcotest.(check (list string))
+    "codes"
+    [ "IDL001"; "IDL003"; "IDL004"; "IDL005"; "IDL007"; "IDL009" ]
+    (lint_codes ds);
+  Alcotest.(check bool) "at least 4 distinct codes" true (List.length (lint_codes ds) >= 4);
+  (* locations pinpoint the offending field *)
+  let d4 = List.find (fun d -> d.Iw_lint.code = "IDL004") ds in
+  Alcotest.(check (pair int int)) "void* location" (6, 11) (d4.Iw_lint.line, d4.Iw_lint.col);
+  Alcotest.(check (option string)) "void* field" (Some "cookie") d4.Iw_lint.field;
+  let d1 = List.find (fun d -> d.Iw_lint.code = "IDL001") ds in
+  Alcotest.(check (pair int int)) "cycle location" (7, 12) (d1.Iw_lint.line, d1.Iw_lint.col);
+  Alcotest.(check string) "cycle struct" "edge" d1.Iw_lint.decl;
+  (* the fixture is warning-level, so --Werror fails it and plain mode not *)
+  Alcotest.(check bool) "worst is warning" true (Iw_lint.worst ds = Some Iw_lint.Warning)
+
+let test_lint_self_pointer_not_a_cycle () =
+  (* the ordinary list idiom (paper, Figure 1) must stay clean *)
+  let ds = Iw_lint.lint (Iw_idl.parse "struct node { int key; node *next; };") in
+  Alcotest.(check (list string)) "clean" [] (lint_codes ds);
+  (* ...but a doubly-linked node is flagged *)
+  let ds =
+    Iw_lint.lint (Iw_idl.parse "struct dnode { int key; dnode *next; dnode *prev; };")
+  in
+  Alcotest.(check (list string)) "doubly-linked flagged" [ "IDL001" ] (lint_codes ds)
+
+let test_lint_padding_and_divergence () =
+  let ds =
+    Iw_lint.lint
+      (Iw_idl.parse "struct padded { char c1; double d1; char c2; double d2; };")
+  in
+  let cs = lint_codes ds in
+  (* sparc32: 14 of 32 bytes are padding *)
+  Alcotest.(check bool) "IDL006 present" true (List.mem "IDL006" cs);
+  (* d1 sits at offset 4 on x86_32 but 8 on sparc32 *)
+  Alcotest.(check bool) "IDL008 present" true (List.mem "IDL008" cs);
+  let d8 = List.find (fun d -> d.Iw_lint.code = "IDL008") ds in
+  Alcotest.(check (option string)) "divergent field" (Some "d1") d8.Iw_lint.field
+
+let test_lint_unresolved_ptr () =
+  (* hand-built declarations can reference structs the parser would reject *)
+  let loc = { Iw_idl.l_line = 3; l_col = 9 } in
+  let d =
+    {
+      Iw_idl.d_name = "x";
+      d_desc = Types.Struct [| { Types.fname = "p"; ftype = Types.Ptr "ghost" } |];
+      d_loc = { Iw_idl.l_line = 1; l_col = 8 };
+      d_fields = [ ("p", loc) ];
+    }
+  in
+  let ds = Iw_lint.lint [ d ] in
+  Alcotest.(check (list string)) "IDL002" [ "IDL002" ] (lint_codes ds);
+  Alcotest.(check bool) "worst is error" true (Iw_lint.worst ds = Some Iw_lint.Error);
+  let d2 = List.hd ds in
+  Alcotest.(check (pair int int)) "at field loc" (3, 9) (d2.Iw_lint.line, d2.Iw_lint.col)
+
+let test_lint_json () =
+  let ds = Iw_lint.lint (Iw_idl.parse bad_src) in
+  let json = Iw_lint.to_json ds in
+  Alcotest.(check bool) "code key" true (contains_sub json "\"code\":\"IDL004\"");
+  Alcotest.(check bool) "severity key" true (contains_sub json "\"severity\":\"warning\"");
+  Alcotest.(check bool) "null field for struct-level" true (contains_sub json "\"field\":null")
+
+(* {1 Lockset sanitizer} *)
+
+let node_desc =
+  Desc.structure [ Desc.field "key" Desc.int; Desc.field "next" (Desc.ptr "node") ]
+
+let san_codes s =
+  List.sort_uniq compare (List.map (fun r -> r.Iw_sanitizer.r_code) (Iw_sanitizer.reports s))
+
+let fresh ?policy ?strict_reads () =
+  let server = start_server () in
+  let c = direct_client server in
+  let s = Iw_sanitizer.attach ?policy ?strict_reads c in
+  (server, c, s)
+
+(* Correct quickstart-style usage must produce zero reports. *)
+let test_sanitizer_clean_run () =
+  let _server, c, s = fresh () in
+  let h = open_segment c "san/clean" in
+  let a, b =
+    with_write_lock h (fun () ->
+        let a = malloc h node_desc ~name:"head" in
+        let b = malloc h node_desc in
+        Client.write_int c a 1;
+        Client.write_ptr c (a + 4) b;
+        Client.write_int c b 2;
+        Client.write_ptr c (b + 4) 0;
+        (a, b))
+  in
+  with_read_lock h (fun () ->
+      (* nested read sections are fine *)
+      with_read_lock h (fun () ->
+          let next = Client.read_ptr c (a + 4) in
+          Alcotest.(check int) "link followed" 2 (Client.read_int c next));
+      Alcotest.(check int) "head" 1 (Client.read_int c a));
+  (* swizzling round trip *)
+  let mip = ptr_to_mip c b in
+  let b' = mip_to_ptr c mip in
+  Alcotest.(check int) "mip roundtrip" b b';
+  with_write_lock h (fun () ->
+      Client.write_ptr c (a + 4) 0;
+      free c b);
+  Alcotest.(check (list string)) "no reports" [] (san_codes s)
+
+let test_san01_load_no_lock () =
+  let _server, c, s = fresh () in
+  let h = open_segment c "san/s1" in
+  let a = with_write_lock h (fun () -> malloc h Desc.int) in
+  ignore (Client.read_int c a : int);
+  Alcotest.(check (list string)) "SAN01" [ "SAN01" ] (san_codes s)
+
+let test_san01_relaxed_reads () =
+  let _server, c, s = fresh ~strict_reads:false () in
+  let h = open_segment c "san/s1r" in
+  let a = with_write_lock h (fun () -> malloc h Desc.int) in
+  ignore (Client.read_int c a : int);
+  Alcotest.(check (list string)) "tolerated" [] (san_codes s)
+
+let test_san02_store_no_write_lock () =
+  let _server, c, s = fresh () in
+  let h = open_segment c "san/s2" in
+  let a = with_write_lock h (fun () -> malloc h Desc.int) in
+  with_read_lock h (fun () -> Client.write_int c a 5);
+  Alcotest.(check (list string)) "SAN02 under read lock" [ "SAN02" ] (san_codes s);
+  Iw_sanitizer.clear s;
+  Client.write_int c a 6;
+  Alcotest.(check (list string)) "SAN02 unlocked" [ "SAN02" ] (san_codes s)
+
+let test_san03_malloc_no_lock () =
+  let _server, c, s = fresh () in
+  let h = open_segment c "san/s3" in
+  (try ignore (malloc h Desc.int : addr) with Client.Error _ -> ());
+  ignore c;
+  Alcotest.(check (list string)) "SAN03" [ "SAN03" ] (san_codes s)
+
+let test_san04_free_no_lock () =
+  let _server, c, s = fresh () in
+  let h = open_segment c "san/s4" in
+  let a = with_write_lock h (fun () -> malloc h Desc.int) in
+  (try free c a with Client.Error _ -> ());
+  Alcotest.(check (list string)) "SAN04" [ "SAN04" ] (san_codes s)
+
+let test_san05_use_after_free () =
+  let _server, c, s = fresh () in
+  let h = open_segment c "san/s5" in
+  let a = with_write_lock h (fun () -> malloc h Desc.int) in
+  with_write_lock h (fun () ->
+      free c a;
+      (* the page is still mapped, so without the sanitizer this reads
+         silently *)
+      ignore (Client.read_int c a : int));
+  Alcotest.(check (list string)) "SAN05" [ "SAN05" ] (san_codes s)
+
+let test_san06_use_after_abort () =
+  let _server, c, s = fresh () in
+  let h = open_segment c "san/s6" in
+  wl_acquire h;
+  let b = malloc h Desc.int in
+  Client.write_int c b 5;
+  wl_abort h;
+  (try ignore (Client.read_int c b : int) with Invalid_argument _ -> ());
+  Alcotest.(check (list string)) "SAN06" [ "SAN06" ] (san_codes s)
+
+let test_san07_release_imbalance () =
+  let _server, c, s = fresh () in
+  let h = open_segment c "san/s7" in
+  ignore c;
+  (try rl_release h with _ -> ());
+  Alcotest.(check (list string)) "SAN07 read" [ "SAN07" ] (san_codes s);
+  Iw_sanitizer.clear s;
+  (try wl_release h with _ -> ());
+  Alcotest.(check (list string)) "SAN07 write" [ "SAN07" ] (san_codes s)
+
+let test_san08_lock_order_inversion () =
+  let _server, c, s = fresh () in
+  let h1 = open_segment c "san/ord1" in
+  let h2 = open_segment c "san/ord2" in
+  ignore c;
+  rl_acquire h1;
+  rl_acquire h2;
+  rl_release h2;
+  rl_release h1;
+  Alcotest.(check (list string)) "order established, clean" [] (san_codes s);
+  rl_acquire h2;
+  rl_acquire h1;
+  rl_release h1;
+  rl_release h2;
+  Alcotest.(check (list string)) "SAN08" [ "SAN08" ] (san_codes s)
+
+let test_san09_unswizzled_deref () =
+  let _server, c, s = fresh () in
+  let h = open_segment c "san/s9" in
+  wl_acquire h;
+  let a = malloc h (Desc.structure [ Desc.field "p" Desc.opaque_ptr ]) in
+  Client.write_ptr c a 0x7fff0000;
+  let v = Client.read_ptr c a in
+  (try ignore (Client.read_int c v : int) with Invalid_argument _ -> ());
+  (* abort: committing would (rightly) fail to swizzle the garbage pointer *)
+  wl_abort h;
+  Alcotest.(check (list string)) "SAN09" [ "SAN09" ] (san_codes s)
+
+let test_sanitizer_raise_policy () =
+  let _server, c, s = fresh ~policy:Iw_sanitizer.Raise () in
+  let h = open_segment c "san/raise" in
+  let a = with_write_lock h (fun () -> malloc h Desc.int) in
+  (try
+     ignore (Client.read_int c a : int);
+     Alcotest.fail "expected Violation"
+   with Iw_sanitizer.Violation r ->
+     Alcotest.(check string) "code" "SAN01" r.Iw_sanitizer.r_code);
+  Iw_sanitizer.detach s;
+  (* after detach the same access is silent again *)
+  ignore (Client.read_int c a : int)
+
+(* {1 Wire-diff validation} *)
+
+(* A client whose outgoing Write_release diffs are checked at the link
+   against the server's pre-application state. *)
+let validating_setup () =
+  let server = start_server () in
+  Server.set_validate_diffs server true;
+  let base = Server.direct_link server in
+  let release_issues = ref [] in
+  let checked_call req =
+    (match req with
+    | Proto.Write_release { name; diff; _ } ->
+      release_issues :=
+        !release_issues @ Iw_wire_check.check (Server.diff_ctx server name) diff
+    | _ -> ());
+    base.Proto.call req
+  in
+  let c = Client.connect { base with Proto.call = checked_call } in
+  (server, c, release_issues)
+
+let test_wire_accepts_server_traffic () =
+  let _server, c, issues = validating_setup () in
+  let h = Client.open_segment c "wire/seg" in
+  let a =
+    with_write_lock h (fun () ->
+        let a = malloc h node_desc ~name:"head" in
+        let b = malloc h node_desc in
+        Client.write_int c a 10;
+        Client.write_ptr c (a + 4) b;
+        a)
+  in
+  (* a second critical section produces an Update diff *)
+  with_write_lock h (fun () -> Client.write_int c a 11);
+  (* and a no-change section produces the empty same-version diff *)
+  with_write_lock h (fun () -> ());
+  Alcotest.(check int) "all diffs well-formed" 0 (List.length !issues)
+
+let wire_codes is = List.sort_uniq compare (List.map (fun i -> i.Iw_wire_check.i_code) is)
+
+let has_code code is = List.mem code (wire_codes is)
+
+let test_wire_rejects_corrupted () =
+  let server, c, _issues = validating_setup () in
+  let h = Client.open_segment c "wire/bad" in
+  let _a =
+    with_write_lock h (fun () ->
+        let a = malloc h node_desc ~name:"head" in
+        Client.write_int c a 1;
+        a)
+  in
+  let ctx = Server.diff_ctx server "wire/bad" in
+  let serial = (Option.get (Client.find_named_block h "head")).Mem.b_serial in
+  let desc_serial, pcount = Option.get (ctx.Iw_wire_check.cx_block serial) in
+  let v = Client.segment_version h in
+  let diff ?(to_version = v + 1) ?(new_descs = []) changes =
+    { Wire.Diff.from_version = v; to_version; new_descs; changes }
+  in
+  let int_payload n =
+    let b = Wire.Buf.create () in
+    Wire.Buf.u32 b n;
+    Wire.Buf.contents b
+  in
+  let mip_payload m =
+    let b = Wire.Buf.create () in
+    Wire.Buf.string b m;
+    Wire.Buf.contents b
+  in
+  let update runs = [ Wire.Diff.Update { serial; runs } ] in
+  let check d = Iw_wire_check.check ctx d in
+  (* out-of-bounds run *)
+  Alcotest.(check bool) "WIRE01" true
+    (has_code "WIRE01"
+       (check (diff (update [ { Wire.Diff.start_pu = pcount; len_pu = 4; payload = "" } ]))));
+  (* overlapping runs *)
+  Alcotest.(check bool) "WIRE02" true
+    (has_code "WIRE02"
+       (check
+          (diff
+             (update
+                [
+                  { Wire.Diff.start_pu = 0; len_pu = 1; payload = int_payload 1 };
+                  { Wire.Diff.start_pu = 0; len_pu = 1; payload = int_payload 2 };
+                ]))));
+  (* unknown block *)
+  Alcotest.(check bool) "WIRE03" true
+    (has_code "WIRE03"
+       (check
+          (diff
+             [
+               Wire.Diff.Update
+                 { serial = 9999; runs = [ { start_pu = 0; len_pu = 1; payload = "" } ] };
+             ])));
+  (* unknown descriptor *)
+  Alcotest.(check bool) "WIRE04" true
+    (has_code "WIRE04"
+       (check
+          (diff
+             [ Wire.Diff.Create { serial = 777; name = None; desc_serial = 999; payload = "" } ])));
+  (* syntactically invalid MIP in a pointer unit (unit 1 is 'next') *)
+  Alcotest.(check bool) "WIRE05" true
+    (has_code "WIRE05"
+       (check
+          (diff (update [ { Wire.Diff.start_pu = 1; len_pu = 1; payload = mip_payload "x##1" } ]))));
+  (* truncated payload *)
+  Alcotest.(check bool) "WIRE06" true
+    (has_code "WIRE06"
+       (check (diff (update [ { Wire.Diff.start_pu = 0; len_pu = 1; payload = "" } ]))));
+  (* trailing bytes *)
+  Alcotest.(check bool) "WIRE06 trailing" true
+    (has_code "WIRE06"
+       (check
+          (diff
+             (update
+                [ { Wire.Diff.start_pu = 0; len_pu = 1; payload = int_payload 1 ^ "xx" } ]))));
+  (* version regression on a non-empty diff *)
+  Alcotest.(check bool) "WIRE07" true
+    (has_code "WIRE07"
+       (check
+          (diff ~to_version:v
+             (update [ { Wire.Diff.start_pu = 0; len_pu = 1; payload = int_payload 1 } ]))));
+  (* create of an existing serial *)
+  Alcotest.(check bool) "WIRE08" true
+    (has_code "WIRE08"
+       (check
+          (diff
+             [
+               Wire.Diff.Create
+                 {
+                   serial;
+                   name = None;
+                   desc_serial;
+                   payload = int_payload 0 ^ mip_payload "";
+                 };
+             ])));
+  (* degenerate run *)
+  Alcotest.(check bool) "WIRE09" true
+    (has_code "WIRE09"
+       (check (diff (update [ { Wire.Diff.start_pu = 0; len_pu = 0; payload = "" } ]))));
+  (* conflicting descriptor serial binding *)
+  Alcotest.(check bool) "WIRE10" true
+    (has_code "WIRE10"
+       (check (diff ~new_descs:[ (desc_serial, Types.Prim Iw_arch.Char) ] (update []))));
+  (* the untouched baseline stays accepted *)
+  Alcotest.(check (list string)) "clean baseline" []
+    (wire_codes
+       (check (diff (update [ { Wire.Diff.start_pu = 0; len_pu = 1; payload = int_payload 7 } ]))))
+
+(* The server, with validation on, refuses a corrupt diff whole and does not
+   wedge the segment's write lock. *)
+let test_server_rejects_corrupt_diff () =
+  let server = start_server () in
+  Server.set_validate_diffs server true;
+  let session =
+    match Server.handle server (Proto.Hello { arch = "x86_32" }) with
+    | Proto.R_hello { session } -> session
+    | _ -> Alcotest.fail "hello"
+  in
+  (match Server.handle server (Proto.Open_segment { session; name = "s"; create = true }) with
+  | Proto.R_segment _ -> ()
+  | _ -> Alcotest.fail "open");
+  (match Server.handle server (Proto.Write_lock { session; name = "s"; version = 0 }) with
+  | Proto.R_granted _ -> ()
+  | _ -> Alcotest.fail "lock");
+  let corrupt =
+    {
+      Wire.Diff.from_version = 0;
+      to_version = 1;
+      new_descs = [];
+      changes =
+        [
+          Wire.Diff.Update
+            { serial = 5; runs = [ { start_pu = 0; len_pu = 1; payload = "" } ] };
+        ];
+    }
+  in
+  (match Server.handle server (Proto.Write_release { session; name = "s"; diff = corrupt }) with
+  | Proto.R_error msg ->
+    Alcotest.(check bool) ("names the issue: " ^ msg) true (contains_sub msg "invalid diff")
+  | _ -> Alcotest.fail "expected R_error");
+  (* the lock was released on rejection *)
+  match Server.handle server (Proto.Write_lock { session; name = "s"; version = 0 }) with
+  | Proto.R_granted _ -> ()
+  | _ -> Alcotest.fail "segment wedged after rejected diff"
+
+let suite =
+  ( "analysis",
+    [
+      Alcotest.test_case "lint: list.idl is clean" `Quick test_lint_list_idl_clean;
+      Alcotest.test_case "lint: bad fixture codes and locations" `Quick test_lint_bad_fixture;
+      Alcotest.test_case "lint: self pointer is not a cycle" `Quick
+        test_lint_self_pointer_not_a_cycle;
+      Alcotest.test_case "lint: padding and layout divergence" `Quick
+        test_lint_padding_and_divergence;
+      Alcotest.test_case "lint: unresolved pointer target" `Quick test_lint_unresolved_ptr;
+      Alcotest.test_case "lint: json output" `Quick test_lint_json;
+      Alcotest.test_case "sanitizer: clean run has no reports" `Quick test_sanitizer_clean_run;
+      Alcotest.test_case "sanitizer: SAN01 load outside lock" `Quick test_san01_load_no_lock;
+      Alcotest.test_case "sanitizer: relaxed reads tolerated" `Quick test_san01_relaxed_reads;
+      Alcotest.test_case "sanitizer: SAN02 store without write lock" `Quick
+        test_san02_store_no_write_lock;
+      Alcotest.test_case "sanitizer: SAN03 malloc without lock" `Quick test_san03_malloc_no_lock;
+      Alcotest.test_case "sanitizer: SAN04 free without lock" `Quick test_san04_free_no_lock;
+      Alcotest.test_case "sanitizer: SAN05 use after free" `Quick test_san05_use_after_free;
+      Alcotest.test_case "sanitizer: SAN06 use after abort" `Quick test_san06_use_after_abort;
+      Alcotest.test_case "sanitizer: SAN07 release imbalance" `Quick
+        test_san07_release_imbalance;
+      Alcotest.test_case "sanitizer: SAN08 lock-order inversion" `Quick
+        test_san08_lock_order_inversion;
+      Alcotest.test_case "sanitizer: SAN09 unswizzled deref" `Quick test_san09_unswizzled_deref;
+      Alcotest.test_case "sanitizer: raise policy and detach" `Quick test_sanitizer_raise_policy;
+      Alcotest.test_case "wire: server traffic accepted" `Quick test_wire_accepts_server_traffic;
+      Alcotest.test_case "wire: corrupted diffs rejected" `Quick test_wire_rejects_corrupted;
+      Alcotest.test_case "wire: server rejects and releases lock" `Quick
+        test_server_rejects_corrupt_diff;
+    ] )

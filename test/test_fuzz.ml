@@ -4,6 +4,84 @@
 
 open Interweave
 
+(* Every diff crossing a link — client releases checked against the server's
+   pre-application state, server updates checked against the receiving
+   client's pre-application state — must satisfy Iw_wire_check.  The server
+   additionally re-validates incoming diffs itself (set_validate_diffs). *)
+let checked_client ?arch server =
+  Server.set_validate_diffs server true;
+  let base = Server.direct_link server in
+  let cref = ref None in
+  let fail dir name issues =
+    Alcotest.failf "%s diff for %s: %s" dir name
+      (String.concat "; "
+         (List.map (fun i -> Format.asprintf "%a" Iw_wire_check.pp_issue i) issues))
+  in
+  (* The receiving client's knowledge of a segment, reconstructed from its
+     cached blocks (their layouts recover the descriptors). *)
+  let client_ctx name =
+    match !cref with
+    | None -> Iw_wire_check.empty_ctx
+    | Some c -> (
+      match Client.find_segment c name with
+      | None -> Iw_wire_check.empty_ctx
+      | Some g ->
+        let blocks = Client.blocks g in
+        {
+          Iw_wire_check.cx_desc =
+            (fun serial ->
+              List.find_map
+                (fun b ->
+                  if b.Mem.b_desc_serial = serial then Some (Types.descriptor b.Mem.b_layout)
+                  else None)
+                blocks);
+          cx_block =
+            (fun serial ->
+              List.find_map
+                (fun b ->
+                  if b.Mem.b_serial = serial then
+                    Some (b.Mem.b_desc_serial, Types.layout_prim_count b.Mem.b_layout)
+                  else None)
+                blocks);
+        })
+  in
+  let checked_call req =
+    (match req with
+    | Proto.Write_release { name; diff; _ } -> begin
+      match Iw_wire_check.check (Server.diff_ctx server name) diff with
+      | [] -> ()
+      | issues -> fail "outgoing" name issues
+    end
+    | _ -> ());
+    let resp = base.Proto.call req in
+    (match (req, resp) with
+    | Proto.Read_lock { name; _ }, Proto.R_update d
+    | Proto.Write_lock { name; _ }, Proto.R_granted (Some d) ->
+      (* A full sync (from version 0) recreates every block; the client may
+         already hold placeholder metadata for them (open_segment reserves
+         addresses for swizzling), so only descriptor knowledge carries
+         over. *)
+      let ctx = client_ctx name in
+      let ctx =
+        if d.Wire.Diff.from_version = 0 then
+          { ctx with Iw_wire_check.cx_block = (fun _ -> None) }
+        else ctx
+      in
+      begin
+        match Iw_wire_check.check ctx d with
+        | [] -> ()
+        | issues -> fail "incoming" name issues
+      end
+    | _ -> ());
+    resp
+  in
+  let c = Client.connect ?arch { base with Proto.call = checked_call } in
+  cref := Some c;
+  Server.register_notifier server ~session:(Client.session c)
+    ~push:(Client.handle_notification c);
+  Client.enable_notifications c;
+  c
+
 (* Random block descriptors: modest sizes, no pointers (pointer correctness
    has dedicated tests; here the target is layout/translation coverage). *)
 let desc_gen =
@@ -78,7 +156,7 @@ let prop_random_desc_cross_arch =
     (QCheck.make desc_gen) (fun desc ->
       QCheck.assume (Types.validate desc = Ok ());
       let server = start_server () in
-      let w = direct_client ~arch:Arch.x86_32 server in
+      let w = checked_client ~arch:Arch.x86_32 server in
       let hw = open_segment w "fuzz/seg" in
       let lw = Types.layout (Types.local (Client.arch w)) desc in
       let n = Types.prim_count desc in
@@ -92,7 +170,7 @@ let prop_random_desc_cross_arch =
       in
       List.for_all
         (fun arch ->
-          let r = direct_client ~arch server in
+          let r = checked_client ~arch server in
           let hr = open_segment ~create:false r "fuzz/seg" in
           with_read_lock hr (fun () ->
               let br = Option.get (Client.find_named_block hr "b") in
@@ -110,8 +188,8 @@ let prop_random_updates_converge_and_survive_checkpoint =
       let dir = Filename.temp_file "iwfuzz" "" in
       Sys.remove dir;
       let server = Server.create ~checkpoint_dir:dir () in
-      let w = Interweave.direct_client ~arch:Arch.x86_32 server in
-      let r = Interweave.direct_client ~arch:Arch.sparc32 server in
+      let w = checked_client ~arch:Arch.x86_32 server in
+      let r = checked_client ~arch:Arch.sparc32 server in
       let desc = Desc.array Desc.int 200 in
       let hw = open_segment w "fuzz/ckpt" in
       let aw = with_write_lock hw (fun () -> malloc hw desc ~name:"xs") in
@@ -137,7 +215,7 @@ let prop_random_updates_converge_and_survive_checkpoint =
          same contents. *)
       Server.checkpoint server;
       let server2 = Server.create ~checkpoint_dir:dir () in
-      let f = Interweave.direct_client server2 in
+      let f = checked_client server2 in
       let hf = open_segment ~create:false f "fuzz/ckpt" in
       with_read_lock hf (fun () -> ());
       let af = (Option.get (Client.find_named_block hf "xs")).Mem.b_addr in

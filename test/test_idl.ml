@@ -103,6 +103,30 @@ let test_error_reports_line () =
     Alcotest.(check bool) ("line number in " ^ msg) true
       (String.length msg >= 6 && String.sub msg 0 5 = "line ")
 
+let starts_with prefix s =
+  String.length s >= String.length prefix && String.sub s 0 (String.length prefix) = prefix
+
+(* Errors deep into a file must pinpoint both the line and the column of the
+   offending token, not just the line. *)
+let test_error_reports_column () =
+  (try
+     ignore
+       (Iw_idl.parse "struct ok { int a; };\n\nstruct bad { int; };" : Iw_idl.decl list);
+     Alcotest.fail "expected error"
+   with Iw_idl.Parse_error msg ->
+     (* the stray ';' after 'int' sits at column 17 of line 3 *)
+     Alcotest.(check bool) ("position in " ^ msg) true
+       (starts_with "line 3, column 17:" msg));
+  try
+    ignore
+      (Iw_idl.parse "struct a { int x; };\nstruct b {\n  a *next;\n  zzz *bad;\n};"
+        : Iw_idl.decl list);
+    Alcotest.fail "expected error"
+  with Iw_idl.Parse_error msg ->
+    (* undefined pointer target reported at the offending field, mid-file *)
+    Alcotest.(check bool) ("position in " ^ msg) true
+      (starts_with "line 4, column 8:" msg)
+
 let test_register_all () =
   let ds = Iw_idl.parse "struct a { int x; };\nstruct b { a *link; };" in
   let r = Iw_types.Registry.create () in
@@ -161,6 +185,7 @@ let suite =
       Alcotest.test_case "comments" `Quick test_comments_and_whitespace;
       Alcotest.test_case "errors" `Quick test_errors;
       Alcotest.test_case "errors carry line numbers" `Quick test_error_reports_line;
+      Alcotest.test_case "errors carry line and column" `Quick test_error_reports_column;
       Alcotest.test_case "register_all" `Quick test_register_all;
       Alcotest.test_case "codegen accessors" `Quick test_codegen_contains_accessors;
       Alcotest.test_case "generated descriptor" `Quick test_generated_descriptor_matches;

@@ -16,6 +16,7 @@ let () =
       Test_notify.suite;
       Test_abort.suite;
       Test_fuzz.suite;
+      Test_analysis.suite;
       Test_seqmine.suite;
       Test_sim.suite;
     ]
