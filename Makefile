@@ -1,4 +1,4 @@
-.PHONY: all build test check clean
+.PHONY: all build test check bench-json clean
 
 all: build
 
@@ -11,6 +11,11 @@ test:
 # Build everything, run the test suite, and lint the example IDL.
 check:
 	dune build @check
+
+# Quick benchmark run that writes machine-readable results to
+# BENCH_results.json (the harness re-parses the file before exiting 0).
+bench-json:
+	dune exec bench/main.exe -- --quick --json BENCH_results.json
 
 clean:
 	dune clean

@@ -14,6 +14,7 @@ module Lattice = Iw_seqmine.Lattice
 type bar = {
   b_mode : string;
   b_bytes : int;
+  b_calls : int;  (* protocol round trips issued by the reader *)
 }
 
 let run ?(scale = 0.05) ?(increments = 50) () =
@@ -55,6 +56,7 @@ let run ?(scale = 0.05) ?(increments = 50) () =
   in
   (* The cacheless baseline: each fetch moves the whole summary. *)
   let full_bytes = ref 0 in
+  let full_calls = ref 0 in
   let one_pct = max 1 (params.Gen.customers / 100) in
   for inc = 0 to increments - 1 do
     let from = half + (inc * one_pct) in
@@ -73,23 +75,26 @@ let run ?(scale = 0.05) ?(increments = 50) () =
     let fseg = Lattice.segment fl in
     Iw_client.rl_acquire fseg;
     Iw_client.rl_release fseg;
-    full_bytes := !full_bytes + (Iw_client.stats fc).Iw_client.bytes_received
+    full_bytes := !full_bytes + (Iw_client.stats fc).Iw_client.bytes_received;
+    full_calls := !full_calls + (Iw_client.stats fc).Iw_client.calls
   done;
   Printf.printf "final summary: %d nodes\n" (Lattice.node_count lattice);
   let bars =
-    { b_mode = "Full transfer"; b_bytes = !full_bytes }
+    { b_mode = "Full transfer"; b_bytes = !full_bytes; b_calls = !full_calls }
     :: List.map
          (fun (mode, mc, _) ->
-           { b_mode = mode; b_bytes = (Iw_client.stats mc).Iw_client.bytes_received })
+           let st = Iw_client.stats mc in
+           { b_mode = mode; b_bytes = st.Iw_client.bytes_received; b_calls = st.Iw_client.calls })
          readers
   in
-  print_header "Figure 7: total bandwidth, datamining application" [ "MB"; "vs full" ];
+  print_header "Figure 7: total bandwidth, datamining application" [ "MB"; "vs full"; "round trips" ];
   List.iter
     (fun bar ->
       print_row bar.b_mode
         [
           mb bar.b_bytes;
           Printf.sprintf "%.1f%%" (100. *. float_of_int bar.b_bytes /. float_of_int !full_bytes);
+          string_of_int bar.b_calls;
         ])
     bars;
   bars

@@ -2,48 +2,185 @@
 
    Default (no arguments): regenerate every table and figure of the paper's
    evaluation (Figures 4-7) plus the Section 3.3 optimization ablations.
-   Subcommands run one experiment, optionally at reduced size. *)
+   Subcommands run one experiment, optionally at reduced size.
+
+   With [--json [PATH]] the harness also writes the measured rows as a
+   machine-readable JSON document (default BENCH_results.json), re-parsing
+   its own output before declaring success so a regression in the encoder
+   fails the run rather than the downstream consumer. *)
+
+module J = Iw_obs_json
 
 let quick_size quick = if quick then 1 lsl 18 else 1 lsl 20
 
-let run_fig4 quick = ignore (Fig4.run ~size:(quick_size quick) () : Fig4.row list)
+let eff_size quick = function Some s -> s | None -> quick_size quick
 
-let run_fig5 quick = ignore (Fig5.run ~size:(quick_size quick) () : Fig5.point list)
+(* JSON rendering of each figure's result rows.  Times are seconds, sizes
+   bytes; field names say which. *)
 
-let run_fig6 () = ignore (Fig6.run () : Fig6.point list)
+let fig4_json rows =
+  J.Arr
+    (List.map
+       (fun (r : Fig4.row) ->
+         J.Obj
+           [
+             ("shape", J.Str r.Fig4.r_shape);
+             ("xdr_s", J.Num r.Fig4.r_xdr);
+             ("collect_block_s", J.Num r.Fig4.r_collect_block);
+             ("collect_diff_s", J.Num r.Fig4.r_collect_diff);
+             ("apply_block_s", J.Num r.Fig4.r_apply_block);
+             ("apply_diff_s", J.Num r.Fig4.r_apply_diff);
+             ("server_apply_s", J.Num r.Fig4.r_server_apply);
+             ("server_collect_s", J.Num r.Fig4.r_server_collect);
+           ])
+       rows)
 
-let run_fig7 quick =
+let fig5_json points =
+  J.Arr
+    (List.map
+       (fun (p : Fig5.point) ->
+         J.Obj
+           [
+             ("ratio", J.num_int p.Fig5.p_ratio);
+             ("word_diff_s", J.Num p.Fig5.p_word_diff);
+             ("translate_s", J.Num p.Fig5.p_translate);
+             ("collect_s", J.Num p.Fig5.p_collect);
+             ("apply_s", J.Num p.Fig5.p_apply);
+             ("server_apply_s", J.Num p.Fig5.p_server_apply);
+             ("server_collect_s", J.Num p.Fig5.p_server_collect);
+             ("bytes_sent", J.num_int p.Fig5.p_bytes);
+           ])
+       points)
+
+let fig6_json points =
+  J.Arr
+    (List.map
+       (fun (p : Fig6.point) ->
+         J.Obj
+           [
+             ("case", J.Str p.Fig6.c_case);
+             ("swizzle_s", J.Num p.Fig6.c_swizzle);
+             ("unswizzle_s", J.Num p.Fig6.c_unswizzle);
+           ])
+       points)
+
+let fig7_json bars =
+  J.Arr
+    (List.map
+       (fun (b : Fig7.bar) ->
+         J.Obj
+           [
+             ("mode", J.Str b.Fig7.b_mode);
+             ("bytes_received", J.num_int b.Fig7.b_bytes);
+             ("round_trips", J.num_int b.Fig7.b_calls);
+           ])
+       bars)
+
+(* Each runner prints its human-readable table (as before) and returns the
+   ["figN" -> rows] sections that go under "figures" in the JSON document. *)
+
+let run_fig4 ~quick:_ ~size () = [ ("fig4", fig4_json (Fig4.run ~size ())) ]
+
+let run_fig5 ~quick:_ ~size () = [ ("fig5", fig5_json (Fig5.run ~size ())) ]
+
+let run_fig6 ~quick:_ ~size:_ () = [ ("fig6", fig6_json (Fig6.run ())) ]
+
+let run_fig7 ~quick ~size:_ () =
   let scale = if quick then 0.01 else 0.05 in
   let increments = if quick then 20 else 50 in
-  ignore (Fig7.run ~scale ~increments () : Fig7.bar list)
+  [ ("fig7", fig7_json (Fig7.run ~scale ~increments ())) ]
 
-let run_all quick =
+let run_ablation ~quick:_ ~size:_ () =
+  Ablation.run ();
+  []
+
+let run_bechamel ~quick:_ ~size:_ () =
+  Bechamel_suite.run ();
+  []
+
+let run_all ~quick ~size () =
   print_endline "InterWeave benchmark suite (paper: Tang et al., ICDCS 2003)";
-  run_fig4 quick;
-  run_fig5 quick;
-  run_fig6 ();
-  run_fig7 quick;
-  Ablation.run ()
+  let f4 = run_fig4 ~quick ~size () in
+  let f5 = run_fig5 ~quick ~size () in
+  let f6 = run_fig6 ~quick ~size () in
+  let f7 = run_fig7 ~quick ~size () in
+  Ablation.run ();
+  f4 @ f5 @ f6 @ f7
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_json ~quick ~size path figures =
+  let doc =
+    J.Obj
+      [
+        ("suite", J.Str "iw-bench");
+        ("paper", J.Str "Tang et al., ICDCS 2003");
+        ("quick", J.Bool quick);
+        ("size_bytes", J.num_int size);
+        ("figures", J.Obj figures);
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (J.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  match J.parse (read_file path) with
+  | Ok _ -> Printf.printf "wrote %s\n%!" path
+  | Error e ->
+    Printf.eprintf "error: %s is not valid JSON: %s\n" path e;
+    exit 1
 
 open Cmdliner
 
 let quick =
   Arg.(value & flag & info [ "quick" ] ~doc:"Reduced sizes for a fast smoke run.")
 
-let cmd_of name doc f = Cmd.v (Cmd.info name ~doc) Term.(const f $ quick)
+let size =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "size" ] ~docv:"BYTES"
+        ~doc:
+          "Array size in bytes for figures 4 and 5 (default $(b,1048576), or $(b,262144) \
+           with $(b,--quick)).")
 
-let default = Term.(const run_all $ quick)
+let json =
+  Arg.(
+    value
+    & opt ~vopt:(Some "BENCH_results.json") (some string) None
+    & info [ "json" ] ~docv:"PATH"
+        ~doc:
+          "Also write results as machine-readable JSON to $(docv) (just $(b,--json) writes \
+           $(b,BENCH_results.json)).")
+
+let term f =
+  Term.(
+    const (fun quick size json ->
+        let size = eff_size quick size in
+        let figures = f ~quick ~size () in
+        match json with
+        | None -> 0
+        | Some path ->
+          write_json ~quick ~size path figures;
+          0)
+    $ quick $ size $ json)
+
+let cmd_of name doc f = Cmd.v (Cmd.info name ~doc) (term f)
 
 let cmd =
-  Cmd.group ~default
+  Cmd.group ~default:(term run_all)
     (Cmd.info "iw-bench" ~doc:"Regenerate the paper's tables and figures")
     [
       cmd_of "fig4" "Basic translation costs (Figure 4)" run_fig4;
       cmd_of "fig5" "Modification granularity sweep (Figure 5)" run_fig5;
-      cmd_of "fig6" "Pointer swizzling costs (Figure 6)" (fun _ -> run_fig6 ());
+      cmd_of "fig6" "Pointer swizzling costs (Figure 6)" run_fig6;
       cmd_of "fig7" "Datamining bandwidth (Figure 7)" run_fig7;
-      cmd_of "ablation" "Optimization ablations (Section 3.3)" (fun _ -> Ablation.run ());
-      cmd_of "bechamel" "Bechamel micro-benchmark suite" (fun _ -> Bechamel_suite.run ());
+      cmd_of "ablation" "Optimization ablations (Section 3.3)" run_ablation;
+      cmd_of "bechamel" "Bechamel micro-benchmark suite" run_bechamel;
     ]
 
-let () = exit (Cmd.eval cmd)
+let () = exit (Cmd.eval' cmd)

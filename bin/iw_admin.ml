@@ -1,9 +1,16 @@
 (* Operator tool for a running InterWeave server: inspect segments, force
-   checkpoints, and dump segment contents in wire-format terms. *)
+   checkpoints, dump live metrics, and dump segment contents in wire-format
+   terms. *)
+
+(* Stray notifications (e.g. from a segment another admin command subscribed
+   to) are surfaced on stderr rather than silently dropped. *)
+let print_notification (n : Iw_proto.notification) =
+  Printf.eprintf "notification: %s -> version %d\n%!" n.Iw_proto.n_segment
+    n.Iw_proto.n_version
 
 let connect host port =
   let conn = Iw_transport.tcp_connect ~host ~port in
-  let link = Iw_proto.demux_link conn ~on_notify:(fun _ -> ()) in
+  let link = Iw_proto.demux_link conn ~on_notify:print_notification in
   let session =
     match link.Iw_proto.call (Iw_proto.Hello { arch = "admin" }) with
     | Iw_proto.R_hello { session } -> session
@@ -11,9 +18,15 @@ let connect host port =
   in
   (link, session)
 
-let fail_response what = function
-  | Iw_proto.R_error msg -> Printf.eprintf "error: %s: %s\n" what msg; exit 1
-  | _ -> Printf.eprintf "error: unexpected response to %s\n" what; exit 1
+let fail_response link what = function
+  | Iw_proto.R_error msg ->
+    link.Iw_proto.close ();
+    Printf.eprintf "error: %s: %s\n" what msg;
+    exit 1
+  | _ ->
+    link.Iw_proto.close ();
+    Printf.eprintf "error: unexpected response to %s\n" what;
+    exit 1
 
 let stat host port name =
   let link, session = connect host port in
@@ -25,7 +38,18 @@ let stat host port name =
     Printf.printf "primitive units  %d\n" st.Iw_proto.st_total_units;
     Printf.printf "diff cache       %d hits / %d misses\n" st.Iw_proto.st_diff_cache_hits
       st.Iw_proto.st_diff_cache_misses
-  | r -> fail_response "stat" r);
+  | r -> fail_response link "stat" r);
+  link.Iw_proto.close ();
+  0
+
+let server_stats host port json prom =
+  let link, session = connect host port in
+  (match link.Iw_proto.call (Iw_proto.Server_stats { session }) with
+  | Iw_proto.R_server_stats snap ->
+    if json then print_endline (Iw_obs_json.to_string (Iw_metrics.render_json snap))
+    else if prom then print_string (Iw_metrics.render_prometheus snap)
+    else Format.printf "%a" Iw_metrics.pp_text snap
+  | r -> fail_response link "stats" r);
   link.Iw_proto.close ();
   0
 
@@ -46,7 +70,7 @@ let blocks host port name =
           mb.Iw_proto.mb_desc_serial
           (match mb.Iw_proto.mb_name with Some n -> n | None -> ""))
       blocks
-  | r -> fail_response "meta" r);
+  | r -> fail_response link "meta" r);
   link.Iw_proto.close ();
   0
 
@@ -54,7 +78,7 @@ let version host port name =
   let link, session = connect host port in
   (match link.Iw_proto.call (Iw_proto.Get_version { session; name }) with
   | Iw_proto.R_version v -> Printf.printf "%d\n" v
-  | r -> fail_response "get-version" r);
+  | r -> fail_response link "get-version" r);
   link.Iw_proto.close ();
   0
 
@@ -62,7 +86,7 @@ let checkpoint host port =
   let link, session = connect host port in
   (match link.Iw_proto.call (Iw_proto.Checkpoint { session }) with
   | Iw_proto.R_ok -> print_endline "checkpoint complete"
-  | r -> fail_response "checkpoint" r);
+  | r -> fail_response link "checkpoint" r);
   link.Iw_proto.close ();
   0
 
@@ -77,11 +101,13 @@ let watch host port name =
   let session =
     match link.Iw_proto.call (Iw_proto.Hello { arch = "admin" }) with
     | Iw_proto.R_hello { session } -> session
-    | _ -> failwith "handshake failed"
+    | _ ->
+      link.Iw_proto.close ();
+      failwith "handshake failed"
   in
   (match link.Iw_proto.call (Iw_proto.Subscribe { session; name }) with
   | Iw_proto.R_ok -> Printf.printf "watching %s (ctrl-c to stop)\n%!" name
-  | r -> fail_response "subscribe" r);
+  | r -> fail_response link "subscribe" r);
   let rec forever () =
     Thread.delay 3600.;
     forever ()
@@ -96,10 +122,21 @@ let port = Arg.(value & opt int 7077 & info [ "p"; "port" ] ~docv:"PORT")
 
 let seg_name = Arg.(required & pos 0 (some string) None & info [] ~docv:"SEGMENT")
 
+let json_flag = Arg.(value & flag & info [ "json" ] ~doc:"Emit metrics as JSON.")
+
+let prom_flag =
+  Arg.(value & flag & info [ "prom" ] ~doc:"Emit metrics in Prometheus text exposition format.")
+
 let cmds =
   [
     Cmd.v (Cmd.info "stat" ~doc:"Segment statistics")
       Term.(const stat $ host $ port $ seg_name);
+    Cmd.v
+      (Cmd.info "stats"
+         ~doc:
+           "Dump the server's live metric snapshot (request latency histograms, \
+            diff-cache and version counters, transport byte counts)")
+      Term.(const server_stats $ host $ port $ json_flag $ prom_flag);
     Cmd.v (Cmd.info "blocks" ~doc:"List a segment's blocks and types")
       Term.(const blocks $ host $ port $ seg_name);
     Cmd.v (Cmd.info "version" ~doc:"Print a segment's current version")

@@ -7,9 +7,17 @@ let setup_logging verbose =
   Logs.set_reporter (Logs_fmt.reporter ());
   Logs.set_level (Some (if verbose then Logs.Debug else Logs.Info))
 
-let run port checkpoint_dir checkpoint_secs verbose =
+let run port checkpoint_dir checkpoint_secs trace verbose =
   setup_logging verbose;
+  (match trace with
+  | Some path ->
+    Iw_trace.start ~path;
+    Logs.info (fun m -> m "tracing to %s (written at exit)" path)
+  | None -> ());
   let server = Iw_server.create ?checkpoint_dir () in
+  Logs.info (fun m ->
+      m "metrics %s (IW_METRICS overrides; dump with iw-admin stats)"
+        (if Iw_metrics.enabled (Iw_server.metrics server) then "enabled" else "disabled"));
   (match checkpoint_dir with
   | Some dir ->
     Logs.info (fun m -> m "checkpointing to %s every %.0fs" dir checkpoint_secs);
@@ -47,10 +55,19 @@ let checkpoint_secs =
 
 let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Debug logging.")
 
+let trace =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record a Chrome trace_event JSON trace of request handling to $(docv), \
+           written at exit (equivalent to setting IW_TRACE=$(docv)).")
+
 let cmd =
   let doc = "InterWeave segment server" in
   Cmd.v
     (Cmd.info "iw-server" ~doc)
-    Term.(const run $ port $ checkpoint_dir $ checkpoint_secs $ verbose)
+    Term.(const run $ port $ checkpoint_dir $ checkpoint_secs $ trace $ verbose)
 
 let () = exit (Cmd.eval cmd)

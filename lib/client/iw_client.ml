@@ -33,6 +33,23 @@ type options = {
   mutable auto_subscribe : bool;
 }
 
+(* Latency and size distributions around the client's hot operations.  The
+   flat [stats] record above stays the live store (benchmarks read its fields
+   directly); these add distributions the flat counters cannot express.  All
+   updates are behind the registry's enabled flag — one branch each when
+   metrics are off (the default for clients; IW_METRICS=1 turns them on). *)
+type instruments = {
+  i_rl_us : Iw_metrics.histogram;
+  i_wl_us : Iw_metrics.histogram;
+  i_release_us : Iw_metrics.histogram;
+  i_collect_us : Iw_metrics.histogram;
+  i_apply_us : Iw_metrics.histogram;
+  i_diff_sent_bytes : Iw_metrics.histogram;
+  i_diff_recv_bytes : Iw_metrics.histogram;
+  i_swizzles : Iw_metrics.counter;
+  i_unswizzles : Iw_metrics.counter;
+}
+
 type lock_state =
   | Unlocked
   | Read_locked of int
@@ -95,6 +112,12 @@ and t = {
   mutable c_next_seg_id : int;
   c_busy_wait : float option;
   c_stats : stats;
+  c_metrics : Iw_metrics.t;
+  c_instr : instruments;
+  (* When true, bytes_sent/bytes_received are fed actual framed bytes by the
+     link's I/O callback, so the payload-based accounting below stands down
+     rather than double count. *)
+  mutable c_framed_bytes : bool;
   c_options : options;
   c_scratch : Iw_wire.Buf.t;
       (* reused payload-encoding buffer: collection runs are sequential, and
@@ -133,6 +156,50 @@ let fresh_stats () =
 
 let stats c = c.c_stats
 
+let make_instruments t =
+  let h = Iw_metrics.histogram_us t and hb = Iw_metrics.histogram_bytes t in
+  {
+    i_rl_us = h ~help:"Read-lock acquisition latency" "iw_client_rl_acquire_us";
+    i_wl_us = h ~help:"Write-lock acquisition latency" "iw_client_wl_acquire_us";
+    i_release_us = h ~help:"Write-lock release (or abort) latency" "iw_client_wl_release_us";
+    i_collect_us = h ~help:"Diff collection (word-diff + translate)" "iw_client_collect_us";
+    i_apply_us = h ~help:"Diff application (translate + swizzle)" "iw_client_apply_us";
+    i_diff_sent_bytes = hb ~help:"Outgoing diff payload size" "iw_client_diff_sent_bytes";
+    i_diff_recv_bytes = hb ~help:"Incoming diff payload size" "iw_client_diff_received_bytes";
+    i_swizzles =
+      Iw_metrics.counter t ~help:"Pointers translated to MIPs" "iw_client_swizzle_total";
+    i_unswizzles =
+      Iw_metrics.counter t ~help:"MIPs translated to pointers" "iw_client_unswizzle_total";
+  }
+
+(* Re-back the flat stats record onto the registry as collect-time probes:
+   the record stays the store, the snapshot reads it for free. *)
+let register_stat_probes t (s : stats) =
+  let p name help read = Iw_metrics.probe t ~help ~kind:`Counter name read in
+  let i name help read = p name help (fun () -> float_of_int (read ())) in
+  i "iw_client_calls_total" "Protocol calls issued" (fun () -> s.calls);
+  i "iw_client_bytes_sent_total" "Bytes sent" (fun () -> s.bytes_sent);
+  i "iw_client_bytes_received_total" "Bytes received" (fun () -> s.bytes_received);
+  i "iw_client_diffs_sent_total" "Diffs sent" (fun () -> s.diffs_sent);
+  i "iw_client_diffs_received_total" "Diffs received" (fun () -> s.diffs_received);
+  i "iw_client_updates_skipped_total" "Lock acquisitions with no fetch"
+    (fun () -> s.updates_skipped);
+  i "iw_client_notifications_total" "Change notifications received"
+    (fun () -> s.notifications);
+  i "iw_client_twin_pages_total" "Pages twinned for diffing" (fun () -> s.twin_pages);
+  i "iw_client_pred_hits_total" "Last-block prediction hits" (fun () -> s.pred_hits);
+  i "iw_client_pred_misses_total" "Last-block prediction misses" (fun () -> s.pred_misses);
+  p "iw_client_word_diff_seconds_total" "Time word-diffing twinned pages"
+    (fun () -> s.word_diff_seconds);
+  p "iw_client_translate_seconds_total" "Time translating to wire format"
+    (fun () -> s.translate_seconds);
+  p "iw_client_apply_seconds_total" "Time applying incoming diffs"
+    (fun () -> s.apply_seconds)
+
+let metrics c = c.c_metrics
+
+let set_framed_byte_accounting c b = c.c_framed_bytes <- b
+
 let reset_stats c =
   let s = c.c_stats in
   s.calls <- 0;
@@ -163,6 +230,11 @@ let connect ?(arch = Iw_arch.x86_32) ?(busy_wait = None) link =
     | Iw_proto.R_hello { session } -> session
     | _ -> raise (Error "handshake failed")
   in
+  let c_stats = fresh_stats () in
+  let c_metrics =
+    Iw_metrics.create ~enabled:(Iw_metrics.env_enabled ~default:false) ()
+  in
+  register_stat_probes c_metrics c_stats;
   {
     c_space = Iw_mem.create_space arch;
     c_link = link;
@@ -171,7 +243,10 @@ let connect ?(arch = Iw_arch.x86_32) ?(busy_wait = None) link =
     c_by_id = Hashtbl.create 8;
     c_next_seg_id = 1;
     c_busy_wait = busy_wait;
-    c_stats = fresh_stats ();
+    c_stats;
+    c_metrics;
+    c_instr = make_instruments c_metrics;
+    c_framed_bytes = false;
     c_options =
       {
         auto_no_diff = true;
@@ -349,6 +424,7 @@ let seg_of_heap c heap =
   | None -> error "address belongs to no open segment"
 
 let ptr_to_mip c a =
+  Iw_metrics.incr c.c_instr.i_swizzles;
   match Iw_mem.find_block c.c_space a with
   | None -> error "ptr_to_mip: address %d is not in a live block" a
   | Some (b, byte_off) ->
@@ -371,6 +447,7 @@ let ptr_to_mip c a =
 let is_digits s = s <> "" && String.for_all (fun c -> c >= '0' && c <= '9') s
 
 let mip_to_ptr c mip =
+  Iw_metrics.incr c.c_instr.i_unswizzles;
   let seg_name, blk, pu =
     match String.split_on_char '#' mip with
     | [ s; b ] -> (s, b, 0)
@@ -480,11 +557,12 @@ let apply_update g ~unswizzle (serial, runs) =
             ~unswizzle))
     runs
 
-let apply_diff g (diff : Iw_wire.Diff.t) =
+let apply_diff_plain g (diff : Iw_wire.Diff.t) =
   let c = g.g_client in
   let t0 = now () in
   c.c_stats.diffs_received <- c.c_stats.diffs_received + 1;
-  c.c_stats.bytes_received <- c.c_stats.bytes_received + Iw_wire.Diff.payload_bytes diff;
+  if not c.c_framed_bytes then
+    c.c_stats.bytes_received <- c.c_stats.bytes_received + Iw_wire.Diff.payload_bytes diff;
   List.iter
     (fun (serial, d) ->
       Iw_types.Registry.adopt g.g_registry serial d;
@@ -517,6 +595,27 @@ let apply_diff g (diff : Iw_wire.Diff.t) =
   g.g_version <- diff.to_version;
   g.g_valid <- true;
   c.c_stats.apply_seconds <- c.c_stats.apply_seconds +. (now () -. t0)
+
+let apply_diff g (diff : Iw_wire.Diff.t) =
+  let c = g.g_client in
+  if Iw_metrics.enabled c.c_metrics || Iw_trace.enabled () then begin
+    Iw_trace.span_begin
+      ~args:
+        [
+          ("segment", g.g_name);
+          ("to_version", string_of_int diff.Iw_wire.Diff.to_version);
+        ]
+      "client.apply_diff";
+    let t0 = Iw_metrics.now_us () in
+    Fun.protect
+      ~finally:(fun () ->
+        Iw_metrics.observe c.c_instr.i_apply_us (Iw_metrics.now_us () -. t0);
+        Iw_metrics.observe c.c_instr.i_diff_recv_bytes
+          (float_of_int (Iw_wire.Diff.payload_bytes diff));
+        Iw_trace.span_end "client.apply_diff")
+      (fun () -> apply_diff_plain g diff)
+  end
+  else apply_diff_plain g diff
 
 (* Notifications (paper, Sec. 2.2): the receiver thread flags segments as
    possibly stale; read-lock acquisition on a subscribed, unflagged segment
@@ -571,7 +670,22 @@ let subscribed g = g.g_subscribed
 
 let cached_version g = if g.g_valid then g.g_version else 0
 
-let rl_acquire g =
+(* Wrap an operation in a latency histogram and a trace span.  Off is the
+   default: one branch and a tail call. *)
+let instrumented g pick span f =
+  let c = g.g_client in
+  if Iw_metrics.enabled c.c_metrics || Iw_trace.enabled () then begin
+    Iw_trace.span_begin ~args:[ ("segment", g.g_name) ] span;
+    let t0 = Iw_metrics.now_us () in
+    Fun.protect
+      ~finally:(fun () ->
+        Iw_metrics.observe (pick c.c_instr) (Iw_metrics.now_us () -. t0);
+        Iw_trace.span_end span)
+      f
+  end
+  else f ()
+
+let rl_acquire_plain g =
   notify_lock g Op_rl_acquire;
   match g.g_lock with
   | Read_locked n -> g.g_lock <- Read_locked (n + 1)
@@ -621,6 +735,9 @@ let rl_acquire g =
     end;
     g.g_lock <- Read_locked 1
 
+let rl_acquire g =
+  instrumented g (fun i -> i.i_rl_us) "client.rl_acquire" (fun () -> rl_acquire_plain g)
+
 let rl_release g =
   notify_lock g Op_rl_release;
   match g.g_lock with
@@ -628,7 +745,7 @@ let rl_release g =
   | Read_locked n -> g.g_lock <- Read_locked (n - 1)
   | Write_locked _ | Unlocked -> error "segment %s: read lock not held" g.g_name
 
-let wl_acquire g =
+let wl_acquire_plain g =
   notify_lock g Op_wl_acquire;
   match g.g_lock with
   | Write_locked n -> g.g_lock <- Write_locked (n + 1)
@@ -659,9 +776,16 @@ let wl_acquire g =
     Hashtbl.reset g.g_pending_frees;
     (match g.g_mode with
     | Diffing ->
-      Iw_mem.protect g.g_heap (* the paper's mprotect of all subsegment pages *)
+      (* the paper's mprotect of all subsegment pages *)
+      if Iw_trace.enabled () then
+        Iw_trace.with_span ~args:[ ("segment", g.g_name) ] "client.twin_protect"
+          (fun () -> Iw_mem.protect g.g_heap)
+      else Iw_mem.protect g.g_heap
     | No_diff _ -> ());
     g.g_lock <- Write_locked 1
+
+let wl_acquire g =
+  instrumented g (fun i -> i.i_wl_us) "client.wl_acquire" (fun () -> wl_acquire_plain g)
 
 (* Allocation. *)
 
@@ -813,7 +937,7 @@ let encode_block_runs c ~swizzle b ranges =
     (normalize_ranges ranges),
   covered
 
-let collect_diff g =
+let collect_diff_plain g =
   let c = g.g_client in
   let swizzle = memoized_swizzle c in
   let t0 = now () in
@@ -907,6 +1031,10 @@ let collect_diff g =
   c.c_stats.translate_seconds <- c.c_stats.translate_seconds +. (now () -. t1);
   (diff, !touched)
 
+let collect_diff g =
+  instrumented g (fun i -> i.i_collect_us) "client.collect_diff"
+    (fun () -> collect_diff_plain g)
+
 (* Automatic no-diff switching (paper, Sec. 3.3): a client that repeatedly
    modifies most of a segment stops diffing; it periodically switches back to
    capture behaviour changes. *)
@@ -940,7 +1068,7 @@ let set_no_diff g on =
   g.g_mode_forced <- true;
   g.g_mode <- (if on then No_diff max_int else Diffing)
 
-let wl_release g =
+let wl_release_plain g =
   notify_lock g Op_wl_release;
   match g.g_lock with
   | Write_locked n when n > 1 -> g.g_lock <- Write_locked (n - 1)
@@ -950,7 +1078,10 @@ let wl_release g =
     Iw_mem.unprotect g.g_heap;
     if diff.changes <> [] then begin
       c.c_stats.diffs_sent <- c.c_stats.diffs_sent + 1;
-      c.c_stats.bytes_sent <- c.c_stats.bytes_sent + Iw_wire.Diff.payload_bytes diff;
+      if not c.c_framed_bytes then
+        c.c_stats.bytes_sent <- c.c_stats.bytes_sent + Iw_wire.Diff.payload_bytes diff;
+      Iw_metrics.observe c.c_instr.i_diff_sent_bytes
+        (float_of_int (Iw_wire.Diff.payload_bytes diff));
       match
         call c (Iw_proto.Write_release { session = c.c_session; name = g.g_name; diff })
       with
@@ -975,11 +1106,15 @@ let wl_release g =
     g.g_lock <- Unlocked
   | Read_locked _ | Unlocked -> error "segment %s: write lock not held" g.g_name
 
+let wl_release g =
+  instrumented g (fun i -> i.i_release_us) "client.wl_release"
+    (fun () -> wl_release_plain g)
+
 (* Transactional abort (the paper's Section 6 direction): the twins that
    exist for diffing double as an undo log.  Every store since wl_acquire is
    rolled back, created blocks vanish, freed blocks are resurrected, and the
    server lock is released without publishing a version. *)
-let wl_abort g =
+let wl_abort_plain g =
   notify_lock g Op_wl_abort;
   match g.g_lock with
   | Read_locked _ | Unlocked -> error "segment %s: write lock not held" g.g_name
@@ -1021,6 +1156,10 @@ let wl_abort g =
     | Iw_proto.R_version _ -> ()
     | _ -> error "unexpected response to Write_release");
     g.g_lock <- Unlocked
+
+let wl_abort g =
+  instrumented g (fun i -> i.i_release_us) "client.wl_abort"
+    (fun () -> wl_abort_plain g)
 
 (* Typed accessors. *)
 

@@ -240,7 +240,9 @@ val set_monitor : t -> monitor option -> unit
 type stats = {
   mutable calls : int;  (** protocol round trips *)
   mutable bytes_sent : int;
-  mutable bytes_received : int;  (** diff payload bytes, both directions *)
+  mutable bytes_received : int;
+      (** diff payload bytes by default; actual framed protocol bytes when
+          the link feeds them in (see {!set_framed_byte_accounting}) *)
   mutable diffs_sent : int;
   mutable diffs_received : int;
   mutable updates_skipped : int;  (** lock acquisitions served from cache *)
@@ -256,3 +258,16 @@ type stats = {
 val stats : t -> stats
 
 val reset_stats : t -> unit
+
+val set_framed_byte_accounting : t -> bool -> unit
+(** Tell the client that its link reports actual framed bytes into
+    [bytes_sent]/[bytes_received] (via a transport-level I/O callback), so
+    the client must not also add diff payload sizes.  [Interweave.demux_client]
+    turns this on; direct links keep the payload-based accounting. *)
+
+val metrics : t -> Iw_metrics.t
+(** This client's metric registry: latency histograms around lock
+    operations and diff collect/apply, diff size histograms, swizzle
+    counters, plus collect-time probes mirroring {!stats}.  Disabled by
+    default — set [IW_METRICS=1] or call {!Iw_metrics.set_enabled}; when
+    disabled each instrumented site costs one branch. *)

@@ -7,6 +7,9 @@ module Proto = Iw_proto
 module Transport = Iw_transport
 module Server = Iw_server
 module Client = Iw_client
+module Metrics = Iw_metrics
+module Trace = Iw_trace
+module Obs_json = Iw_obs_json
 
 type server = Iw_server.t
 
@@ -75,15 +78,36 @@ let direct_client ?arch server =
   maybe_sanitize c
 
 (* Clients behind a byte transport receive notifications through the tagged
-   demux link; the forward reference is resolved once the client exists. *)
+   demux link; the forward reference is resolved once the client exists.
+   The link's I/O callback feeds actual framed byte counts into the client's
+   stats (the Hello handshake's bytes accumulate in the pre-counters until
+   the client exists), replacing the payload-only approximation direct
+   links are limited to. *)
 let demux_client ?arch ~busy_wait conn =
   let client = ref None in
+  let pre_sent = ref 0 and pre_received = ref 0 in
   let on_notify n =
     match !client with Some c -> Iw_client.handle_notification c n | None -> ()
   in
-  let link = Iw_proto.demux_link conn ~on_notify in
+  let on_io ~dir bytes =
+    match !client with
+    | Some c ->
+      let s = Iw_client.stats c in
+      (match dir with
+      | `Sent -> s.Iw_client.bytes_sent <- s.Iw_client.bytes_sent + bytes
+      | `Received -> s.Iw_client.bytes_received <- s.Iw_client.bytes_received + bytes)
+    | None -> (
+      match dir with
+      | `Sent -> pre_sent := !pre_sent + bytes
+      | `Received -> pre_received := !pre_received + bytes)
+  in
+  let link = Iw_proto.demux_link ~on_io conn ~on_notify in
   let c = Iw_client.connect ?arch ~busy_wait link in
   client := Some c;
+  let s = Iw_client.stats c in
+  s.Iw_client.bytes_sent <- s.Iw_client.bytes_sent + !pre_sent;
+  s.Iw_client.bytes_received <- s.Iw_client.bytes_received + !pre_received;
+  Iw_client.set_framed_byte_accounting c true;
   Iw_client.enable_notifications c;
   maybe_sanitize c
 

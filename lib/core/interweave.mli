@@ -29,6 +29,19 @@ module Transport = Iw_transport
 module Server = Iw_server
 module Client = Iw_client
 
+module Metrics = Iw_metrics
+(** Counters, gauges, latency/size histograms; snapshot, Prometheus text
+    exposition, JSON.  Registries: {!Client.metrics} (per client, default
+    off), {!Server.metrics} (per server, default on), {!Transport.metrics}
+    (process-global, default on).  [IW_METRICS] overrides the defaults. *)
+
+module Trace = Iw_trace
+(** Structured tracing to Chrome [trace_event] JSON (Perfetto-loadable).
+    [IW_TRACE=<path>] enables it for a whole process with no code changes. *)
+
+module Obs_json = Iw_obs_json
+(** The minimal JSON representation used by metric and benchmark output. *)
+
 type server = Iw_server.t
 
 type client = Iw_client.t

@@ -1,0 +1,29 @@
+(** Minimal JSON: enough to render metric snapshots and bench results, and to
+    parse them back (tests validate trace files and bench output with this).
+    No external dependencies; numbers are floats, as in JSON itself. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val num_int : int -> t
+
+val to_string : t -> string
+(** Compact rendering.  Integral numbers print without a decimal point. *)
+
+val escape : Buffer.t -> string -> unit
+(** Append the JSON string literal for [s] (including the quotes). *)
+
+val parse : string -> (t, string) result
+(** Strict parser for the subset above.  Escapes [\uXXXX] decode to UTF-8. *)
+
+val member : string -> t -> t option
+(** Field lookup on an [Obj]; [None] on anything else. *)
+
+val to_float : t -> float option
+
+val to_list : t -> t list option

@@ -1,0 +1,108 @@
+type ev = {
+  e_ph : char;
+  e_name : string;
+  e_cat : string;
+  e_ts : float;  (* microseconds since trace start *)
+  e_tid : int;
+  e_args : (string * string) list;
+}
+
+let on = ref false
+
+let mutex = Mutex.create ()
+
+let events : ev list ref = ref []
+
+let out_path : string option ref = ref None
+
+let t0 = ref 0.
+
+let at_exit_installed = ref false
+
+let enabled () = !on
+
+let record ph ?(cat = "iw") ?(args = []) name =
+  if !on then begin
+    let ts = (Unix.gettimeofday () -. !t0) *. 1e6 in
+    let e =
+      { e_ph = ph; e_name = name; e_cat = cat; e_ts = ts;
+        e_tid = Thread.id (Thread.self ()); e_args = args }
+    in
+    Mutex.lock mutex;
+    events := e :: !events;
+    Mutex.unlock mutex
+  end
+
+let span_begin ?cat ?args name = record 'B' ?cat ?args name
+
+let span_end name = record 'E' name
+
+let instant ?cat ?args name = record 'i' ?cat ?args name
+
+let with_span ?cat ?args name f =
+  if not !on then f ()
+  else begin
+    span_begin ?cat ?args name;
+    Fun.protect ~finally:(fun () -> span_end name) f
+  end
+
+let write_file path evs =
+  let buf = Buffer.create (256 * (1 + List.length evs)) in
+  Buffer.add_string buf "{\"traceEvents\":[";
+  let pid = Unix.getpid () in
+  List.iteri
+    (fun i e ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf "{\"name\":";
+      Iw_obs_json.escape buf e.e_name;
+      Buffer.add_string buf ",\"cat\":";
+      Iw_obs_json.escape buf e.e_cat;
+      Buffer.add_string buf (Printf.sprintf ",\"ph\":\"%c\"" e.e_ph);
+      (* Instant events need an explicit scope or some viewers drop them. *)
+      if e.e_ph = 'i' then Buffer.add_string buf ",\"s\":\"t\"";
+      Buffer.add_string buf (Printf.sprintf ",\"ts\":%.3f,\"pid\":%d,\"tid\":%d" e.e_ts pid e.e_tid);
+      (match e.e_args with
+      | [] -> ()
+      | args ->
+        Buffer.add_string buf ",\"args\":{";
+        List.iteri
+          (fun j (k, v) ->
+            if j > 0 then Buffer.add_char buf ',';
+            Iw_obs_json.escape buf k;
+            Buffer.add_char buf ':';
+            Iw_obs_json.escape buf v)
+          args;
+        Buffer.add_char buf '}');
+      Buffer.add_char buf '}')
+    evs;
+  Buffer.add_string buf "],\"displayTimeUnit\":\"ms\"}";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc
+
+let stop () =
+  Mutex.lock mutex;
+  let evs = List.rev !events in
+  let path = !out_path in
+  on := false;
+  events := [];
+  out_path := None;
+  Mutex.unlock mutex;
+  match path with None -> () | Some p -> write_file p evs
+
+let start ~path =
+  Mutex.lock mutex;
+  out_path := Some path;
+  if !t0 = 0. then t0 := Unix.gettimeofday ();
+  on := true;
+  let install = not !at_exit_installed in
+  at_exit_installed := true;
+  Mutex.unlock mutex;
+  if install then at_exit stop
+
+(* IW_TRACE=<path> attaches tracing for the whole process with no code
+   changes, mirroring IW_SANITIZE. *)
+let () =
+  match Sys.getenv_opt "IW_TRACE" with
+  | None | Some "" -> ()
+  | Some path -> start ~path

@@ -69,6 +69,23 @@ type request =
       session : int;
       name : string;
     }
+  | Server_stats of { session : int }
+
+let request_variant = function
+  | Hello _ -> "hello"
+  | Open_segment _ -> "open_segment"
+  | Segment_meta _ -> "segment_meta"
+  | Read_lock _ -> "read_lock"
+  | Read_release _ -> "read_release"
+  | Write_lock _ -> "write_lock"
+  | Write_release _ -> "write_release"
+  | Register_desc _ -> "register_desc"
+  | Get_version _ -> "get_version"
+  | Checkpoint _ -> "checkpoint"
+  | Stat _ -> "stat"
+  | Subscribe _ -> "subscribe"
+  | Unsubscribe _ -> "unsubscribe"
+  | Server_stats _ -> "server_stats"
 
 type stat = {
   st_version : int;
@@ -95,9 +112,56 @@ type response =
   | R_stat of stat
   | R_ok
   | R_error of string
+  | R_server_stats of Iw_metrics.snapshot
 
 module Buf = Iw_wire.Buf
 module Reader = Iw_wire.Reader
+
+(* Metric snapshots travel in the same wire format as everything else so
+   iw-admin can read a remote server's registry. *)
+let put_snapshot buf (snap : Iw_metrics.snapshot) =
+  Buf.u32 buf (List.length snap);
+  List.iter
+    (fun (s : Iw_metrics.sample) ->
+      Buf.string buf s.s_name;
+      Buf.string buf s.s_help;
+      match s.s_value with
+      | Iw_metrics.V_counter v ->
+        Buf.u8 buf 0;
+        Buf.f64 buf v
+      | Iw_metrics.V_gauge v ->
+        Buf.u8 buf 1;
+        Buf.f64 buf v
+      | Iw_metrics.V_hist hv ->
+        Buf.u8 buf 2;
+        Buf.string buf hv.hv_unit;
+        Buf.u16 buf (Array.length hv.hv_bounds);
+        Array.iter (Buf.f64 buf) hv.hv_bounds;
+        Array.iter (Buf.u32 buf) hv.hv_counts;
+        Buf.u32 buf hv.hv_count;
+        Buf.f64 buf hv.hv_sum)
+    snap
+
+let get_snapshot r : Iw_metrics.snapshot =
+  let n = Reader.u32 r in
+  List.init n (fun _ ->
+      let s_name = Reader.string r in
+      let s_help = Reader.string r in
+      let s_value =
+        match Reader.u8 r with
+        | 0 -> Iw_metrics.V_counter (Reader.f64 r)
+        | 1 -> Iw_metrics.V_gauge (Reader.f64 r)
+        | 2 ->
+          let hv_unit = Reader.string r in
+          let nbounds = Reader.u16 r in
+          let hv_bounds = Array.init nbounds (fun _ -> Reader.f64 r) in
+          let hv_counts = Array.init (nbounds + 1) (fun _ -> Reader.u32 r) in
+          let hv_count = Reader.u32 r in
+          let hv_sum = Reader.f64 r in
+          Iw_metrics.V_hist { hv_unit; hv_bounds; hv_counts; hv_count; hv_sum }
+        | t -> raise (Iw_wire.Malformed (Printf.sprintf "unknown sample tag %d" t))
+      in
+      { Iw_metrics.s_name; s_help; s_value })
 
 let put_coherence buf = function
   | Full -> Buf.u8 buf 0
@@ -176,6 +240,9 @@ let encode_request buf = function
     Buf.u8 buf 12;
     Buf.u32 buf session;
     Buf.string buf name
+  | Server_stats { session } ->
+    Buf.u8 buf 13;
+    Buf.u32 buf session
 
 let decode_request r =
   match Reader.u8 r with
@@ -231,6 +298,7 @@ let decode_request r =
     let session = Reader.u32 r in
     let name = Reader.string r in
     Unsubscribe { session; name }
+  | 13 -> Server_stats { session = Reader.u32 r }
   | t -> raise (Iw_wire.Malformed (Printf.sprintf "unknown request tag %d" t))
 
 let encode_response buf = function
@@ -286,6 +354,9 @@ let encode_response buf = function
   | R_error msg ->
     Buf.u8 buf 12;
     Buf.string buf msg
+  | R_server_stats snap ->
+    Buf.u8 buf 13;
+    put_snapshot buf snap
 
 let decode_response r =
   match Reader.u8 r with
@@ -324,6 +395,7 @@ let decode_response r =
     R_stat { st_version; st_blocks; st_total_units; st_diff_cache_hits; st_diff_cache_misses }
   | 11 -> R_ok
   | 12 -> R_error (Reader.string r)
+  | 13 -> R_server_stats (get_snapshot r)
   | t -> raise (Iw_wire.Malformed (Printf.sprintf "unknown response tag %d" t))
 
 type link = {
@@ -332,12 +404,20 @@ type link = {
   description : string;
 }
 
-let framed_link ~send ~recv ~close ~description =
+let framed_link ?on_io ~send ~recv ~close ~description () =
   let call req =
     let buf = Buf.create () in
     encode_request buf req;
-    send (Buf.contents buf);
-    decode_response (Reader.of_string (recv ()))
+    let frame = Buf.contents buf in
+    (match on_io with
+    | None -> ()
+    | Some f -> f ~dir:`Sent (String.length frame));
+    send frame;
+    let reply = recv () in
+    (match on_io with
+    | None -> ()
+    | Some f -> f ~dir:`Received (String.length reply));
+    decode_response (Reader.of_string reply)
   in
   { call; close; description }
 
@@ -359,7 +439,7 @@ let notification_frame n =
   Buf.u32 buf n.n_version;
   Buf.contents buf
 
-let demux_link conn ~on_notify =
+let demux_link ?on_io conn ~on_notify =
   (* One receiver thread reads every frame: notifications are dispatched
      immediately (so a staleness flag is never left sitting in a socket
      buffer), responses are handed to the single outstanding caller. *)
@@ -375,6 +455,9 @@ let demux_link conn ~on_notify =
   let receiver () =
     let rec loop () =
       let frame = conn.Iw_transport.recv () in
+      (match on_io with
+      | None -> ()
+      | Some f -> f ~dir:`Received (String.length frame));
       let r = Reader.of_string frame in
       (match Reader.u8 r with
       | 0 -> push (Ok (decode_response r))
@@ -396,7 +479,11 @@ let demux_link conn ~on_notify =
   let call req =
     let buf = Buf.create () in
     encode_request buf req;
-    conn.Iw_transport.send (Buf.contents buf);
+    let frame = Buf.contents buf in
+    (match on_io with
+    | None -> ()
+    | Some f -> f ~dir:`Sent (String.length frame));
+    conn.Iw_transport.send frame;
     Mutex.lock m;
     while Queue.is_empty pending do
       Condition.wait c m

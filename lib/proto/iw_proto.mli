@@ -78,6 +78,12 @@ type request =
       session : int;
       name : string;
     }
+  | Server_stats of { session : int }
+      (** fetch the server's live metric snapshot — backs [iw-admin stats] *)
+
+val request_variant : request -> string
+(** Stable lowercase tag for a request ([read_lock], [write_release], ...),
+    used as a metric label. *)
 
 type stat = {
   st_version : int;
@@ -104,6 +110,7 @@ type response =
   | R_stat of stat
   | R_ok
   | R_error of string
+  | R_server_stats of Iw_metrics.snapshot
 
 val encode_request : Iw_wire.Buf.t -> request -> unit
 
@@ -120,9 +127,18 @@ type link = {
   description : string;
 }
 
-val framed_link : send:(string -> unit) -> recv:(unit -> string) -> close:(unit -> unit) -> description:string -> link
+val framed_link :
+  ?on_io:(dir:[ `Sent | `Received ] -> int -> unit) ->
+  send:(string -> unit) ->
+  recv:(unit -> string) ->
+  close:(unit -> unit) ->
+  description:string ->
+  unit ->
+  link
 (** Build a link that serializes each request and parses each response over a
-    framed byte transport carrying nothing but request/response pairs. *)
+    framed byte transport carrying nothing but request/response pairs.
+    [on_io] observes each frame's payload size in bytes as it crosses the
+    link (framing overhead such as a TCP length prefix is not included). *)
 
 (** {1 Server-push notifications}
 
@@ -145,7 +161,12 @@ val notification_frame : notification -> string
 (** Tag-1 frame carrying a notification. *)
 
 val demux_link :
-  Iw_transport.conn -> on_notify:(notification -> unit) -> link
+  ?on_io:(dir:[ `Sent | `Received ] -> int -> unit) ->
+  Iw_transport.conn ->
+  on_notify:(notification -> unit) ->
+  link
 (** A link over a tagged framed connection.  [on_notify] runs on the receiver
     thread and must only perform cheap, thread-safe work (the client library
-    sets a staleness flag).  At most one outstanding [call] at a time. *)
+    sets a staleness flag).  At most one outstanding [call] at a time.
+    [on_io] observes frame payload sizes; received bytes include
+    notification frames and are reported from the receiver thread. *)

@@ -69,6 +69,8 @@ type t = {
   checkpoint_dir : string option;
   diff_cache_capacity : int;
   t_stats : stats;
+  t_metrics : Iw_metrics.t;
+  t_version_advances : Iw_metrics.counter;
   mutable prediction : bool;
   t_scratch : Iw_wire.Buf.t;  (* reused payload buffer; handler is serialized *)
   notifiers : (int, Iw_proto.notification -> unit) Hashtbl.t;  (* session -> push *)
@@ -76,6 +78,8 @@ type t = {
 }
 
 let stats t = t.t_stats
+
+let metrics t = t.t_metrics
 
 let set_prediction t b = t.prediction <- b
 
@@ -253,6 +257,16 @@ let apply_diff t seg (diff : Iw_wire.Diff.t) =
       diff.changes;
     seg.s_version <- v;
     t.t_stats.diffs_applied <- t.t_stats.diffs_applied + 1;
+    Iw_metrics.incr t.t_version_advances;
+    if Iw_metrics.enabled t.t_metrics then
+      Iw_metrics.set_gauge
+        (Iw_metrics.gauge t.t_metrics ~help:"Current version by segment"
+           (Iw_metrics.with_label "iw_server_segment_version" "segment" seg.s_name))
+        (float_of_int v);
+    if Iw_trace.enabled () then
+      Iw_trace.instant
+        ~args:[ ("segment", seg.s_name); ("version", string_of_int v) ]
+        "server.version_advance";
     (* Account the update against every other session's Diff-coherence
        counter, conservatively assuming independent modifications. *)
     let touched = Iw_wire.Diff.touched_units diff in
@@ -648,9 +662,46 @@ let read_checkpoint path =
   seg
 
 let create ?checkpoint_dir ?(diff_cache_capacity = 64) () =
+  (* Server metrics are on by default (IW_METRICS=0 disables): a server is a
+     shared, long-lived process, and iw-admin stats should find live data. *)
+  let t_metrics =
+    Iw_metrics.create ~enabled:(Iw_metrics.env_enabled ~default:true) ()
+  in
+  let t_stats =
+    {
+      requests = 0;
+      diffs_applied = 0;
+      diffs_collected = 0;
+      diff_cache_hits = 0;
+      diff_cache_misses = 0;
+      pred_hits = 0;
+      pred_misses = 0;
+    }
+  in
+  let segs = Hashtbl.create 16 in
+  (* Re-back the flat stats record onto the registry as collect-time
+     probes, mirroring the client. *)
+  let i name help read =
+    Iw_metrics.probe t_metrics ~help ~kind:`Counter name
+      (fun () -> float_of_int (read ()))
+  in
+  i "iw_server_requests_total" "Requests handled" (fun () -> t_stats.requests);
+  i "iw_server_diffs_applied_total" "Write-release diffs applied"
+    (fun () -> t_stats.diffs_applied);
+  i "iw_server_diffs_collected_total" "Diffs collected from the version list"
+    (fun () -> t_stats.diffs_collected);
+  i "iw_server_diff_cache_hits_total" "Update requests served from the diff cache"
+    (fun () -> t_stats.diff_cache_hits);
+  i "iw_server_diff_cache_misses_total" "Update requests requiring collection"
+    (fun () -> t_stats.diff_cache_misses);
+  i "iw_server_pred_hits_total" "Last-block prediction hits" (fun () -> t_stats.pred_hits);
+  i "iw_server_pred_misses_total" "Last-block prediction misses"
+    (fun () -> t_stats.pred_misses);
+  Iw_metrics.probe t_metrics ~help:"Open segments" ~kind:`Gauge "iw_server_segments"
+    (fun () -> float_of_int (Hashtbl.length segs));
   let t =
     {
-      segs = Hashtbl.create 16;
+      segs;
       next_session = 1;
       session_arch = Hashtbl.create 16;
       lock = Mutex.create ();
@@ -659,16 +710,11 @@ let create ?checkpoint_dir ?(diff_cache_capacity = 64) () =
       t_scratch = Iw_wire.Buf.create ~capacity:65536 ();
       notifiers = Hashtbl.create 16;
       validate_diffs = false;
-      t_stats =
-        {
-          requests = 0;
-          diffs_applied = 0;
-          diffs_collected = 0;
-          diff_cache_hits = 0;
-          diff_cache_misses = 0;
-          pred_hits = 0;
-          pred_misses = 0;
-        };
+      t_stats;
+      t_metrics;
+      t_version_advances =
+        Iw_metrics.counter t_metrics ~help:"Segment version advances"
+          "iw_server_version_advances_total";
       prediction = true;
     }
   in
@@ -862,8 +908,14 @@ let handle_locked t (req : Iw_proto.request) : Iw_proto.response =
         st_diff_cache_hits = t.t_stats.diff_cache_hits;
         st_diff_cache_misses = t.t_stats.diff_cache_misses;
       }
+  | Server_stats _ ->
+    (* The server's own registry plus the process-global transport registry:
+       one snapshot describes the whole server process. *)
+    R_server_stats
+      (Iw_metrics.snapshot t.t_metrics
+      @ Iw_metrics.snapshot (Iw_transport.metrics ()))
 
-let handle t req =
+let handle_plain t req =
   Mutex.lock t.lock;
   Fun.protect
     ~finally:(fun () -> Mutex.unlock t.lock)
@@ -871,6 +923,26 @@ let handle t req =
       try handle_locked t req with
       | Reject msg -> R_error msg
       | Iw_wire.Malformed msg -> R_error ("malformed: " ^ msg))
+
+(* Per-variant dispatch latency.  The registry's own registration lock makes
+   the histogram lookup safe from concurrent connection threads, and
+   registration is idempotent, so there is no per-variant cache to race on. *)
+let handle t req =
+  if Iw_metrics.enabled t.t_metrics || Iw_trace.enabled () then begin
+    let variant = Iw_proto.request_variant req in
+    Iw_trace.span_begin ~args:[ ("variant", variant) ] "server.handle";
+    let t0 = Iw_metrics.now_us () in
+    Fun.protect
+      ~finally:(fun () ->
+        Iw_metrics.observe
+          (Iw_metrics.histogram_us t.t_metrics
+             ~help:"Request dispatch latency by request variant"
+             (Iw_metrics.with_label "iw_server_request_us" "variant" variant))
+          (Iw_metrics.now_us () -. t0);
+        Iw_trace.span_end "server.handle")
+      (fun () -> handle_plain t req)
+  end
+  else handle_plain t req
 
 let direct_link t =
   {

@@ -71,6 +71,15 @@ type stats = {
 
 val stats : t -> stats
 
+val metrics : t -> Iw_metrics.t
+(** This server's metric registry: per-request-variant latency histograms
+    ([iw_server_request_us{variant="..."}]), per-segment version gauges,
+    version-advance and diff-cache counters, plus collect-time probes
+    mirroring {!stats}.  Enabled by default — [IW_METRICS=0] disables — so a
+    live server always has data for [iw-admin stats].  The [Server_stats]
+    request returns this snapshot concatenated with the transport registry's
+    ({!Iw_transport.metrics}). *)
+
 val set_prediction : t -> bool -> unit
 (** Enable/disable last-block prediction (ablation; default on). *)
 

@@ -8,6 +8,74 @@ type conn = {
 
 exception Closed
 
+(* Transport-wide metrics: one process-global registry shared by every
+   connection in the process, enabled by default (IW_METRICS=0 disables).
+   With the registry disabled each frame costs a handful of load-and-branch
+   checks and no clock reads. *)
+let registry =
+  lazy (Iw_metrics.create ~enabled:(Iw_metrics.env_enabled ~default:true) ())
+
+let metrics () = Lazy.force registry
+
+type instruments = {
+  i_frames_sent : Iw_metrics.counter;
+  i_frames_received : Iw_metrics.counter;
+  i_bytes_sent : Iw_metrics.counter;
+  i_bytes_received : Iw_metrics.counter;
+  i_frame_bytes : Iw_metrics.histogram;
+  i_recv_block_us : Iw_metrics.histogram;
+}
+
+let instruments =
+  lazy
+    (let t = metrics () in
+     {
+       i_frames_sent =
+         Iw_metrics.counter t ~help:"Frames sent by this process"
+           "iw_transport_frames_sent_total";
+       i_frames_received =
+         Iw_metrics.counter t ~help:"Frames received by this process"
+           "iw_transport_frames_received_total";
+       i_bytes_sent =
+         Iw_metrics.counter t ~help:"Frame payload bytes sent"
+           "iw_transport_bytes_sent_total";
+       i_bytes_received =
+         Iw_metrics.counter t ~help:"Frame payload bytes received"
+           "iw_transport_bytes_received_total";
+       i_frame_bytes =
+         Iw_metrics.histogram_bytes t ~help:"Frame payload size, both directions"
+           "iw_transport_frame_bytes";
+       i_recv_block_us =
+         Iw_metrics.histogram_us t ~help:"Time blocked waiting for a frame"
+           "iw_transport_recv_block_us";
+     })
+
+let instrument conn =
+  let i = Lazy.force instruments in
+  let t = metrics () in
+  let send s =
+    Iw_metrics.incr i.i_frames_sent;
+    Iw_metrics.incr ~by:(String.length s) i.i_bytes_sent;
+    Iw_metrics.observe i.i_frame_bytes (float_of_int (String.length s));
+    conn.send s
+  in
+  let recv () =
+    let s =
+      if Iw_metrics.enabled t then begin
+        let t0 = Iw_metrics.now_us () in
+        let s = conn.recv () in
+        Iw_metrics.observe i.i_recv_block_us (Iw_metrics.now_us () -. t0);
+        s
+      end
+      else conn.recv ()
+    in
+    Iw_metrics.incr i.i_frames_received;
+    Iw_metrics.incr ~by:(String.length s) i.i_bytes_received;
+    Iw_metrics.observe i.i_frame_bytes (float_of_int (String.length s));
+    s
+  in
+  { conn with send; recv }
+
 (* Thread-safe blocking queue of frames. *)
 module Fifo = struct
   type t = {
@@ -78,7 +146,7 @@ let loopback () =
       peer = "loopback-a";
     }
   in
-  (a, b)
+  (instrument a, instrument b)
 
 (* TCP framing: 4-byte big-endian length prefix. *)
 
@@ -141,7 +209,7 @@ let conn_of_fd fd peer =
       try Unix.close fd with Unix.Unix_error _ -> ()
     end
   in
-  { send; recv; shutdown; close; peer }
+  instrument { send; recv; shutdown; close; peer }
 
 let tcp_connect ~host ~port =
   let addr =

@@ -19,6 +19,13 @@ type conn = {
 
 exception Closed
 
+val metrics : unit -> Iw_metrics.t
+(** The process-global transport registry: frame and byte counters per
+    direction, a frame-size histogram, and a blocked-receive latency
+    histogram, accumulated across every connection in the process.  Enabled
+    by default; [IW_METRICS=0] (or ["" ]) disables it at startup, and
+    {!Iw_metrics.set_enabled} toggles it at runtime. *)
+
 val loopback : unit -> conn * conn
 (** A connected pair: what one side sends, the other receives.  Both ends are
     thread-safe; [recv] blocks.  After [close], pending and future operations

@@ -19,4 +19,5 @@ let () =
       Test_analysis.suite;
       Test_seqmine.suite;
       Test_sim.suite;
+      Test_obs.suite;
     ]

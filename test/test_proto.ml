@@ -128,7 +128,7 @@ let test_framed_link () =
     framed_link
       ~send:client_end.Iw_transport.send
       ~recv:(fun () -> client_end.Iw_transport.recv ())
-      ~close:client_end.Iw_transport.close ~description:"test"
+      ~close:client_end.Iw_transport.close ~description:"test" ()
   in
   (match link.call (Hello { arch = "x86_32" }) with
   | R_hello { session } -> Alcotest.(check int) "hello" 99 session
