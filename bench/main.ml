@@ -134,6 +134,55 @@ let write_json ~quick ~size path figures =
     Printf.eprintf "error: %s is not valid JSON: %s\n" path e;
     exit 1
 
+(* --check-prom rides along with the @check smoke run: drive a tiny
+   two-client loopback workload through the per-segment coherence
+   instrumentation and assert the gauges land in the server's Prometheus
+   rendering — a guard against the observability surface silently
+   regressing. *)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let coherence_gauges =
+  [ "iw_seg_version_lag"; "iw_seg_staleness_us"; "iw_seg_wasted_acquire_total" ]
+
+let check_prom_gauges () =
+  let module I = Interweave in
+  let server = I.start_server () in
+  let writer = I.loopback_client server in
+  let reader = I.loopback_client server in
+  let hw = I.open_segment writer "bench/prom-smoke" in
+  I.wl_acquire hw;
+  let a = I.malloc hw (I.Desc.array I.Desc.int 8) in
+  I.Client.write_int writer a 1;
+  I.wl_release hw;
+  let hr = I.open_segment ~create:false reader "bench/prom-smoke" in
+  (* First acquire pulls the copy; writes behind the reader's back create
+     version lag and realized staleness on the refresh; a re-acquire with
+     nothing new counts as a wasted acquire. *)
+  I.rl_acquire hr;
+  I.rl_release hr;
+  for i = 2 to 4 do
+    I.wl_acquire hw;
+    I.Client.write_int writer a i;
+    I.wl_release hw
+  done;
+  I.set_coherence hr (I.Proto.Temporal 0.);
+  I.rl_acquire hr;
+  I.rl_release hr;
+  I.rl_acquire hr;
+  I.rl_release hr;
+  let prom = I.Metrics.render_prometheus (I.Metrics.snapshot (I.Server.metrics server)) in
+  match List.filter (fun g -> not (contains prom g)) coherence_gauges with
+  | [] ->
+    Printf.printf "prom check: %s present\n%!" (String.concat ", " coherence_gauges)
+  | missing ->
+    Printf.eprintf "error: coherence gauges missing from --prom output: %s\n"
+      (String.concat ", " missing);
+    exit 1
+
 open Cmdliner
 
 let quick =
@@ -157,17 +206,26 @@ let json =
           "Also write results as machine-readable JSON to $(docv) (just $(b,--json) writes \
            $(b,BENCH_results.json)).")
 
+let check_prom =
+  Arg.(
+    value
+    & flag
+    & info [ "check-prom" ]
+        ~doc:
+          "After the run, drive a small coherence workload and fail unless the \
+           per-segment gauges appear in the server's Prometheus metric rendering.")
+
 let term f =
   Term.(
-    const (fun quick size json ->
+    const (fun quick size json prom_check ->
         let size = eff_size quick size in
         let figures = f ~quick ~size () in
-        match json with
-        | None -> 0
-        | Some path ->
-          write_json ~quick ~size path figures;
-          0)
-    $ quick $ size $ json)
+        (match json with
+        | None -> ()
+        | Some path -> write_json ~quick ~size path figures);
+        if prom_check then check_prom_gauges ();
+        0)
+    $ quick $ size $ json $ check_prom)
 
 let cmd_of name doc f = Cmd.v (Cmd.info name ~doc) (term f)
 

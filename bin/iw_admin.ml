@@ -28,6 +28,21 @@ let fail_response link what = function
     Printf.eprintf "error: unexpected response to %s\n" what;
     exit 1
 
+(* Observability requests postdate the original protocol.  An old server
+   treats their tags as garbage and drops the connection, which the demux
+   link surfaces as [Closed]/[End_of_file]; newer-but-still-old servers may
+   answer [R_error].  Either way, say so plainly instead of dying with a
+   backtrace and no output. *)
+let unsupported link what =
+  (try link.Iw_proto.close () with _ -> ());
+  Printf.eprintf "error: %s is not supported by this server (too old?)\n" what;
+  exit 1
+
+let call_observability link what req =
+  match link.Iw_proto.call req with
+  | resp -> resp
+  | exception (Iw_transport.Closed | End_of_file) -> unsupported link what
+
 let stat host port name =
   let link, session = connect host port in
   (match link.Iw_proto.call (Iw_proto.Stat { session; name }) with
@@ -42,14 +57,39 @@ let stat host port name =
   link.Iw_proto.close ();
   0
 
+let render_snapshot snap json prom =
+  if json then print_endline (Iw_obs_json.to_string (Iw_metrics.render_json snap))
+  else if prom then print_string (Iw_metrics.render_prometheus snap)
+  else Format.printf "%a" Iw_metrics.pp_text snap
+
 let server_stats host port json prom =
   let link, session = connect host port in
-  (match link.Iw_proto.call (Iw_proto.Server_stats { session }) with
-  | Iw_proto.R_server_stats snap ->
-    if json then print_endline (Iw_obs_json.to_string (Iw_metrics.render_json snap))
-    else if prom then print_string (Iw_metrics.render_prometheus snap)
-    else Format.printf "%a" Iw_metrics.pp_text snap
+  (match call_observability link "stats" (Iw_proto.Server_stats { session }) with
+  | Iw_proto.R_server_stats snap -> render_snapshot snap json prom
+  | Iw_proto.R_error _ -> unsupported link "stats"
   | r -> fail_response link "stats" r);
+  link.Iw_proto.close ();
+  0
+
+let segment_stats host port json prom segment =
+  let link, session = connect host port in
+  (match call_observability link "segstats" (Iw_proto.Segment_stats { session; segment }) with
+  | Iw_proto.R_segment_stats snap ->
+    if snap = [] then
+      Printf.eprintf "note: no per-segment samples yet%s\n"
+        (match segment with Some s -> " for segment " ^ s | None -> "");
+    render_snapshot snap json prom
+  | Iw_proto.R_error _ -> unsupported link "segstats"
+  | r -> fail_response link "segstats" r);
+  link.Iw_proto.close ();
+  0
+
+let flight_dump host port =
+  let link, session = connect host port in
+  (match call_observability link "flight" (Iw_proto.Flight_recorder { session }) with
+  | Iw_proto.R_flight json -> print_endline json
+  | Iw_proto.R_error _ -> unsupported link "flight"
+  | r -> fail_response link "flight" r);
   link.Iw_proto.close ();
   0
 
@@ -122,6 +162,8 @@ let port = Arg.(value & opt int 7077 & info [ "p"; "port" ] ~docv:"PORT")
 
 let seg_name = Arg.(required & pos 0 (some string) None & info [] ~docv:"SEGMENT")
 
+let seg_name_opt = Arg.(value & pos 0 (some string) None & info [] ~docv:"SEGMENT")
+
 let json_flag = Arg.(value & flag & info [ "json" ] ~doc:"Emit metrics as JSON.")
 
 let prom_flag =
@@ -137,6 +179,17 @@ let cmds =
            "Dump the server's live metric snapshot (request latency histograms, \
             diff-cache and version counters, transport byte counts)")
       Term.(const server_stats $ host $ port $ json_flag $ prom_flag);
+    Cmd.v
+      (Cmd.info "segstats"
+         ~doc:
+           "Dump per-segment coherence metrics (version-lag and staleness \
+            histograms, diff-bytes-saved, wasted acquires, write-lock wait), \
+            optionally restricted to SEGMENT")
+      Term.(const segment_stats $ host $ port $ json_flag $ prom_flag $ seg_name_opt);
+    Cmd.v
+      (Cmd.info "flight"
+         ~doc:"Dump the server's flight recorder (recent requests) as JSON")
+      Term.(const flight_dump $ host $ port);
     Cmd.v (Cmd.info "blocks" ~doc:"List a segment's blocks and types")
       Term.(const blocks $ host $ port $ seg_name);
     Cmd.v (Cmd.info "version" ~doc:"Print a segment's current version")

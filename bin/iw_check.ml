@@ -18,6 +18,73 @@ let resolve_arches = function
     in
     go [] names
 
+(* --bench-schema: structural validation of the benchmark harness's JSON
+   results document (BENCH_results.json), run as part of `dune build @check`
+   so an encoder regression fails the build, not a downstream consumer.
+   Expected shape: { suite: str, paper: str, quick: bool, size_bytes: num,
+   figures: { figN: [ { field: str|num|bool, ... }, ... ], ... } }. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let bench_schema_errors doc =
+  let module J = Iw_obs_json in
+  let errs = ref [] in
+  let err fmt = Printf.ksprintf (fun m -> errs := m :: !errs) fmt in
+  let field name check =
+    match J.member name doc with
+    | None -> err "missing top-level field %S" name
+    | Some v -> check v
+  in
+  let expect_str name = function J.Str _ -> () | _ -> err "%S must be a string" name in
+  field "suite" (expect_str "suite");
+  field "paper" (expect_str "paper");
+  field "quick" (function J.Bool _ -> () | _ -> err "\"quick\" must be a bool");
+  field "size_bytes" (function J.Num _ -> () | _ -> err "\"size_bytes\" must be a number");
+  field "figures" (function
+    | J.Obj figs ->
+      List.iter
+        (fun (fig, rows) ->
+          match rows with
+          | J.Arr rows ->
+            List.iteri
+              (fun i row ->
+                match row with
+                | J.Obj fields ->
+                  List.iter
+                    (fun (k, v) ->
+                      match v with
+                      | J.Str _ | J.Num _ | J.Bool _ -> ()
+                      | _ -> err "%s[%d].%s: expected scalar" fig i k)
+                    fields;
+                  if fields = [] then err "%s[%d]: empty row object" fig i
+                | _ -> err "%s[%d]: expected an object" fig i)
+              rows
+          | _ -> err "figure %S must be an array of rows" fig)
+        figs
+    | _ -> err "\"figures\" must be an object");
+  List.rev !errs
+
+let run_bench_schema path =
+  match Iw_obs_json.parse (read_file path) with
+  | exception Sys_error msg ->
+    Printf.eprintf "iw-check: %s\n" msg;
+    2
+  | Error e ->
+    Printf.eprintf "iw-check: %s: invalid JSON: %s\n" path e;
+    1
+  | Ok doc -> (
+    match bench_schema_errors doc with
+    | [] ->
+      Printf.printf "%s: bench schema OK\n" path;
+      0
+    | errs ->
+      List.iter (fun m -> Printf.eprintf "iw-check: %s: %s\n" path m) errs;
+      1)
+
 let run files json werror arch_names =
   match resolve_arches arch_names with
   | Error msg ->
@@ -61,7 +128,16 @@ let run files json werror arch_names =
 open Cmdliner
 
 let files =
-  Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE.idl" ~doc:"IDL files to lint.")
+  Arg.(value & pos_all file [] & info [] ~docv:"FILE.idl" ~doc:"IDL files to lint.")
+
+let bench_schema =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "bench-schema" ] ~docv:"RESULTS.json"
+        ~doc:
+          "Validate the structure of a benchmark results document \
+           (BENCH_results.json) instead of linting IDL files.")
 
 let json =
   Arg.(value & flag & info [ "json" ] ~doc:"Emit diagnostics as a JSON array.")
@@ -82,10 +158,19 @@ let lint_flag =
   Arg.(value & flag & info [ "lint" ] ~doc:"Run the IDL lint pass (the default).")
 
 let cmd =
-  let doc = "static checks for InterWeave IDL files" in
+  let doc = "static checks for InterWeave IDL files and benchmark output" in
   Cmd.v
     (Cmd.info "iw-check" ~doc)
-    Term.(const (fun files json werror arches _lint -> run files json werror arches)
-          $ files $ json $ werror $ arch_names $ lint_flag)
+    Term.(
+      const (fun files json werror arches _lint bench_schema ->
+          match bench_schema with
+          | Some path -> run_bench_schema path
+          | None ->
+            if files = [] then begin
+              Printf.eprintf "iw-check: no IDL files given (and no --bench-schema)\n";
+              2
+            end
+            else run files json werror arches)
+      $ files $ json $ werror $ arch_names $ lint_flag $ bench_schema)
 
 let () = exit (Cmd.eval' cmd)

@@ -11,7 +11,7 @@ let run port checkpoint_dir checkpoint_secs trace verbose =
   setup_logging verbose;
   (match trace with
   | Some path ->
-    Iw_trace.start ~path;
+    Iw_trace.start ~path ();
     Logs.info (fun m -> m "tracing to %s (written at exit)" path)
   | None -> ());
   let server = Iw_server.create ?checkpoint_dir () in
@@ -29,6 +29,16 @@ let run port checkpoint_dir checkpoint_secs trace verbose =
     in
     ignore (Thread.create ticker () : Thread.t)
   | None -> ());
+  (* SIGUSR1 dumps the flight recorder (recent requests) without stopping the
+     server — the poor operator's core dump.  IW_FLIGHT_DUMP redirects the
+     JSON from stderr to a file. *)
+  (try
+     ignore
+       (Sys.signal Sys.sigusr1
+          (Sys.Signal_handle
+             (fun _ -> Iw_flight.dump ~reason:"SIGUSR1" (Iw_server.flight server)))
+         : Sys.signal_behavior)
+   with Invalid_argument _ -> ());
   let stop = ref false in
   Logs.app (fun m -> m "InterWeave server listening on port %d" port);
   Iw_transport.tcp_server ~port ~stop (fun conn ->

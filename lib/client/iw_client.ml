@@ -130,6 +130,11 @@ and t = {
   (* Observation hooks for dynamic checkers; one branch per event when
      disabled (the default). *)
   mutable c_monitor : monitor option;
+  (* Distributed tracing: the client span currently open (if any) — requests
+     issued inside it inherit its trace and name it as parent — and the
+     per-link request seq stamped into each outgoing envelope. *)
+  mutable c_ctx : Iw_proto.trace_ctx option;
+  mutable c_seq : int;
 }
 
 let notify_lock g op =
@@ -220,7 +225,26 @@ let options c = c.c_options
 
 let call c req =
   c.c_stats.calls <- c.c_stats.calls + 1;
-  match c.c_link.Iw_proto.call req with
+  (* Requests carry a trace-context envelope only while tracing is on, so a
+     non-tracing client stays byte-identical to the old wire format. *)
+  let ctx =
+    if Iw_trace.enabled () then begin
+      c.c_seq <- c.c_seq + 1;
+      match c.c_ctx with
+      | Some span -> Some { span with Iw_proto.tc_seq = c.c_seq }
+      | None ->
+        (* No client span open (an uninstrumented call): still give the
+           request a trace of its own so the server span is findable. *)
+        Some
+          {
+            Iw_proto.tc_trace_id = Iw_trace.next_id ();
+            tc_span_id = Iw_trace.next_id ();
+            tc_seq = c.c_seq;
+          }
+    end
+    else None
+  in
+  match c.c_link.Iw_proto.call ?ctx req with
   | Iw_proto.R_error msg -> error "server: %s" msg
   | resp -> resp
 
@@ -260,6 +284,8 @@ let connect ?(arch = Iw_arch.x86_32) ?(busy_wait = None) link =
     c_stale_mutex = Mutex.create ();
     c_notifications_enabled = false;
     c_monitor = None;
+    c_ctx = None;
+    c_seq = 0;
   }
 
 let set_monitor c m = c.c_monitor <- m
@@ -497,6 +523,74 @@ let memoized_swizzle c =
       Hashtbl.add memo a mip;
       mip
 
+(* Open a span that joins the client's active trace — inheriting its
+   trace_id and naming it as parent, or minting a fresh trace at top level —
+   and becomes the trace context inherited by requests issued inside it.
+   The previous context is restored on the way out, so nesting (e.g. a
+   refresh_meta call during apply_diff inside wl_acquire) chains
+   correctly. *)
+let traced_span c args span f =
+  if Iw_trace.enabled () then begin
+    let saved = c.c_ctx in
+    let span_id = Iw_trace.next_id () in
+    let trace_id =
+      match saved with
+      | Some parent -> parent.Iw_proto.tc_trace_id
+      | None -> Iw_trace.next_id ()
+    in
+    c.c_ctx <-
+      Some { Iw_proto.tc_trace_id = trace_id; tc_span_id = span_id; tc_seq = c.c_seq };
+    let args =
+      ("trace_id", Iw_trace.pp_id trace_id)
+      :: ("span_id", Iw_trace.pp_id span_id)
+      :: args
+    in
+    let args =
+      match saved with
+      | Some parent -> ("parent_span_id", Iw_trace.pp_id parent.Iw_proto.tc_span_id) :: args
+      | None -> args
+    in
+    Iw_trace.span_begin ~args span;
+    Fun.protect
+      ~finally:(fun () ->
+        Iw_trace.span_end span;
+        c.c_ctx <- saved)
+      f
+  end
+  else f ()
+
+(* Per-segment coherence series, labeled {segment="..."} like the server's;
+   registration is idempotent so the by-name lookup per observation is fine.
+   Call sites gate on [Iw_metrics.enabled]. *)
+
+let seg_observe_lag c g diff =
+  Iw_metrics.observe
+    (Iw_metrics.histogram_count c.c_metrics
+       ~help:"Versions behind the server at lock acquire"
+       (Iw_metrics.with_label "iw_client_version_lag" "segment" g.g_name))
+    (float_of_int
+       (max 0 (diff.Iw_wire.Diff.to_version - diff.Iw_wire.Diff.from_version)))
+
+let seg_observe_staleness c g =
+  Iw_metrics.observe
+    (Iw_metrics.histogram_us c.c_metrics
+       ~help:"Age of the cached copy when served locally under Temporal coherence"
+       (Iw_metrics.with_label "iw_client_staleness_us" "segment" g.g_name))
+    ((now () -. g.g_synced_at) *. 1e6)
+
+let seg_count_wasted c g =
+  Iw_metrics.incr
+    (Iw_metrics.counter c.c_metrics
+       ~help:"Acquires that round-tripped to the server for nothing new"
+       (Iw_metrics.with_label "iw_client_wasted_acquire_total" "segment" g.g_name))
+
+let seg_observe_wl_wait c g us =
+  Iw_metrics.observe
+    (Iw_metrics.histogram_us c.c_metrics
+       ~help:"Write-lock wait under contention, first busy to grant"
+       (Iw_metrics.with_label "iw_client_wl_wait_us" "segment" g.g_name))
+    us
+
 (* Applying an incoming diff (paper, Sec. 3.1, diff application). *)
 
 let apply_create g ~unswizzle (serial, name, desc_serial, payload) =
@@ -599,21 +693,21 @@ let apply_diff_plain g (diff : Iw_wire.Diff.t) =
 let apply_diff g (diff : Iw_wire.Diff.t) =
   let c = g.g_client in
   if Iw_metrics.enabled c.c_metrics || Iw_trace.enabled () then begin
-    Iw_trace.span_begin
-      ~args:
-        [
-          ("segment", g.g_name);
-          ("to_version", string_of_int diff.Iw_wire.Diff.to_version);
-        ]
-      "client.apply_diff";
+    if Iw_metrics.enabled c.c_metrics then seg_observe_lag c g diff;
     let t0 = Iw_metrics.now_us () in
-    Fun.protect
-      ~finally:(fun () ->
-        Iw_metrics.observe c.c_instr.i_apply_us (Iw_metrics.now_us () -. t0);
-        Iw_metrics.observe c.c_instr.i_diff_recv_bytes
-          (float_of_int (Iw_wire.Diff.payload_bytes diff));
-        Iw_trace.span_end "client.apply_diff")
-      (fun () -> apply_diff_plain g diff)
+    traced_span c
+      [
+        ("segment", g.g_name);
+        ("to_version", string_of_int diff.Iw_wire.Diff.to_version);
+      ]
+      "client.apply_diff"
+      (fun () ->
+        Fun.protect
+          ~finally:(fun () ->
+            Iw_metrics.observe c.c_instr.i_apply_us (Iw_metrics.now_us () -. t0);
+            Iw_metrics.observe c.c_instr.i_diff_recv_bytes
+              (float_of_int (Iw_wire.Diff.payload_bytes diff)))
+          (fun () -> apply_diff_plain g diff))
   end
   else apply_diff_plain g diff
 
@@ -675,13 +769,15 @@ let cached_version g = if g.g_valid then g.g_version else 0
 let instrumented g pick span f =
   let c = g.g_client in
   if Iw_metrics.enabled c.c_metrics || Iw_trace.enabled () then begin
-    Iw_trace.span_begin ~args:[ ("segment", g.g_name) ] span;
     let t0 = Iw_metrics.now_us () in
-    Fun.protect
-      ~finally:(fun () ->
-        Iw_metrics.observe (pick c.c_instr) (Iw_metrics.now_us () -. t0);
-        Iw_trace.span_end span)
-      f
+    traced_span c
+      [ ("segment", g.g_name) ]
+      span
+      (fun () ->
+        Fun.protect
+          ~finally:(fun () ->
+            Iw_metrics.observe (pick c.c_instr) (Iw_metrics.now_us () -. t0))
+          f)
   end
   else f ()
 
@@ -692,17 +788,24 @@ let rl_acquire_plain g =
   | Write_locked _ -> error "segment %s: read lock inside write lock" g.g_name
   | Unlocked ->
     let c = g.g_client in
-    let skip_check =
-      (* A subscribed segment with no pending change notification is known
-         current; a temporal bound is enforced with a client-side timestamp.
-         Both avoid server communication entirely (paper, Sec. 2.2). *)
-      (g.g_subscribed && g.g_valid && not (flagged_stale c g.g_name))
-      ||
+    (* A subscribed segment with no pending change notification is known
+       current; a temporal bound is enforced with a client-side timestamp.
+       Both avoid server communication entirely (paper, Sec. 2.2). *)
+    let subscribed_fresh = g.g_subscribed && g.g_valid && not (flagged_stale c g.g_name) in
+    let temporal_fresh =
       match g.g_coherence with
       | Iw_proto.Temporal secs -> g.g_valid && now () -. g.g_synced_at <= secs
       | Full | Delta _ | Diff_pct _ -> false
     in
-    if skip_check then c.c_stats.updates_skipped <- c.c_stats.updates_skipped + 1
+    if subscribed_fresh || temporal_fresh then begin
+      c.c_stats.updates_skipped <- c.c_stats.updates_skipped + 1;
+      (* Temporal coherence is the one case where the copy being served is
+         knowingly old: its age right now is the realized staleness. *)
+      if
+        temporal_fresh && (not subscribed_fresh)
+        && Iw_metrics.enabled c.c_metrics
+      then seg_observe_staleness c g
+    end
     else begin
       clear_stale c g.g_name;
       match
@@ -717,6 +820,7 @@ let rl_acquire_plain g =
       with
       | Iw_proto.R_up_to_date ->
         c.c_stats.updates_skipped <- c.c_stats.updates_skipped + 1;
+        if Iw_metrics.enabled c.c_metrics then seg_count_wasted c g;
         g.g_valid <- true;
         g.g_synced_at <- now ();
         (* Adaptive switch from polling to notification: repeated wasted
@@ -752,6 +856,7 @@ let wl_acquire_plain g =
   | Read_locked _ -> error "segment %s: cannot upgrade read lock" g.g_name
   | Unlocked ->
     let c = g.g_client in
+    let busy_since = ref None in
     let rec acquire () =
       match
         call c
@@ -759,13 +864,19 @@ let wl_acquire_plain g =
              { session = c.c_session; name = g.g_name; version = cached_version g })
       with
       | Iw_proto.R_busy -> begin
+        if !busy_since = None then busy_since := Some (Iw_metrics.now_us ());
         match c.c_busy_wait with
         | Some d ->
           Unix.sleepf d;
           acquire ()
         | None -> raise Busy
       end
-      | Iw_proto.R_granted upd -> upd
+      | Iw_proto.R_granted upd ->
+        (match !busy_since with
+        | Some since when Iw_metrics.enabled c.c_metrics ->
+          seg_observe_wl_wait c g (Iw_metrics.now_us () -. since)
+        | Some _ | None -> ());
+        upd
       | _ -> error "unexpected response to Write_lock"
     in
     (match acquire () with

@@ -9,6 +9,7 @@ module Server = Iw_server
 module Client = Iw_client
 module Metrics = Iw_metrics
 module Trace = Iw_trace
+module Flight = Iw_flight
 module Obs_json = Iw_obs_json
 
 type server = Iw_server.t

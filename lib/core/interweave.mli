@@ -37,7 +37,15 @@ module Metrics = Iw_metrics
 
 module Trace = Iw_trace
 (** Structured tracing to Chrome [trace_event] JSON (Perfetto-loadable).
-    [IW_TRACE=<path>] enables it for a whole process with no code changes. *)
+    [IW_TRACE=<path>] enables it for a whole process with no code changes;
+    [IW_TRACE_MODE=append|unique] lets several processes share a path.
+    Requests issued while tracing carry a trace-context envelope
+    ({!Proto.trace_ctx}), so client and server spans share one timeline. *)
+
+module Flight = Iw_flight
+(** Crash flight recorder: a lock-free ring of recent request events, on by
+    default in servers ([IW_FLIGHT=0] disables), dumped as JSON on decode
+    failures, uncaught exceptions, [SIGUSR1], or [iw-admin flight]. *)
 
 module Obs_json = Iw_obs_json
 (** The minimal JSON representation used by metric and benchmark output. *)

@@ -49,6 +49,14 @@ let enabled t = !(t.r_on)
 
 let set_enabled t b = t.r_on := b
 
+(* Forget every instrument.  Existing instrument handles keep working (their
+   enabled ref is shared) but no longer appear in snapshots; tests use this
+   to keep registries from leaking series into each other. *)
+let reset t =
+  Mutex.lock t.r_mutex;
+  Hashtbl.reset t.r_items;
+  Mutex.unlock t.r_mutex
+
 let env_enabled ~default =
   match Sys.getenv_opt "IW_METRICS" with
   | None -> default
@@ -148,6 +156,12 @@ let make_hist t name help unit_ bounds =
 let histogram_us t ?(help = "") name = make_hist t name help "us" us_bounds
 
 let histogram_bytes t ?(help = "") name = make_hist t name help "bytes" byte_bounds
+
+(* 16 bounds of counts reach 32768 — plenty for version lags and similar
+   small-cardinality distributions. *)
+let count_bounds = log2_bounds 16
+
+let histogram_count t ?(help = "") name = make_hist t name help "count" count_bounds
 
 let observe h v =
   if !(h.h_on) then begin

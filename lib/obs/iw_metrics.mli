@@ -22,6 +22,12 @@ val enabled : t -> bool
 
 val set_enabled : t -> bool -> unit
 
+val reset : t -> unit
+(** Forget every registered instrument.  Handles held by callers keep
+    accepting updates (sharing the registry's enabled flag) but no longer
+    appear in snapshots.  Intended for tests that must not leak series
+    between cases. *)
+
 val env_enabled : default:bool -> bool
 (** The [IW_METRICS] environment policy: unset means [default]; [""] or
     ["0"] means disabled; anything else means enabled. *)
@@ -55,6 +61,10 @@ val histogram_us : t -> ?help:string -> string -> histogram
 
 val histogram_bytes : t -> ?help:string -> string -> histogram
 (** Size histogram: log2 buckets from 1 byte to 1 GiB, plus overflow. *)
+
+val histogram_count : t -> ?help:string -> string -> histogram
+(** Small-cardinality histogram (version lags, queue depths): log2 buckets
+    from 1 to 32768, plus overflow. *)
 
 val observe : histogram -> float -> unit
 

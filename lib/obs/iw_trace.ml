@@ -7,6 +7,11 @@ type ev = {
   e_args : (string * string) list;
 }
 
+type mode =
+  | Overwrite
+  | Append
+  | Unique
+
 let on = ref false
 
 let mutex = Mutex.create ()
@@ -15,11 +20,32 @@ let events : ev list ref = ref []
 
 let out_path : string option ref = ref None
 
+let out_mode : mode ref = ref Overwrite
+
 let t0 = ref 0.
 
 let at_exit_installed = ref false
 
 let enabled () = !on
+
+(* Span/trace identifiers: unique within a process and very unlikely to
+   collide across the processes of one run (the pid and start time are mixed
+   in), so a client-generated trace id can travel to the server and land in a
+   merged Perfetto timeline without clashing. *)
+let id_counter = ref 0
+
+let id_salt =
+  lazy
+    (let t = int_of_float (Unix.gettimeofday () *. 1e6) in
+     ((Unix.getpid () land 0xffff) lsl 40) lxor (t land 0xff_ffff_ffff))
+
+let next_id () =
+  Stdlib.incr id_counter;
+  (* Stay positive and below 2^62 so the id survives u64 wire round trips on
+     63-bit OCaml ints. *)
+  (Lazy.force id_salt lxor (!id_counter lsl 20) lor !id_counter) land max_int
+
+let pp_id id = Printf.sprintf "%x" id
 
 let record ph ?(cat = "iw") ?(args = []) name =
   if !on then begin
@@ -46,34 +72,63 @@ let with_span ?cat ?args name f =
     Fun.protect ~finally:(fun () -> span_end name) f
   end
 
-let write_file path evs =
-  let buf = Buffer.create (256 * (1 + List.length evs)) in
+let render_event buf pid e =
+  Buffer.add_string buf "{\"name\":";
+  Iw_obs_json.escape buf e.e_name;
+  Buffer.add_string buf ",\"cat\":";
+  Iw_obs_json.escape buf e.e_cat;
+  Buffer.add_string buf (Printf.sprintf ",\"ph\":\"%c\"" e.e_ph);
+  (* Instant events need an explicit scope or some viewers drop them. *)
+  if e.e_ph = 'i' then Buffer.add_string buf ",\"s\":\"t\"";
+  Buffer.add_string buf (Printf.sprintf ",\"ts\":%.3f,\"pid\":%d,\"tid\":%d" e.e_ts pid e.e_tid);
+  (match e.e_args with
+  | [] -> ()
+  | args ->
+    Buffer.add_string buf ",\"args\":{";
+    List.iteri
+      (fun j (k, v) ->
+        if j > 0 then Buffer.add_char buf ',';
+        Iw_obs_json.escape buf k;
+        Buffer.add_char buf ':';
+        Iw_obs_json.escape buf v)
+      args;
+    Buffer.add_char buf '}');
+  Buffer.add_char buf '}'
+
+(* In append mode the existing file's events are carried over verbatim, so
+   two processes (or two runs) writing the same path produce one valid
+   Chrome-trace document instead of the second clobbering the first. *)
+let existing_events path =
+  if not (Sys.file_exists path) then []
+  else begin
+    let ic = open_in_bin path in
+    let data =
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    match Iw_obs_json.parse data with
+    | Error _ -> []
+    | Ok doc ->
+      (match Option.bind (Iw_obs_json.member "traceEvents" doc) Iw_obs_json.to_list with
+      | Some evs -> List.map Iw_obs_json.to_string evs
+      | None -> [])
+  end
+
+let write_file ~mode path evs =
+  let old = match mode with Append -> existing_events path | Overwrite | Unique -> [] in
+  let buf = Buffer.create (256 * (1 + List.length evs + List.length old)) in
   Buffer.add_string buf "{\"traceEvents\":[";
   let pid = Unix.getpid () in
   List.iteri
-    (fun i e ->
+    (fun i raw ->
       if i > 0 then Buffer.add_char buf ',';
-      Buffer.add_string buf "{\"name\":";
-      Iw_obs_json.escape buf e.e_name;
-      Buffer.add_string buf ",\"cat\":";
-      Iw_obs_json.escape buf e.e_cat;
-      Buffer.add_string buf (Printf.sprintf ",\"ph\":\"%c\"" e.e_ph);
-      (* Instant events need an explicit scope or some viewers drop them. *)
-      if e.e_ph = 'i' then Buffer.add_string buf ",\"s\":\"t\"";
-      Buffer.add_string buf (Printf.sprintf ",\"ts\":%.3f,\"pid\":%d,\"tid\":%d" e.e_ts pid e.e_tid);
-      (match e.e_args with
-      | [] -> ()
-      | args ->
-        Buffer.add_string buf ",\"args\":{";
-        List.iteri
-          (fun j (k, v) ->
-            if j > 0 then Buffer.add_char buf ',';
-            Iw_obs_json.escape buf k;
-            Buffer.add_char buf ':';
-            Iw_obs_json.escape buf v)
-          args;
-        Buffer.add_char buf '}');
-      Buffer.add_char buf '}')
+      Buffer.add_string buf raw)
+    old;
+  List.iteri
+    (fun i e ->
+      if i > 0 || old <> [] then Buffer.add_char buf ',';
+      render_event buf pid e)
     evs;
   Buffer.add_string buf "],\"displayTimeUnit\":\"ms\"}";
   let oc = open_out path in
@@ -84,15 +139,27 @@ let stop () =
   Mutex.lock mutex;
   let evs = List.rev !events in
   let path = !out_path in
+  let mode = !out_mode in
   on := false;
   events := [];
   out_path := None;
   Mutex.unlock mutex;
-  match path with None -> () | Some p -> write_file p evs
+  match path with None -> () | Some p -> write_file ~mode p evs
 
-let start ~path =
+(* "trace.json" -> "trace.pid1234.json"; no extension appends the suffix. *)
+let unique_path path =
+  let suffix = Printf.sprintf "pid%d" (Unix.getpid ()) in
+  match String.rindex_opt path '.' with
+  | Some i when not (String.contains (String.sub path i (String.length path - i)) '/') ->
+    Printf.sprintf "%s.%s%s" (String.sub path 0 i) suffix
+      (String.sub path i (String.length path - i))
+  | _ -> Printf.sprintf "%s.%s" path suffix
+
+let start ?(mode = Overwrite) ~path () =
+  let path = match mode with Unique -> unique_path path | Overwrite | Append -> path in
   Mutex.lock mutex;
   out_path := Some path;
+  out_mode := mode;
   if !t0 = 0. then t0 := Unix.gettimeofday ();
   on := true;
   let install = not !at_exit_installed in
@@ -101,8 +168,15 @@ let start ~path =
   if install then at_exit stop
 
 (* IW_TRACE=<path> attaches tracing for the whole process with no code
-   changes, mirroring IW_SANITIZE. *)
+   changes, mirroring IW_SANITIZE; IW_TRACE_MODE=append|unique lets the
+   client and server of one run share a path without clobbering. *)
+let env_mode () =
+  match Sys.getenv_opt "IW_TRACE_MODE" with
+  | Some "append" -> Append
+  | Some "unique" -> Unique
+  | None | Some _ -> Overwrite
+
 let () =
   match Sys.getenv_opt "IW_TRACE" with
   | None | Some "" -> ()
-  | Some path -> start ~path
+  | Some path -> start ~mode:(env_mode ()) ~path ()

@@ -6,7 +6,8 @@
     guards on {!enabled}, so a disabled tracer costs one branch per event
     (the sanitizer-hook discipline).  Setting [IW_TRACE=<path>] in the
     environment enables tracing at program start and writes the file at
-    process exit; {!start}/{!stop} do the same programmatically.
+    process exit ([IW_TRACE_MODE=append|unique] selects the output mode);
+    {!start}/{!stop} do the same programmatically.
 
     Events are buffered in memory and flushed as one JSON document by
     {!stop} (or the [at_exit] hook), so trace files are complete, parseable
@@ -14,12 +15,36 @@
 
 val enabled : unit -> bool
 
-val start : path:string -> unit
+type mode =
+  | Overwrite  (** replace [path] (the pre-existing behavior) *)
+  | Append
+      (** merge with the [traceEvents] already in [path], so the client and
+          server of one run can share a file: whichever process exits last
+          folds the other's events into a single Perfetto-valid document *)
+  | Unique
+      (** write to [path] with a [.pid<pid>] suffix spliced in before the
+          extension; merge the per-process files later (see README) *)
+
+val unique_path : string -> string
+(** The path {!Unique} mode would write: ["trace.json"] becomes
+    ["trace.pid1234.json"] (suffix appended when there is no extension). *)
+
+val start : ?mode:mode -> path:string -> unit -> unit
 (** Begin recording; the trace is written to [path] by {!stop} or at process
-    exit.  Restarting with a new path redirects the (single) trace. *)
+    exit.  [mode] defaults to {!Overwrite}.  Restarting with a new path
+    redirects the (single) trace. *)
 
 val stop : unit -> unit
 (** Write the buffered events and disable tracing.  Idempotent. *)
+
+val next_id : unit -> int
+(** A fresh positive identifier for a span or trace, unique within this
+    process and salted with the pid and start time so ids minted by the
+    client and server of one run do not collide.  Fits in a u64 wire
+    field. *)
+
+val pp_id : int -> string
+(** Identifier rendered as lowercase hex, the form used in span args. *)
 
 val span_begin : ?cat:string -> ?args:(string * string) list -> string -> unit
 (** Open a span (phase ["B"]) on the calling thread.  [cat] defaults to

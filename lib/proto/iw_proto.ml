@@ -70,6 +70,11 @@ type request =
       name : string;
     }
   | Server_stats of { session : int }
+  | Segment_stats of {
+      session : int;
+      segment : string option;
+    }
+  | Flight_recorder of { session : int }
 
 let request_variant = function
   | Hello _ -> "hello"
@@ -86,6 +91,8 @@ let request_variant = function
   | Subscribe _ -> "subscribe"
   | Unsubscribe _ -> "unsubscribe"
   | Server_stats _ -> "server_stats"
+  | Segment_stats _ -> "segment_stats"
+  | Flight_recorder _ -> "flight_recorder"
 
 type stat = {
   st_version : int;
@@ -113,9 +120,33 @@ type response =
   | R_ok
   | R_error of string
   | R_server_stats of Iw_metrics.snapshot
+  | R_segment_stats of Iw_metrics.snapshot
+  | R_flight of string
 
 module Buf = Iw_wire.Buf
 module Reader = Iw_wire.Reader
+
+(* Trace context: the envelope fields a client attaches so the server's
+   dispatch span can join the client's timeline.  Identifiers come from
+   Iw_trace.next_id and fit u64; the seq is per-link and lets R_busy/error
+   replies be correlated back to the request that drew them. *)
+type trace_ctx = {
+  tc_trace_id : int;
+  tc_span_id : int;
+  tc_seq : int;
+}
+
+(* The envelope marker is far above the request tag space (0..15), so a
+   first byte tells bare request (old clients) from envelope (new clients)
+   and old servers reject enveloped traffic loudly as an unknown tag rather
+   than misparsing it. *)
+let envelope_magic = 0xe7
+
+let proto_version = 1
+
+let feature_trace_ctx = 0x01
+
+let known_features = feature_trace_ctx
 
 (* Metric snapshots travel in the same wire format as everything else so
    iw-admin can read a remote server's registry. *)
@@ -243,6 +274,17 @@ let encode_request buf = function
   | Server_stats { session } ->
     Buf.u8 buf 13;
     Buf.u32 buf session
+  | Segment_stats { session; segment } ->
+    Buf.u8 buf 14;
+    Buf.u32 buf session;
+    (match segment with
+    | None -> Buf.u8 buf 0
+    | Some s ->
+      Buf.u8 buf 1;
+      Buf.string buf s)
+  | Flight_recorder { session } ->
+    Buf.u8 buf 15;
+    Buf.u32 buf session
 
 let decode_request r =
   match Reader.u8 r with
@@ -299,7 +341,54 @@ let decode_request r =
     let name = Reader.string r in
     Unsubscribe { session; name }
   | 13 -> Server_stats { session = Reader.u32 r }
+  | 14 ->
+    let session = Reader.u32 r in
+    let segment = if Reader.u8 r = 1 then Some (Reader.string r) else None in
+    Segment_stats { session; segment }
+  | 15 -> Flight_recorder { session = Reader.u32 r }
   | t -> raise (Iw_wire.Malformed (Printf.sprintf "unknown request tag %d" t))
+
+let put_ctx buf ctx =
+  Buf.u64 buf ctx.tc_trace_id;
+  Buf.u64 buf ctx.tc_span_id;
+  Buf.u32 buf ctx.tc_seq
+
+let get_ctx r =
+  let tc_trace_id = Reader.u64 r in
+  let tc_span_id = Reader.u64 r in
+  let tc_seq = Reader.u32 r in
+  { tc_trace_id; tc_span_id; tc_seq }
+
+let encode_request_env buf ?ctx req =
+  (match ctx with
+  | None -> ()
+  | Some c ->
+    Buf.u8 buf envelope_magic;
+    Buf.u8 buf proto_version;
+    Buf.u8 buf feature_trace_ctx;
+    put_ctx buf c);
+  encode_request buf req
+
+(* Consumes an envelope header if one is present, leaving the reader at the
+   request body either way.  Kept separate from {!decode_request} so a
+   server that fails to decode the body can still recover the seq for its
+   error reply and flight-recorder entry. *)
+let decode_envelope r =
+  if Reader.remaining r > 0 && Reader.peek_u8 r = envelope_magic then begin
+    Reader.skip r 1;
+    let v = Reader.u8 r in
+    if v <> proto_version then
+      raise (Iw_wire.Malformed (Printf.sprintf "unsupported proto version %d" v));
+    let feats = Reader.u8 r in
+    if feats land lnot known_features <> 0 then
+      raise (Iw_wire.Malformed (Printf.sprintf "unknown envelope features 0x%x" feats));
+    if feats land feature_trace_ctx <> 0 then Some (get_ctx r) else None
+  end
+  else None
+
+let decode_request_env r =
+  let ctx = decode_envelope r in
+  (ctx, decode_request r)
 
 let encode_response buf = function
   | R_hello { session } ->
@@ -357,6 +446,12 @@ let encode_response buf = function
   | R_server_stats snap ->
     Buf.u8 buf 13;
     put_snapshot buf snap
+  | R_segment_stats snap ->
+    Buf.u8 buf 14;
+    put_snapshot buf snap
+  | R_flight json ->
+    Buf.u8 buf 15;
+    Buf.lstring buf json
 
 let decode_response r =
   match Reader.u8 r with
@@ -396,18 +491,20 @@ let decode_response r =
   | 11 -> R_ok
   | 12 -> R_error (Reader.string r)
   | 13 -> R_server_stats (get_snapshot r)
+  | 14 -> R_segment_stats (get_snapshot r)
+  | 15 -> R_flight (Reader.lstring r)
   | t -> raise (Iw_wire.Malformed (Printf.sprintf "unknown response tag %d" t))
 
 type link = {
-  call : request -> response;
+  call : ?ctx:trace_ctx -> request -> response;
   close : unit -> unit;
   description : string;
 }
 
 let framed_link ?on_io ~send ~recv ~close ~description () =
-  let call req =
+  let call ?ctx req =
     let buf = Buf.create () in
-    encode_request buf req;
+    encode_request_env buf ?ctx req;
     let frame = Buf.contents buf in
     (match on_io with
     | None -> ()
@@ -426,9 +523,15 @@ type notification = {
   n_version : int;
 }
 
-let response_frame resp =
+(* A tag-2 frame prefixes the response with the request's seq, echoed only
+   when the request carried a trace context — old clients never see one. *)
+let response_frame ?seq resp =
   let buf = Buf.create () in
-  Buf.u8 buf 0;
+  (match seq with
+  | None -> Buf.u8 buf 0
+  | Some s ->
+    Buf.u8 buf 2;
+    Buf.u32 buf s);
   encode_response buf resp;
   Buf.contents buf
 
@@ -465,6 +568,23 @@ let demux_link ?on_io conn ~on_notify =
         let n_segment = Reader.string r in
         let n_version = Reader.u32 r in
         on_notify { n_segment; n_version }
+      | 2 ->
+        let seq = Reader.u32 r in
+        let resp = decode_response r in
+        (* Busy/error outcomes are the ones worth correlating in a log or
+           trace; normal replies would just double the event volume. *)
+        (match resp with
+        | R_busy | R_error _ ->
+          if Iw_trace.enabled () then
+            Iw_trace.instant
+              ~args:
+                [
+                  ("seq", string_of_int seq);
+                  ("reply", (match resp with R_busy -> "busy" | _ -> "error"));
+                ]
+              "client.reply_seq"
+        | _ -> ());
+        push (Ok resp)
       | t -> push (Error (Iw_wire.Malformed (Printf.sprintf "unknown frame tag %d" t))));
       loop ()
     in
@@ -476,9 +596,9 @@ let demux_link ?on_io conn ~on_notify =
     conn.Iw_transport.close ()
   in
   ignore (Thread.create receiver () : Thread.t);
-  let call req =
+  let call ?ctx req =
     let buf = Buf.create () in
-    encode_request buf req;
+    encode_request_env buf ?ctx req;
     let frame = Buf.contents buf in
     (match on_io with
     | None -> ()

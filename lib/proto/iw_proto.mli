@@ -80,6 +80,16 @@ type request =
     }
   | Server_stats of { session : int }
       (** fetch the server's live metric snapshot — backs [iw-admin stats] *)
+  | Segment_stats of {
+      session : int;
+      segment : string option;  (** [None] = every segment *)
+    }
+      (** fetch only per-segment coherence series (version lag, staleness,
+          diff savings, wasted acquires, write-lock wait) — backs
+          [iw-admin segstats] *)
+  | Flight_recorder of { session : int }
+      (** fetch the server's flight-recorder ring as rendered JSON — backs
+          [iw-admin flight] *)
 
 val request_variant : request -> string
 (** Stable lowercase tag for a request ([read_lock], [write_release], ...),
@@ -111,6 +121,8 @@ type response =
   | R_ok
   | R_error of string
   | R_server_stats of Iw_metrics.snapshot
+  | R_segment_stats of Iw_metrics.snapshot
+  | R_flight of string  (** flight-recorder ring, rendered as JSON *)
 
 val encode_request : Iw_wire.Buf.t -> request -> unit
 
@@ -120,9 +132,54 @@ val encode_response : Iw_wire.Buf.t -> response -> unit
 
 val decode_response : Iw_wire.Reader.t -> response
 
-(** A link is the client's view of one server, however reached. *)
+(** {1 Trace-context envelope}
+
+    A request may be wrapped in an envelope carrying the caller's trace
+    context, so the server's dispatch span lands in the same Perfetto
+    timeline as the client span that issued the request.  On the wire the
+    envelope is [0xE7] (a marker outside the request tag space), a protocol
+    version byte, a feature bitmap, then the feature payloads; a bare
+    request (first byte = its tag) remains valid, which is the whole
+    backward-compatibility story: old clients send bare requests, old
+    servers reject enveloped ones as an unknown tag. *)
+
+type trace_ctx = {
+  tc_trace_id : int;  (** u64; same for every span of one logical operation *)
+  tc_span_id : int;  (** u64; the client span issuing this request *)
+  tc_seq : int;  (** u32; per-link request counter, echoed on replies *)
+}
+
+val envelope_magic : int
+(** First byte of an enveloped request ([0xE7]), outside the request tag
+    space. *)
+
+val proto_version : int
+(** Envelope version this library speaks (1).  A decoder rejects any
+    other. *)
+
+val feature_trace_ctx : int
+(** Envelope feature bit: a {!trace_ctx} follows the header.  Unknown bits
+    are rejected rather than skipped — payload lengths would be unknown. *)
+
+val encode_request_env : Iw_wire.Buf.t -> ?ctx:trace_ctx -> request -> unit
+(** Like {!encode_request}, with the envelope prepended when [ctx] is
+    given.  [?ctx:None] encodes a bare request, byte-identical to the old
+    wire format. *)
+
+val decode_envelope : Iw_wire.Reader.t -> trace_ctx option
+(** Consume an envelope header if the input starts with one, leaving the
+    reader at the request body either way.  Exposed separately from
+    {!decode_request_env} so a server can keep the context (notably the
+    seq) when the body fails to decode. *)
+
+val decode_request_env : Iw_wire.Reader.t -> trace_ctx option * request
+(** [decode_envelope] then [decode_request]. *)
+
+(** A link is the client's view of one server, however reached.  [call]
+    attaches [ctx] as a request envelope when given (transports that cannot
+    carry it simply ignore it). *)
 type link = {
-  call : request -> response;
+  call : ?ctx:trace_ctx -> request -> response;
   close : unit -> unit;
   description : string;
 }
@@ -154,8 +211,11 @@ type notification = {
   n_version : int;
 }
 
-val response_frame : response -> string
-(** Tag-0 frame carrying a response (what {!demux_link} expects). *)
+val response_frame : ?seq:int -> response -> string
+(** Tag-0 frame carrying a response (what {!demux_link} expects).  With
+    [seq], a tag-2 frame that prefixes the response with the originating
+    request's seq; servers echo it only when the request carried a trace
+    context, so clients that never send envelopes never see tag 2. *)
 
 val notification_frame : notification -> string
 (** Tag-1 frame carrying a notification. *)

@@ -59,6 +59,10 @@ type seg = {
   s_cache_order : (int * int) Queue.t;
   mutable s_pred : vnode option;  (* last-block prediction cursor *)
   s_subscribers : (int, unit) Hashtbl.t;  (* sessions to notify on change *)
+  mutable s_data_bytes : int;  (* packed master-copy bytes across live blocks *)
+  s_vtimes : (int, float) Hashtbl.t;  (* version -> commit wall time *)
+  s_vtimes_order : int Queue.t;  (* eviction order for s_vtimes *)
+  s_busy_since : (int, float) Hashtbl.t;  (* session -> first R_busy time *)
 }
 
 type t = {
@@ -70,6 +74,7 @@ type t = {
   diff_cache_capacity : int;
   t_stats : stats;
   t_metrics : Iw_metrics.t;
+  t_flight : Iw_flight.t;
   t_version_advances : Iw_metrics.counter;
   mutable prediction : bool;
   t_scratch : Iw_wire.Buf.t;  (* reused payload buffer; handler is serialized *)
@@ -80,6 +85,8 @@ type t = {
 let stats t = t.t_stats
 
 let metrics t = t.t_metrics
+
+let flight t = t.t_flight
 
 let set_prediction t b = t.prediction <- b
 
@@ -193,6 +200,82 @@ let make_block seg ~serial ~name ~desc_serial ~version =
   sb.sb_node <- node;
   sb
 
+(* Per-segment coherence observability.  Series carry a {segment="..."}
+   label; registration is idempotent and the registry locks it, so looking
+   the instrument up by name at each observation is safe from concurrent
+   connection threads — the same pattern as the per-variant dispatch
+   histograms.  Every call site is gated on [Iw_metrics.enabled]. *)
+
+let seg_hist_count t seg base help =
+  Iw_metrics.histogram_count t.t_metrics ~help
+    (Iw_metrics.with_label base "segment" seg.s_name)
+
+let seg_hist_us t seg base help =
+  Iw_metrics.histogram_us t.t_metrics ~help
+    (Iw_metrics.with_label base "segment" seg.s_name)
+
+let seg_counter t seg base help =
+  Iw_metrics.counter t.t_metrics ~help
+    (Iw_metrics.with_label base "segment" seg.s_name)
+
+let observe_version_lag t seg ~version =
+  Iw_metrics.observe
+    (seg_hist_count t seg "iw_seg_version_lag"
+       "Server version minus client cached version at lock acquire")
+    (float_of_int (max 0 (seg.s_version - version)))
+
+(* Realized staleness: how long ago the client's cached version was
+   superseded — i.e. for how long it has been reading data the server had
+   already replaced (nonzero in practice only under relaxed coherence).
+   Needs the commit wall time of [version + 1], kept in a bounded
+   version-time table. *)
+let observe_staleness t seg ~version =
+  if version > 0 && version < seg.s_version then
+    match Hashtbl.find_opt seg.s_vtimes (version + 1) with
+    | Some superseded_at ->
+      Iw_metrics.observe
+        (seg_hist_us t seg "iw_seg_staleness_us"
+           "Realized staleness of the client's cached copy at lock acquire")
+        (Float.max 0. (Iw_metrics.now_us () -. superseded_at *. 1e6))
+    | None -> ()
+
+let observe_wasted_acquire t seg ~version =
+  if version > 0 && version = seg.s_version then
+    Iw_metrics.incr
+      (seg_counter t seg "iw_seg_wasted_acquire_total"
+         "Lock acquires that found the client cache already current")
+
+let diff_payload_bytes (diff : Iw_wire.Diff.t) =
+  List.fold_left
+    (fun acc (c : Iw_wire.Diff.block_change) ->
+      match c with
+      | Create { payload; _ } -> acc + String.length payload
+      | Update { runs; _ } ->
+        List.fold_left
+          (fun acc (run : Iw_wire.Diff.run) -> acc + String.length run.payload)
+          acc runs
+      | Free _ -> acc)
+    0 diff.changes
+
+(* Bytes a diff saved over shipping the whole segment's master copy — the
+   paper's core bandwidth argument, now measurable per segment. *)
+let note_diff_saved t seg (diff : Iw_wire.Diff.t) =
+  let saved = seg.s_data_bytes - diff_payload_bytes diff in
+  if saved > 0 then
+    Iw_metrics.incr ~by:saved
+      (seg_counter t seg "iw_seg_diff_bytes_saved_total"
+         "Bytes saved by diff transfers vs full-segment copies")
+
+let vtimes_capacity = 512
+
+let note_commit_time seg v =
+  Hashtbl.replace seg.s_vtimes v (Unix.gettimeofday ());
+  Queue.push v seg.s_vtimes_order;
+  if Queue.length seg.s_vtimes_order > vtimes_capacity then
+    match Queue.take_opt seg.s_vtimes_order with
+    | Some old -> Hashtbl.remove seg.s_vtimes old
+    | None -> ()
+
 let apply_diff t seg (diff : Iw_wire.Diff.t) =
   if diff.changes = [] && diff.new_descs = [] then seg.s_version
   else begin
@@ -212,7 +295,8 @@ let apply_diff t seg (diff : Iw_wire.Diff.t) =
           decode_prims (Iw_wire.Reader.of_string payload) sb ~from:0 ~upto:sb.sb_pcount;
           seg.s_blocks <- Serial_tree.add serial sb seg.s_blocks;
           append_before seg.s_tail sb.sb_node;
-          seg.s_total_units <- seg.s_total_units + sb.sb_pcount
+          seg.s_total_units <- seg.s_total_units + sb.sb_pcount;
+          seg.s_data_bytes <- seg.s_data_bytes + Bytes.length sb.sb_data
         | Update { serial; runs } ->
           (* Last-block prediction: the next modified block is usually the
              next one in the version list (paper, Sec. 3.3). *)
@@ -253,9 +337,11 @@ let apply_diff t seg (diff : Iw_wire.Diff.t) =
           seg.s_blocks <- Serial_tree.remove serial seg.s_blocks;
           unlink sb.sb_node;
           seg.s_frees <- (serial, v) :: seg.s_frees;
-          seg.s_total_units <- seg.s_total_units - sb.sb_pcount)
+          seg.s_total_units <- seg.s_total_units - sb.sb_pcount;
+          seg.s_data_bytes <- seg.s_data_bytes - Bytes.length sb.sb_data)
       diff.changes;
     seg.s_version <- v;
+    if Iw_metrics.enabled t.t_metrics then note_commit_time seg v;
     t.t_stats.diffs_applied <- t.t_stats.diffs_applied + 1;
     Iw_metrics.incr t.t_version_advances;
     if Iw_metrics.enabled t.t_metrics then
@@ -511,6 +597,10 @@ let fresh_seg name =
     s_cache_order = Queue.create ();
     s_pred = None;
     s_subscribers = Hashtbl.create 8;
+    s_data_bytes = 0;
+    s_vtimes = Hashtbl.create 64;
+    s_vtimes_order = Queue.create ();
+    s_busy_since = Hashtbl.create 4;
   }
 
 (* Checkpointing (paper, Sec. 2.2): serialize each segment — metadata,
@@ -656,7 +746,8 @@ let read_checkpoint path =
       done;
       seg.s_blocks <- Serial_tree.add serial sb seg.s_blocks;
       append_before seg.s_tail sb.sb_node;
-      seg.s_total_units <- seg.s_total_units + sb.sb_pcount
+      seg.s_total_units <- seg.s_total_units + sb.sb_pcount;
+      seg.s_data_bytes <- seg.s_data_bytes + Bytes.length sb.sb_data
     | t -> raise (Iw_wire.Malformed (Printf.sprintf "bad checkpoint node tag %d" t))
   done;
   seg
@@ -712,6 +803,10 @@ let create ?checkpoint_dir ?(diff_cache_capacity = 64) () =
       validate_diffs = false;
       t_stats;
       t_metrics;
+      (* The flight recorder stays on even when metrics are off: its hot
+         path is a few stores, and it exists for the crashes that happen
+         when nobody was watching.  IW_FLIGHT=0 disables it. *)
+      t_flight = Iw_flight.create ~enabled:(Iw_flight.env_enabled ~default:true) ();
       t_version_advances =
         Iw_metrics.counter t_metrics ~help:"Segment version advances"
           "iw_server_version_advances_total";
@@ -828,18 +923,50 @@ let handle_locked t (req : Iw_proto.request) : Iw_proto.response =
         in
         float_of_int counter /. float_of_int seg.s_total_units *. 100. <= pct
     in
+    if Iw_metrics.enabled t.t_metrics then begin
+      observe_version_lag t seg ~version;
+      observe_staleness t seg ~version;
+      observe_wasted_acquire t seg ~version
+    end;
     if recent_enough then R_up_to_date
-    else R_update (update_for t seg ~session ~since:version)
+    else begin
+      let diff = update_for t seg ~session ~since:version in
+      if Iw_metrics.enabled t.t_metrics then note_diff_saved t seg diff;
+      R_update diff
+    end
   | Read_release _ -> R_ok
   | Write_lock { session; name; version } ->
     let seg = seg_of t name in
     begin
       match seg.s_writer with
-      | Some s when s <> session -> R_busy
+      | Some s when s <> session ->
+        if
+          Iw_metrics.enabled t.t_metrics
+          && not (Hashtbl.mem seg.s_busy_since session)
+        then Hashtbl.replace seg.s_busy_since session (Iw_metrics.now_us ());
+        R_busy
       | Some _ | None ->
+        if Iw_metrics.enabled t.t_metrics then begin
+          observe_version_lag t seg ~version;
+          observe_wasted_acquire t seg ~version;
+          (* Contended waits only: the retry loop's first R_busy started the
+             clock, the grant stops it. *)
+          match Hashtbl.find_opt seg.s_busy_since session with
+          | Some since ->
+            Hashtbl.remove seg.s_busy_since session;
+            Iw_metrics.observe
+              (seg_hist_us t seg "iw_seg_wl_wait_us"
+                 "Write-lock wait under contention, first busy to grant")
+              (Iw_metrics.now_us () -. since)
+          | None -> ()
+        end;
         seg.s_writer <- Some session;
         if version = seg.s_version then R_granted None
-        else R_granted (Some (update_for t seg ~session ~since:version))
+        else begin
+          let diff = update_for t seg ~session ~since:version in
+          if Iw_metrics.enabled t.t_metrics then note_diff_saved t seg diff;
+          R_granted (Some diff)
+        end
     end
   | Write_release { session; name; diff } ->
     let seg = seg_of t name in
@@ -861,6 +988,7 @@ let handle_locked t (req : Iw_proto.request) : Iw_proto.response =
                           (fun i -> Format.asprintf "%a" Iw_wire_check.pp_issue i)
                           issues))))
         end;
+        if Iw_metrics.enabled t.t_metrics then note_diff_saved t seg diff;
         let before = seg.s_version in
         let v = apply_diff t seg diff in
         seg.s_writer <- None;
@@ -914,6 +1042,25 @@ let handle_locked t (req : Iw_proto.request) : Iw_proto.response =
     R_server_stats
       (Iw_metrics.snapshot t.t_metrics
       @ Iw_metrics.snapshot (Iw_transport.metrics ()))
+  | Segment_stats { session = _; segment } ->
+    (* Just the {segment="..."} series, optionally narrowed to one segment —
+       what iw-admin segstats renders.  Per-segment series carry exactly one
+       label, so matching the rendered label set is exact. *)
+    let keep =
+      match segment with
+      | Some name ->
+        let suffix = Iw_metrics.with_label "" "segment" name in
+        fun (s : Iw_metrics.sample) -> String.ends_with ~suffix s.s_name
+      | None ->
+        fun (s : Iw_metrics.sample) ->
+          (match String.index_opt s.s_name '{' with
+          | Some i ->
+            String.length s.s_name - i > 9
+            && String.sub s.s_name (i + 1) 9 = "segment=\""
+          | None -> false)
+    in
+    R_segment_stats (List.filter keep (Iw_metrics.snapshot t.t_metrics))
+  | Flight_recorder _ -> R_flight (Iw_flight.dump_string t.t_flight)
 
 let handle_plain t req =
   Mutex.lock t.lock;
@@ -924,29 +1071,91 @@ let handle_plain t req =
       | Reject msg -> R_error msg
       | Iw_wire.Malformed msg -> R_error ("malformed: " ^ msg))
 
-(* Per-variant dispatch latency.  The registry's own registration lock makes
-   the histogram lookup safe from concurrent connection threads, and
-   registration is idempotent, so there is no per-variant cache to race on. *)
-let handle t req =
-  if Iw_metrics.enabled t.t_metrics || Iw_trace.enabled () then begin
+(* What the flight recorder and span args can say about a request/response
+   pair without holding the server lock. *)
+let request_segment : Iw_proto.request -> string = function
+  | Hello _ | Checkpoint _ | Server_stats _ | Flight_recorder _ -> ""
+  | Segment_stats { segment; _ } -> Option.value segment ~default:""
+  | Open_segment { name; _ }
+  | Segment_meta { name; _ }
+  | Read_lock { name; _ }
+  | Read_release { name; _ }
+  | Write_lock { name; _ }
+  | Write_release { name; _ }
+  | Register_desc { name; _ }
+  | Get_version { name; _ }
+  | Stat { name; _ }
+  | Subscribe { name; _ }
+  | Unsubscribe { name; _ } -> name
+
+let response_version : Iw_proto.response -> int = function
+  | R_segment { version } | R_meta { version; _ } | R_version version -> version
+  | R_update diff | R_granted (Some diff) -> diff.Iw_wire.Diff.to_version
+  | R_stat st -> st.Iw_proto.st_version
+  | R_hello _ | R_up_to_date | R_granted None | R_busy | R_serial _ | R_ok
+  | R_error _ | R_server_stats _ | R_segment_stats _ | R_flight _ -> 0
+
+(* Per-variant dispatch latency, span adoption, and flight recording.  The
+   registry's own registration lock makes the histogram lookup safe from
+   concurrent connection threads, and registration is idempotent, so there
+   is no per-variant cache to race on.  When a request arrives with a trace
+   context, the dispatch span joins the client's trace: same trace_id, the
+   client's span as parent. *)
+let handle ?ctx t req =
+  let metrics_on = Iw_metrics.enabled t.t_metrics in
+  let trace_on = Iw_trace.enabled () in
+  let flight_on = Iw_flight.enabled t.t_flight in
+  if not (metrics_on || trace_on || flight_on) then handle_plain t req
+  else begin
     let variant = Iw_proto.request_variant req in
-    Iw_trace.span_begin ~args:[ ("variant", variant) ] "server.handle";
+    let seq = match ctx with Some c -> c.Iw_proto.tc_seq | None -> 0 in
+    if trace_on then begin
+      let args = [ ("variant", variant) ] in
+      let args =
+        match ctx with
+        | None -> args
+        | Some c ->
+          ("trace_id", Iw_trace.pp_id c.Iw_proto.tc_trace_id)
+          :: ("parent_span_id", Iw_trace.pp_id c.Iw_proto.tc_span_id)
+          :: ("span_id", Iw_trace.pp_id (Iw_trace.next_id ()))
+          :: ("seq", string_of_int seq)
+          :: args
+      in
+      Iw_trace.span_begin ~args "server.handle"
+    end;
     let t0 = Iw_metrics.now_us () in
-    Fun.protect
-      ~finally:(fun () ->
-        Iw_metrics.observe
-          (Iw_metrics.histogram_us t.t_metrics
-             ~help:"Request dispatch latency by request variant"
-             (Iw_metrics.with_label "iw_server_request_us" "variant" variant))
-          (Iw_metrics.now_us () -. t0);
-        Iw_trace.span_end "server.handle")
-      (fun () -> handle_plain t req)
+    let resp =
+      try handle_plain t req
+      with e ->
+        (* handle_plain converts Reject/Malformed to R_error, so anything
+           escaping it is the unexplained kind of failure the flight
+           recorder exists for. *)
+        if flight_on then begin
+          Iw_flight.record t.t_flight ~seq ~segment:(request_segment req)
+            ~latency_us:(Iw_metrics.now_us () -. t0)
+            (variant ^ "!" ^ Printexc.to_string e);
+          Iw_flight.dump ~reason:("uncaught in " ^ variant) t.t_flight
+        end;
+        if trace_on then Iw_trace.span_end "server.handle";
+        raise e
+    in
+    let dt = Iw_metrics.now_us () -. t0 in
+    if metrics_on then
+      Iw_metrics.observe
+        (Iw_metrics.histogram_us t.t_metrics
+           ~help:"Request dispatch latency by request variant"
+           (Iw_metrics.with_label "iw_server_request_us" "variant" variant))
+        dt;
+    if flight_on then
+      Iw_flight.record t.t_flight ~seq ~segment:(request_segment req)
+        ~version:(response_version resp) ~latency_us:dt variant;
+    if trace_on then Iw_trace.span_end "server.handle";
+    resp
   end
-  else handle_plain t req
 
 let direct_link t =
   {
-    Iw_proto.call = handle t;
+    Iw_proto.call = (fun ?ctx req -> handle ?ctx t req);
     close = (fun () -> ());
     description = "direct";
   }
@@ -977,22 +1186,49 @@ let serve_conn t conn =
   (try
      let rec loop () =
        let frame = conn.Iw_transport.recv () in
-       let req = Iw_proto.decode_request (Iw_wire.Reader.of_string frame) in
-       let resp = handle t req in
-       (match resp with
-       | Iw_proto.R_hello { session } ->
-         sessions := session :: !sessions;
-         (* Notifications share the connection; conn.send is thread-safe and
-            registration must take the server lock, because handlers iterate
-            the notifier table while holding it. *)
-         register_notifier t ~session ~push:(fun n ->
-             conn.Iw_transport.send (Iw_proto.notification_frame n))
-       | _ -> ());
-       conn.Iw_transport.send (Iw_proto.response_frame resp);
+       let r = Iw_wire.Reader.of_string frame in
+       (* Two-phase decode: the envelope survives a malformed body, so the
+          error reply and flight-recorder entry keep the request's seq —
+          exactly the breadcrumb a post-mortem needs. *)
+       let ctx, req_result =
+         match Iw_proto.decode_envelope r with
+         | exception Iw_wire.Malformed msg -> (None, Error msg)
+         | ctx -> (
+           ctx,
+           match Iw_proto.decode_request r with
+           | req -> Ok req
+           | exception Iw_wire.Malformed msg -> Error msg)
+       in
+       let seq = Option.map (fun c -> c.Iw_proto.tc_seq) ctx in
+       (match req_result with
+       | Ok req ->
+         let resp = handle ?ctx t req in
+         (match resp with
+         | Iw_proto.R_hello { session } ->
+           sessions := session :: !sessions;
+           (* Notifications share the connection; conn.send is thread-safe
+              and registration must take the server lock, because handlers
+              iterate the notifier table while holding it. *)
+           register_notifier t ~session ~push:(fun n ->
+               conn.Iw_transport.send (Iw_proto.notification_frame n))
+         | _ -> ());
+         conn.Iw_transport.send (Iw_proto.response_frame ?seq resp)
+       | Error msg ->
+         if Iw_flight.enabled t.t_flight then begin
+           Iw_flight.record t.t_flight ?seq "decode_error";
+           Iw_flight.dump ~reason:("request decode failure: " ^ msg) t.t_flight
+         end;
+         conn.Iw_transport.send
+           (Iw_proto.response_frame ?seq (Iw_proto.R_error ("malformed: " ^ msg))));
        loop ()
      in
      loop ()
-   with Iw_transport.Closed | End_of_file -> ());
+   with
+  | Iw_transport.Closed | End_of_file -> ()
+  | e ->
+    (* A connection thread dying of anything else is the crash the ring
+       buffer was recording for. *)
+    Iw_flight.dump ~reason:("serve_conn: " ^ Printexc.to_string e) t.t_flight);
   List.iter (release_session_locks t) !sessions;
   List.iter (unregister_session t) !sessions;
   conn.Iw_transport.close ()

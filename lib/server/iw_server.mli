@@ -20,9 +20,13 @@ val create : ?checkpoint_dir:string -> ?diff_cache_capacity:int -> unit -> t
     checkpointed there are reloaded, and {!Iw_proto.Checkpoint} requests
     persist all segments to it. *)
 
-val handle : t -> Iw_proto.request -> Iw_proto.response
+val handle : ?ctx:Iw_proto.trace_ctx -> t -> Iw_proto.request -> Iw_proto.response
 (** Process one request.  Thread-safe: requests are serialized by an internal
-    lock. *)
+    lock.  When [ctx] is given (a request arrived with a trace-context
+    envelope), the dispatch span adopts it — same [trace_id], the client's
+    span as [parent_span_id] — so client and server spans stitch into one
+    Perfetto timeline, and the request's seq lands in the flight
+    recorder. *)
 
 val direct_link : t -> Iw_proto.link
 (** An in-process link whose [call] is {!handle}.  No serialization overhead;
@@ -32,7 +36,9 @@ val direct_link : t -> Iw_proto.link
 val serve_conn : t -> Iw_transport.conn -> unit
 (** Serve one framed connection until it closes.  Write locks held by
     sessions that spoke only through this connection are released when it
-    drops. *)
+    drops.  A request that fails to decode draws an [R_error] reply (echoing
+    the envelope seq when one was readable) and a flight-recorder dump
+    instead of killing the connection. *)
 
 val checkpoint : t -> unit
 (** Persist every segment to the checkpoint directory (no-op without one).
@@ -79,6 +85,13 @@ val metrics : t -> Iw_metrics.t
     live server always has data for [iw-admin stats].  The [Server_stats]
     request returns this snapshot concatenated with the transport registry's
     ({!Iw_transport.metrics}). *)
+
+val flight : t -> Iw_flight.t
+(** This server's flight recorder: one entry per handled request (seq,
+    variant, segment, version, latency).  On by default even when metrics
+    are off — [IW_FLIGHT=0] disables — and dumped on decode failures,
+    uncaught handler exceptions, [SIGUSR1] (installed by [iw-server]), or
+    the [Flight_recorder] request. *)
 
 val set_prediction : t -> bool -> unit
 (** Enable/disable last-block prediction (ablation; default on). *)

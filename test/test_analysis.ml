@@ -265,13 +265,13 @@ let validating_setup () =
   Server.set_validate_diffs server true;
   let base = Server.direct_link server in
   let release_issues = ref [] in
-  let checked_call req =
+  let checked_call ?ctx req =
     (match req with
     | Proto.Write_release { name; diff; _ } ->
       release_issues :=
         !release_issues @ Iw_wire_check.check (Server.diff_ctx server name) diff
     | _ -> ());
-    base.Proto.call req
+    base.Proto.call ?ctx req
   in
   let c = Client.connect { base with Proto.call = checked_call } in
   (server, c, release_issues)

@@ -45,7 +45,7 @@ let checked_client ?arch server =
                 blocks);
         })
   in
-  let checked_call req =
+  let checked_call ?ctx req =
     (match req with
     | Proto.Write_release { name; diff; _ } -> begin
       match Iw_wire_check.check (Server.diff_ctx server name) diff with
@@ -53,7 +53,7 @@ let checked_client ?arch server =
       | issues -> fail "outgoing" name issues
     end
     | _ -> ());
-    let resp = base.Proto.call req in
+    let resp = base.Proto.call ?ctx req in
     (match (req, resp) with
     | Proto.Read_lock { name; _ }, Proto.R_update d
     | Proto.Write_lock { name; _ }, Proto.R_granted (Some d) ->

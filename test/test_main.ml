@@ -20,4 +20,6 @@ let () =
       Test_seqmine.suite;
       Test_sim.suite;
       Test_obs.suite;
+      Test_dtrace.suite;
+      Test_flight.suite;
     ]

@@ -16,9 +16,15 @@ let hist_of snap name =
   | Some (V_hist hv) -> hv
   | _ -> Alcotest.fail ("no histogram " ^ name)
 
+(* Every case runs against a fresh registry and resets it on the way out, so
+   no series can leak into a later case even if registries are ever shared. *)
+let with_registry ?enabled f =
+  let r = create ?enabled () in
+  Fun.protect ~finally:(fun () -> reset r) (fun () -> f r)
+
 (* Log2 bucketing: inclusive upper bounds, one overflow bucket. *)
 let test_histogram_buckets () =
-  let r = create () in
+  with_registry @@ fun r ->
   let h = histogram_us r "iw_test_lat_us" in
   List.iter (observe h) [ 1.0; 1.5; 2.0; 3.0; 100.0; 1e12 ];
   let hv = hist_of (snapshot r) "iw_test_lat_us" in
@@ -38,14 +44,14 @@ let test_histogram_buckets () =
   Alcotest.(check (float 0.)) "p99 in overflow" infinity (hist_quantile hv 0.99)
 
 let test_quantile_empty () =
-  let r = create () in
+  with_registry @@ fun r ->
   let h = histogram_bytes r "iw_test_sz_bytes" in
   ignore (h : histogram);
   let hv = hist_of (snapshot r) "iw_test_sz_bytes" in
   Alcotest.(check bool) "empty quantile is nan" true (Float.is_nan (hist_quantile hv 0.5))
 
 let test_prometheus_exposition () =
-  let r = create () in
+  with_registry @@ fun r ->
   let c = counter r ~help:"Things that happened." "iw_test_things_total" in
   incr ~by:3 c;
   let g = gauge r "iw_test_depth" in
@@ -71,7 +77,7 @@ let test_with_label () =
   Alcotest.(check string) "escape" "m{k=\"a\\\"b\"}" (with_label "m" "k" "a\"b")
 
 let test_json_roundtrip () =
-  let r = create () in
+  with_registry @@ fun r ->
   incr ~by:7 (counter r "iw_test_n_total");
   observe (histogram_bytes r "iw_test_sz_bytes") 100.;
   let doc = render_json (snapshot r) in
@@ -84,7 +90,7 @@ let test_json_roundtrip () =
     | None -> Alcotest.fail "counter missing from JSON")
 
 let test_disabled_noop () =
-  let r = create ~enabled:false () in
+  with_registry ~enabled:false @@ fun r ->
   let c = counter r "iw_test_off_total" in
   let h = histogram_us r "iw_test_off_us" in
   incr c;
@@ -104,7 +110,7 @@ let test_disabled_noop () =
     (hist_of (snapshot r) "iw_test_off_us").hv_count
 
 let test_register_kind_clash () =
-  let r = create () in
+  with_registry @@ fun r ->
   ignore (counter r "iw_test_kind" : counter);
   (* Idempotent for the same kind... *)
   ignore (counter r "iw_test_kind" : counter);
@@ -112,6 +118,25 @@ let test_register_kind_clash () =
   match gauge r "iw_test_kind" with
   | (_ : gauge) -> Alcotest.fail "kind clash accepted"
   | exception Invalid_argument _ -> ()
+
+let test_reset_isolation () =
+  let r = create () in
+  let c = counter r "iw_test_leaky_total" in
+  incr ~by:4 c;
+  observe (histogram_us r "iw_test_leaky_us") 2.0;
+  Alcotest.(check int) "two series before reset" 2 (List.length (snapshot r));
+  reset r;
+  Alcotest.(check int) "no series after reset" 0 (List.length (snapshot r));
+  (* A stale handle keeps accepting updates without resurrecting the series —
+     a later case's snapshot stays clean even if an earlier case leaked the
+     handle. *)
+  incr c;
+  Alcotest.(check int) "stale handle does not resurrect" 0 (List.length (snapshot r));
+  (* The name is free again, even as a different kind. *)
+  set_gauge (gauge r "iw_test_leaky_total") 1.0;
+  match find (snapshot r) "iw_test_leaky_total" with
+  | Some (V_gauge v) -> Alcotest.(check (float 0.)) "fresh after reset" 1.0 v
+  | _ -> Alcotest.fail "re-registration after reset failed"
 
 let read_file path =
   let ic = open_in_bin path in
@@ -121,7 +146,7 @@ let read_file path =
 
 let test_trace_file () =
   let path = Filename.temp_file "iw_trace" ".json" in
-  Iw_trace.start ~path;
+  Iw_trace.start ~path ();
   Alcotest.(check bool) "tracing on" true (Iw_trace.enabled ());
   Iw_trace.with_span ~args:[ ("segment", "t/s") ] "outer" (fun () ->
       Iw_trace.with_span "inner" (fun () -> ());
@@ -278,6 +303,7 @@ let suite =
       Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
       Alcotest.test_case "disabled no-op" `Quick test_disabled_noop;
       Alcotest.test_case "kind clash" `Quick test_register_kind_clash;
+      Alcotest.test_case "reset isolation" `Quick test_reset_isolation;
       Alcotest.test_case "trace file" `Quick test_trace_file;
       Alcotest.test_case "server stats codec" `Quick test_server_stats_roundtrip;
       Alcotest.test_case "server stats live" `Quick test_server_stats_live;

@@ -43,6 +43,9 @@ let all_requests =
     Get_version { session = 9; name = "s" };
     Checkpoint { session = 10 };
     Stat { session = 11; name = "s" };
+    Segment_stats { session = 12; segment = None };
+    Segment_stats { session = 12; segment = Some "host/seg" };
+    Flight_recorder { session = 13 };
   ]
 
 let all_responses =
@@ -76,6 +79,29 @@ let all_responses =
       };
     R_ok;
     R_error "boom";
+    R_segment_stats [];
+    R_segment_stats
+      [
+        {
+          Iw_metrics.s_name = "iw_seg_wasted_acquire_total{segment=\"s\"}";
+          s_help = "wasted";
+          s_value = Iw_metrics.V_counter 5.;
+        };
+        {
+          Iw_metrics.s_name = "iw_seg_version_lag{segment=\"s\"}";
+          s_help = "lag";
+          s_value =
+            Iw_metrics.V_hist
+              {
+                Iw_metrics.hv_unit = "count";
+                hv_bounds = [| 1.; 2.; 4. |];
+                hv_counts = [| 1; 0; 2; 0 |];
+                hv_count = 3;
+                hv_sum = 9.;
+              };
+        };
+      ];
+    R_flight "{\"capacity\":256,\"recorded\":0,\"events\":[]}";
   ]
 
 let test_request_roundtrips () =
@@ -139,6 +165,92 @@ let test_framed_link () =
   link.close ();
   Thread.join t
 
+(* Trace-context envelope: optional prefix on the request stream.  Bare
+   requests (old clients) must keep decoding; enveloped ones must surface
+   the context; corrupt or truncated envelopes must be rejected loudly. *)
+
+let sample_ctx = { tc_trace_id = 0x1234_5678_9abc; tc_span_id = 0x42; tc_seq = 7 }
+
+let encode_env ?ctx req =
+  let buf = Iw_wire.Buf.create () in
+  encode_request_env buf ?ctx req;
+  Iw_wire.Buf.contents buf
+
+let test_envelope_roundtrips () =
+  List.iteri
+    (fun i req ->
+      let ctx, req' =
+        decode_request_env (Iw_wire.Reader.of_string (encode_env ~ctx:sample_ctx req))
+      in
+      if ctx <> Some sample_ctx then Alcotest.failf "request %d: context lost" i;
+      if req' <> req then Alcotest.failf "request %d: body did not roundtrip" i)
+    all_requests
+
+let test_envelope_absent_is_bare () =
+  List.iteri
+    (fun i req ->
+      (* No context -> byte-identical to the pre-envelope encoding, so old
+         servers still understand tracing-off clients. *)
+      let bare =
+        let buf = Iw_wire.Buf.create () in
+        encode_request buf req;
+        Iw_wire.Buf.contents buf
+      in
+      if encode_env req <> bare then Alcotest.failf "request %d: envelope added without ctx" i;
+      let ctx, req' = decode_request_env (Iw_wire.Reader.of_string bare) in
+      if ctx <> None then Alcotest.failf "request %d: phantom context" i;
+      if req' <> req then Alcotest.failf "request %d: bare body did not roundtrip" i)
+    all_requests
+
+let test_envelope_bad_version_rejected () =
+  let s = Bytes.of_string (encode_env ~ctx:sample_ctx (Checkpoint { session = 1 })) in
+  Bytes.set s 1 '\x02';
+  try
+    ignore (decode_request_env (Iw_wire.Reader.of_string (Bytes.to_string s)));
+    Alcotest.fail "unknown proto version accepted"
+  with Iw_wire.Malformed _ -> ()
+
+let test_envelope_unknown_feature_rejected () =
+  let s = Bytes.of_string (encode_env ~ctx:sample_ctx (Checkpoint { session = 1 })) in
+  (* Unknown feature bits imply payload bytes of unknown length; the decoder
+     cannot skip what it cannot measure. *)
+  Bytes.set s 2 (Char.chr (Char.code (Bytes.get s 2) lor 0x80));
+  try
+    ignore (decode_request_env (Iw_wire.Reader.of_string (Bytes.to_string s)));
+    Alcotest.fail "unknown feature bits accepted"
+  with Iw_wire.Malformed _ -> ()
+
+let test_envelope_truncated_rejected () =
+  let check_prefixes what s =
+    for n = 0 to String.length s - 1 do
+      match decode_request_env (Iw_wire.Reader.of_string (String.sub s 0 n)) with
+      | _ -> Alcotest.failf "%s: %d-byte prefix decoded" what n
+      | exception Iw_wire.Malformed _ -> ()
+    done
+  in
+  check_prefixes "enveloped write_release"
+    (encode_env ~ctx:sample_ctx (Write_release { session = 7; name = "s"; diff = sample_diff }));
+  check_prefixes "enveloped segment_stats"
+    (encode_env ~ctx:sample_ctx (Segment_stats { session = 12; segment = Some "host/seg" }))
+
+let test_truncated_responses_rejected () =
+  let check_prefixes i s =
+    for n = 1 to String.length s - 1 do
+      match decode_response (Iw_wire.Reader.of_string (String.sub s 0 n)) with
+      | _ -> Alcotest.failf "response %d: %d-byte prefix decoded" i n
+      | exception Iw_wire.Malformed _ -> ()
+    done
+  in
+  List.iteri
+    (fun i resp ->
+      match resp with
+      | R_segment_stats (_ :: _) | R_flight _ ->
+        let buf = Iw_wire.Buf.create () in
+        encode_response buf resp;
+        check_prefixes i (Iw_wire.Buf.contents buf)
+      | _ -> ())
+    all_responses
+
 let test_pp_coherence () =
   let s m = Format.asprintf "%a" pp_coherence m in
   Alcotest.(check string) "full" "full" (s Full);
@@ -154,5 +266,14 @@ let suite =
       Alcotest.test_case "response roundtrips" `Quick test_response_roundtrips;
       Alcotest.test_case "malformed rejected" `Quick test_malformed_rejected;
       Alcotest.test_case "framed link" `Quick test_framed_link;
+      Alcotest.test_case "envelope roundtrips" `Quick test_envelope_roundtrips;
+      Alcotest.test_case "envelope absent is bare" `Quick test_envelope_absent_is_bare;
+      Alcotest.test_case "envelope bad version rejected" `Quick
+        test_envelope_bad_version_rejected;
+      Alcotest.test_case "envelope unknown feature rejected" `Quick
+        test_envelope_unknown_feature_rejected;
+      Alcotest.test_case "envelope truncated rejected" `Quick test_envelope_truncated_rejected;
+      Alcotest.test_case "truncated responses rejected" `Quick
+        test_truncated_responses_rejected;
       Alcotest.test_case "pp coherence" `Quick test_pp_coherence;
     ] )
