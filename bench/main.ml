@@ -150,7 +150,10 @@ let coherence_gauges =
 
 let check_prom_gauges () =
   let module I = Interweave in
-  let server = I.start_server () in
+  (* Leased so that, under an IW_FAULT plan (the @check fault smoke), a
+     connection dropped mid-critical-section resumes with its lock intact
+     instead of surfacing Lock_lost. *)
+  let server = I.start_server ~lease_secs:30.0 () in
   let writer = I.loopback_client server in
   let reader = I.loopback_client server in
   let hw = I.open_segment writer "bench/prom-smoke" in

@@ -8,13 +8,25 @@ let print_notification (n : Iw_proto.notification) =
   Printf.eprintf "notification: %s -> version %d\n%!" n.Iw_proto.n_segment
     n.Iw_proto.n_version
 
+(* An unreachable or refusing server is an ordinary operator mistake (wrong
+   host/port, server down): report it plainly and exit non-zero, never a
+   backtrace. *)
+let tcp_connect host port =
+  try Iw_transport.tcp_connect ~host ~port
+  with Iw_transport.Connect_failed msg ->
+    Printf.eprintf "iw-admin: %s\n" msg;
+    exit 1
+
 let connect host port =
-  let conn = Iw_transport.tcp_connect ~host ~port in
+  let conn = tcp_connect host port in
   let link = Iw_proto.demux_link conn ~on_notify:print_notification in
   let session =
     match link.Iw_proto.call (Iw_proto.Hello { arch = "admin" }) with
     | Iw_proto.R_hello { session } -> session
-    | _ -> failwith "handshake failed"
+    | _ ->
+      link.Iw_proto.close ();
+      Printf.eprintf "iw-admin: handshake with %s:%d failed\n" host port;
+      exit 1
   in
   (link, session)
 
@@ -133,7 +145,7 @@ let checkpoint host port =
 let watch host port name =
   (* Subscribe and print a line per version change — a tiny liveness probe
      built on the notification protocol. *)
-  let conn = Iw_transport.tcp_connect ~host ~port in
+  let conn = tcp_connect host port in
   let link =
     Iw_proto.demux_link conn ~on_notify:(fun n ->
         Printf.printf "%s -> version %d\n%!" n.Iw_proto.n_segment n.Iw_proto.n_version)
@@ -143,7 +155,8 @@ let watch host port name =
     | Iw_proto.R_hello { session } -> session
     | _ ->
       link.Iw_proto.close ();
-      failwith "handshake failed"
+      Printf.eprintf "iw-admin: handshake with %s:%d failed\n" host port;
+      exit 1
   in
   (match link.Iw_proto.call (Iw_proto.Subscribe { session; name }) with
   | Iw_proto.R_ok -> Printf.printf "watching %s (ctrl-c to stop)\n%!" name

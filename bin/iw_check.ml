@@ -85,6 +85,18 @@ let run_bench_schema path =
       List.iter (fun m -> Printf.eprintf "iw-check: %s: %s\n" path m) errs;
       1)
 
+(* --fault-plan: validate an IW_FAULT / --fault-plan string without running
+   anything, so CI and operators can vet a plan before pointing it at a
+   server. *)
+let run_fault_plan s =
+  match Iw_fault.parse s with
+  | Ok p ->
+    Format.printf "fault plan OK: %a@." Iw_fault.pp p;
+    0
+  | Error msg ->
+    Printf.eprintf "iw-check: invalid fault plan: %s\n" msg;
+    1
+
 let run files json werror arch_names =
   match resolve_arches arch_names with
   | Error msg ->
@@ -139,6 +151,17 @@ let bench_schema =
           "Validate the structure of a benchmark results document \
            (BENCH_results.json) instead of linting IDL files.")
 
+let fault_plan =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "fault-plan" ] ~docv:"PLAN"
+        ~doc:
+          "Validate a fault-injection plan (the IW_FAULT / iw-server \
+           --fault-plan syntax, e.g. \
+           $(b,seed:7,drop:0.01,delay:5ms,close\\@req=17)) and print its \
+           normalized form, instead of linting IDL files.")
+
 let json =
   Arg.(value & flag & info [ "json" ] ~doc:"Emit diagnostics as a JSON array.")
 
@@ -162,15 +185,17 @@ let cmd =
   Cmd.v
     (Cmd.info "iw-check" ~doc)
     Term.(
-      const (fun files json werror arches _lint bench_schema ->
-          match bench_schema with
-          | Some path -> run_bench_schema path
-          | None ->
+      const (fun files json werror arches _lint bench_schema fault_plan ->
+          match (fault_plan, bench_schema) with
+          | Some plan, _ -> run_fault_plan plan
+          | None, Some path -> run_bench_schema path
+          | None, None ->
             if files = [] then begin
-              Printf.eprintf "iw-check: no IDL files given (and no --bench-schema)\n";
+              Printf.eprintf
+                "iw-check: no IDL files given (and no --bench-schema or --fault-plan)\n";
               2
             end
             else run files json werror arches)
-      $ files $ json $ werror $ arch_names $ lint_flag $ bench_schema)
+      $ files $ json $ werror $ arch_names $ lint_flag $ bench_schema $ fault_plan)
 
 let () = exit (Cmd.eval' cmd)

@@ -7,14 +7,39 @@ let setup_logging verbose =
   Logs.set_reporter (Logs_fmt.reporter ());
   Logs.set_level (Some (if verbose then Logs.Debug else Logs.Info))
 
-let run port checkpoint_dir checkpoint_secs trace verbose =
+let run port checkpoint_dir checkpoint_secs trace lease_secs fault_plan verbose =
   setup_logging verbose;
   (match trace with
   | Some path ->
     Iw_trace.start ~path ();
     Logs.info (fun m -> m "tracing to %s (written at exit)" path)
   | None -> ());
-  let server = Iw_server.create ?checkpoint_dir () in
+  (* --fault-plan beats IW_FAULT; either way a bad plan is a startup error,
+     not something to discover mid-traffic. *)
+  let fault =
+    match fault_plan with
+    | Some s -> (
+      match Iw_fault.parse s with
+      | Ok p -> Some p
+      | Error msg ->
+        Printf.eprintf "iw-server: invalid --fault-plan: %s\n" msg;
+        exit 1)
+    | None -> (
+      match Iw_fault.env_plan () with
+      | p -> p
+      | exception Invalid_argument msg ->
+        Printf.eprintf "iw-server: %s\n" msg;
+        exit 1)
+  in
+  let server = Iw_server.create ?checkpoint_dir ?lease_secs () in
+  (match lease_secs with
+  | Some l ->
+    Logs.info (fun m ->
+        m "session leases: %.1fs (locks survive disconnects, reclaimed when quiet)" l)
+  | None -> ());
+  (match fault with
+  | Some p -> Logs.app (fun m -> m "FAULT INJECTION ACTIVE: %a" Iw_fault.pp p)
+  | None -> ());
   Logs.info (fun m ->
       m "metrics %s (IW_METRICS overrides; dump with iw-admin stats)"
         (if Iw_metrics.enabled (Iw_server.metrics server) then "enabled" else "disabled"));
@@ -41,8 +66,19 @@ let run port checkpoint_dir checkpoint_secs trace verbose =
    with Invalid_argument _ -> ());
   let stop = ref false in
   Logs.app (fun m -> m "InterWeave server listening on port %d" port);
+  (* One armed injector for the server's lifetime, spanning connections —
+     frame counters continue across reconnects, exactly as a client-side
+     injector spans re-dials.  A fresh injector per connection would replay
+     the identical schedule from frame 1 on every reconnect, deterministically
+     re-killing the same retried request until the client's budget runs out. *)
+  let injector = Option.map Iw_fault.arm fault in
   Iw_transport.tcp_server ~port ~stop (fun conn ->
       Logs.info (fun m -> m "client connected: %s" conn.Iw_transport.peer);
+      let conn =
+        match injector with
+        | None -> conn
+        | Some inj -> Iw_fault.wrap ~flight:(Iw_server.flight server) inj conn
+      in
       Iw_server.serve_conn server conn;
       Logs.info (fun m -> m "client disconnected: %s" conn.Iw_transport.peer))
 
@@ -65,6 +101,28 @@ let checkpoint_secs =
 
 let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Debug logging.")
 
+let lease_secs =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "lease" ] ~docv:"SECS"
+        ~doc:
+          "Per-session inactivity lease.  Write locks survive dropped \
+           connections so clients can resume their session; a session quiet \
+           for more than $(docv) seconds loses its locks to the next \
+           contender.  Without this flag a dropped connection releases its \
+           locks immediately.")
+
+let fault_plan =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "fault-plan" ] ~docv:"PLAN"
+        ~doc:
+          "Inject deterministic faults into every client connection, e.g. \
+           $(b,seed:7,drop:0.01,delay:5ms,close\\@req=17).  For resilience \
+           testing only.  Overrides the IW_FAULT environment variable.")
+
 let trace =
   Arg.(
     value
@@ -78,6 +136,8 @@ let cmd =
   let doc = "InterWeave segment server" in
   Cmd.v
     (Cmd.info "iw-server" ~doc)
-    Term.(const run $ port $ checkpoint_dir $ checkpoint_secs $ trace $ verbose)
+    Term.(
+      const run $ port $ checkpoint_dir $ checkpoint_secs $ trace $ lease_secs
+      $ fault_plan $ verbose)
 
 let () = exit (Cmd.eval cmd)

@@ -7,7 +7,27 @@ exception Busy
 
 exception Error of string
 
+exception Lock_lost of string
+
 let error fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+(* Retry policy for clients with a reconnect path (see [set_reconnect]). *)
+type retry = {
+  r_attempts : int;  (* re-dial attempts before giving up on the server *)
+  r_base_delay : float;  (* first backoff sleep, seconds *)
+  r_max_delay : float;  (* backoff cap, seconds *)
+  r_call_retries : int;  (* resends of one request across recoveries *)
+}
+
+let default_retry =
+  { r_attempts = 8; r_base_delay = 0.02; r_max_delay = 1.0; r_call_retries = 4 }
+
+(* How to reach the server again after the link dies.  [rc_dial] must build a
+   fresh link end-to-end (socket, demux receiver, fault wrapper). *)
+type reconnect = {
+  rc_dial : unit -> Iw_proto.link;
+  rc_retry : retry;
+}
 
 type stats = {
   mutable calls : int;
@@ -48,6 +68,10 @@ type instruments = {
   i_diff_recv_bytes : Iw_metrics.histogram;
   i_swizzles : Iw_metrics.counter;
   i_unswizzles : Iw_metrics.counter;
+  i_reconnects : Iw_metrics.counter;
+  i_retries : Iw_metrics.counter;
+  i_timeouts : Iw_metrics.counter;
+  i_locks_lost : Iw_metrics.counter;
 }
 
 type lock_state =
@@ -92,6 +116,9 @@ type seg = {
   mutable g_pred : Iw_mem.block option;  (* apply-side last-block prediction *)
   mutable g_subscribed : bool;
   mutable g_uptodate_streak : int;  (* consecutive wasted polls; drives auto-subscribe *)
+  (* The write lock did not survive a reconnect (lease reclaim or fresh
+     session): the next wl_release/wl_abort raises [Lock_lost]. *)
+  mutable g_lost : bool;
 }
 
 and monitor = {
@@ -105,8 +132,11 @@ and monitor = {
 
 and t = {
   c_space : Iw_mem.space;
-  c_link : Iw_proto.link;
-  c_session : int;
+  (* Both mutable so a reconnect can swap in a fresh link (and, when the old
+     session is gone, a fresh session) without invalidating the client. *)
+  mutable c_link : Iw_proto.link;
+  mutable c_session : int;
+  mutable c_reconnect : reconnect option;
   c_segs : (string, seg) Hashtbl.t;
   c_by_id : (int, seg) Hashtbl.t;
   mutable c_next_seg_id : int;
@@ -175,6 +205,18 @@ let make_instruments t =
       Iw_metrics.counter t ~help:"Pointers translated to MIPs" "iw_client_swizzle_total";
     i_unswizzles =
       Iw_metrics.counter t ~help:"MIPs translated to pointers" "iw_client_unswizzle_total";
+    i_reconnects =
+      Iw_metrics.counter t ~help:"Connections re-established after a failure"
+        "iw_client_reconnects_total";
+    i_retries =
+      Iw_metrics.counter t ~help:"Requests resent after a transport failure"
+        "iw_client_request_retries_total";
+    i_timeouts =
+      Iw_metrics.counter t ~help:"Calls abandoned on their deadline"
+        "iw_client_call_timeouts_total";
+    i_locks_lost =
+      Iw_metrics.counter t ~help:"Write locks lost to lease reclaim or session loss"
+        "iw_client_locks_lost_total";
   }
 
 (* Re-back the flat stats record onto the registry as collect-time probes:
@@ -223,11 +265,143 @@ let reset_stats c =
 
 let options c = c.c_options
 
+let register_block g b =
+  g.g_blocks <- Serial_tree.add b.Iw_mem.b_serial b g.g_blocks;
+  (match b.Iw_mem.b_name with
+  | Some n -> g.g_by_name <- Name_tree.add n b g.g_by_name
+  | None -> ());
+  if b.Iw_mem.b_serial >= g.g_next_serial then g.g_next_serial <- b.Iw_mem.b_serial + 1;
+  g.g_total_units <- g.g_total_units + Iw_types.layout_prim_count b.Iw_mem.b_layout
+
+let forget_block g b =
+  g.g_blocks <- Serial_tree.remove b.Iw_mem.b_serial g.g_blocks;
+  (match b.Iw_mem.b_name with
+  | Some n -> g.g_by_name <- Name_tree.remove n g.g_by_name
+  | None -> ());
+  g.g_total_units <- g.g_total_units - Iw_types.layout_prim_count b.Iw_mem.b_layout
+
+(* Failure recovery.  A dead link is detected by the exceptions below; with a
+   reconnect configured (see [set_reconnect]) the client re-dials, resumes or
+   re-creates its session, and resends the interrupted request. *)
+
+let transient = function
+  | Iw_transport.Closed | Iw_transport.Timeout | Iw_transport.Connect_failed _
+  | Unix.Unix_error _ | End_of_file | Sys_error _ ->
+    true
+  | _ -> false
+
+let backoff_sleep retry k =
+  let d = Float.min (retry.r_base_delay *. (2. ** float_of_int k)) retry.r_max_delay in
+  (* Jitter so a herd of clients that died together does not re-dial in
+     lockstep. *)
+  Unix.sleepf (d *. (0.75 +. Random.float 0.5))
+
+(* Roll a segment whose critical section was interrupted back to a coherent
+   unlocked state.  Blocks created in the lost section never reached the
+   server; blocks freed in it are still live there.  Uncommitted stores may
+   linger in the local bytes, so the cached copy is invalidated — the next
+   acquisition refetches from scratch. *)
+let drop_critical_section g =
+  Hashtbl.iter
+    (fun _ b ->
+      forget_block g b;
+      Iw_mem.free_block b)
+    g.g_created;
+  Hashtbl.reset g.g_created;
+  Hashtbl.iter (fun _ b -> register_block g b) g.g_pending_frees;
+  Hashtbl.reset g.g_pending_frees;
+  g.g_pred <- None;
+  g.g_valid <- false;
+  g.g_version <- 0;
+  g.g_lock <- Unlocked
+
+let lose_lock g =
+  Iw_metrics.incr g.g_client.c_instr.i_locks_lost;
+  (match g.g_mode with
+  | Diffing -> Iw_mem.unprotect g.g_heap
+  | No_diff _ -> ());
+  drop_critical_section g;
+  g.g_lost <- true
+
+(* Re-dial with capped exponential backoff, then [Resume_session] back into
+   the old session; a server that no longer knows it (restart, or no lease)
+   answers [R_error] and we fall back to a fresh [Hello] — every write lock
+   is gone then.  [keep] names a segment whose loss is NOT handled here: a
+   retried [Write_release] resolves against the server's release-dedup table
+   instead, so its caller learns the precise outcome. *)
+let recover c rc ~keep =
+  (try c.c_link.Iw_proto.close () with _ -> ());
+  let retry = rc.rc_retry in
+  let arch_name = (Iw_mem.arch c.c_space).Iw_arch.name in
+  let try_once () =
+    let link = rc.rc_dial () in
+    try
+      match
+        link.Iw_proto.call
+          (Iw_proto.Resume_session { session = c.c_session; arch = arch_name })
+      with
+      | Iw_proto.R_resumed { held } -> (link, `Resumed held)
+      | Iw_proto.R_error _ -> (
+        match link.Iw_proto.call (Iw_proto.Hello { arch = arch_name }) with
+        | Iw_proto.R_hello { session } -> (link, `Fresh session)
+        | _ -> error "reconnect: handshake failed")
+      | _ -> error "reconnect: unexpected response to Resume_session"
+    with e ->
+      (try link.Iw_proto.close () with _ -> ());
+      raise e
+  in
+  let rec dial k =
+    if k >= retry.r_attempts then
+      error "reconnect: server unreachable after %d attempts" retry.r_attempts;
+    if k > 0 then backoff_sleep retry (k - 1);
+    match try_once () with
+    | result -> result
+    | exception e when transient e -> dial (k + 1)
+  in
+  let link, outcome = dial 0 in
+  c.c_link <- link;
+  c.c_seq <- 0;
+  Iw_metrics.incr c.c_instr.i_reconnects;
+  let held = match outcome with
+    | `Resumed held -> held
+    | `Fresh session ->
+      c.c_session <- session;
+      []
+  in
+  (* Anything could have happened while we were gone: every cached copy must
+     re-validate on its next acquisition. *)
+  Mutex.lock c.c_stale_mutex;
+  Hashtbl.iter (fun name _ -> Hashtbl.replace c.c_stale name ()) c.c_segs;
+  Mutex.unlock c.c_stale_mutex;
+  Hashtbl.iter
+    (fun name g ->
+      match g.g_lock with
+      | Write_locked _ when (not (List.mem name held)) && keep <> Some name ->
+        lose_lock g
+      | _ -> ())
+    c.c_segs;
+  (* Server-side subscriptions died with the old connection's session
+     cleanup; re-establish them on the raw link (not [call]: recursion). *)
+  Hashtbl.iter
+    (fun _ g ->
+      if g.g_subscribed then
+        match
+          c.c_link.Iw_proto.call
+            (Iw_proto.Subscribe { session = c.c_session; name = g.g_name })
+        with
+        | _ -> ()
+        | exception _ -> g.g_subscribed <- false)
+    c.c_segs
+
+(* A garbled request never reached the dispatcher, so resending it is always
+   safe. *)
+let malformed_reply msg =
+  String.length msg >= 10 && String.sub msg 0 10 = "malformed:"
+
 let call c req =
-  c.c_stats.calls <- c.c_stats.calls + 1;
   (* Requests carry a trace-context envelope only while tracing is on, so a
      non-tracing client stays byte-identical to the old wire format. *)
-  let ctx =
+  let mk_ctx () =
     if Iw_trace.enabled () then begin
       c.c_seq <- c.c_seq + 1;
       match c.c_ctx with
@@ -244,9 +418,42 @@ let call c req =
     end
     else None
   in
-  match c.c_link.Iw_proto.call ?ctx req with
-  | Iw_proto.R_error msg -> error "server: %s" msg
-  | resp -> resp
+  let rec attempt n =
+    c.c_stats.calls <- c.c_stats.calls + 1;
+    let reply =
+      match c.c_link.Iw_proto.call ?ctx:(mk_ctx ()) req with
+      | r -> Ok r
+      | exception ((Iw_transport.Closed | Iw_transport.Timeout | End_of_file) as e) ->
+        Error e
+    in
+    match (reply, c.c_reconnect) with
+    | Ok (Iw_proto.R_error msg), Some rc
+      when malformed_reply msg && n < rc.rc_retry.r_call_retries ->
+      (* The request was garbled in flight and never applied: resend it. *)
+      Iw_metrics.incr c.c_instr.i_retries;
+      attempt (n + 1)
+    | Ok (Iw_proto.R_error msg), _ -> error "server: %s" msg
+    | Ok resp, _ -> resp
+    | Error e, None -> raise e
+    | Error e, Some rc ->
+      if e = Iw_transport.Timeout then Iw_metrics.incr c.c_instr.i_timeouts;
+      if n >= rc.rc_retry.r_call_retries then raise e;
+      (* All requests are safe to resend after recovery: reads and lock
+         traffic are idempotent, and a repeated Write_release is absorbed by
+         the server's per-session release-dedup table. *)
+      let keep =
+        match req with
+        | Iw_proto.Write_release { name; _ } -> Some name
+        | _ -> None
+      in
+      recover c rc ~keep;
+      Iw_metrics.incr c.c_instr.i_retries;
+      attempt (n + 1)
+  in
+  attempt 0
+
+let set_reconnect ?(retry = default_retry) c ~dial =
+  c.c_reconnect <- Some { rc_dial = dial; rc_retry = retry }
 
 let connect ?(arch = Iw_arch.x86_32) ?(busy_wait = None) link =
   let session =
@@ -263,6 +470,7 @@ let connect ?(arch = Iw_arch.x86_32) ?(busy_wait = None) link =
     c_space = Iw_mem.create_space arch;
     c_link = link;
     c_session = session;
+    c_reconnect = None;
     c_segs = Hashtbl.create 8;
     c_by_id = Hashtbl.create 8;
     c_next_seg_id = 1;
@@ -349,21 +557,6 @@ let desc_serial g desc =
     Hashtbl.replace g.g_desc_serials desc serial;
     serial
 
-let register_block g b =
-  g.g_blocks <- Serial_tree.add b.Iw_mem.b_serial b g.g_blocks;
-  (match b.Iw_mem.b_name with
-  | Some n -> g.g_by_name <- Name_tree.add n b g.g_by_name
-  | None -> ());
-  if b.Iw_mem.b_serial >= g.g_next_serial then g.g_next_serial <- b.Iw_mem.b_serial + 1;
-  g.g_total_units <- g.g_total_units + Iw_types.layout_prim_count b.Iw_mem.b_layout
-
-let forget_block g b =
-  g.g_blocks <- Serial_tree.remove b.Iw_mem.b_serial g.g_blocks;
-  (match b.Iw_mem.b_name with
-  | Some n -> g.g_by_name <- Name_tree.remove n g.g_by_name
-  | None -> ());
-  g.g_total_units <- g.g_total_units - Iw_types.layout_prim_count b.Iw_mem.b_layout
-
 (* Reserve local space for a block known only from server metadata. *)
 let reserve_block g ~serial ~name ~desc_serial =
   let desc =
@@ -431,6 +624,7 @@ let open_segment ?(create = true) c name =
         g_pred = None;
         g_subscribed = false;
         g_uptodate_streak = 0;
+        g_lost = false;
       }
     in
     Hashtbl.replace c.c_segs name g;
@@ -857,6 +1051,7 @@ let wl_acquire_plain g =
   | Unlocked ->
     let c = g.g_client in
     let busy_since = ref None in
+    let busy_k = ref 0 in
     let rec acquire () =
       match
         call c
@@ -867,7 +1062,18 @@ let wl_acquire_plain g =
         if !busy_since = None then busy_since := Some (Iw_metrics.now_us ());
         match c.c_busy_wait with
         | Some d ->
-          Unix.sleepf d;
+          (* Exponential backoff from the configured base, jittered so that
+             contending clients interleave instead of colliding each round;
+             capped at the retry policy's ceiling (32x the base without
+             one). *)
+          let cap =
+            match c.c_reconnect with
+            | Some rc -> Float.max d rc.rc_retry.r_max_delay
+            | None -> d *. 32.
+          in
+          let delay = Float.min cap (d *. (2. ** float_of_int !busy_k)) in
+          incr busy_k;
+          Unix.sleepf (delay *. (0.75 +. Random.float 0.5));
           acquire ()
         | None -> raise Busy
       end
@@ -882,6 +1088,7 @@ let wl_acquire_plain g =
     (match acquire () with
     | Some diff -> apply_diff g diff
     | None -> g.g_valid <- true);
+    g.g_lost <- false;
     g.g_synced_at <- now ();
     Hashtbl.reset g.g_created;
     Hashtbl.reset g.g_pending_frees;
@@ -1179,6 +1386,16 @@ let set_no_diff g on =
   g.g_mode_forced <- true;
   g.g_mode <- (if on then No_diff max_int else Diffing)
 
+(* The server answered "write lock not held" to our release: the lock was
+   reclaimed (inactivity lease) or belonged to a session the server forgot.
+   The critical section is gone; tell the application with a typed error. *)
+let release_lost g =
+  Iw_metrics.incr g.g_client.c_instr.i_locks_lost;
+  drop_critical_section g;
+  raise (Lock_lost g.g_name)
+
+let lock_not_held_reply = "server: write lock not held"
+
 let wl_release_plain g =
   notify_lock g Op_wl_release;
   match g.g_lock with
@@ -1199,6 +1416,7 @@ let wl_release_plain g =
       | Iw_proto.R_version v ->
         g.g_version <- v;
         g.g_synced_at <- now ()
+      | exception Error msg when msg = lock_not_held_reply -> release_lost g
       | _ -> error "unexpected response to Write_release"
     end
     else begin
@@ -1208,6 +1426,7 @@ let wl_release_plain g =
              { session = c.c_session; name = g.g_name; diff })
       with
       | Iw_proto.R_version v -> g.g_version <- v
+      | exception Error msg when msg = lock_not_held_reply -> release_lost g
       | _ -> error "unexpected response to Write_release"
     end;
     Hashtbl.iter (fun _ b -> Iw_mem.free_block b) g.g_pending_frees;
@@ -1215,7 +1434,12 @@ let wl_release_plain g =
     Hashtbl.reset g.g_created;
     update_mode g touched;
     g.g_lock <- Unlocked
-  | Read_locked _ | Unlocked -> error "segment %s: write lock not held" g.g_name
+  | Read_locked _ | Unlocked ->
+    if g.g_lost then begin
+      g.g_lost <- false;
+      raise (Lock_lost g.g_name)
+    end
+    else error "segment %s: write lock not held" g.g_name
 
 let wl_release g =
   instrumented g (fun i -> i.i_release_us) "client.wl_release"
@@ -1228,7 +1452,12 @@ let wl_release g =
 let wl_abort_plain g =
   notify_lock g Op_wl_abort;
   match g.g_lock with
-  | Read_locked _ | Unlocked -> error "segment %s: write lock not held" g.g_name
+  | Read_locked _ | Unlocked ->
+    if g.g_lost then begin
+      g.g_lost <- false;
+      raise (Lock_lost g.g_name)
+    end
+    else error "segment %s: write lock not held" g.g_name
   | Write_locked _ ->
     let c = g.g_client in
     (match g.g_mode with
@@ -1265,6 +1494,15 @@ let wl_abort_plain g =
             })
      with
     | Iw_proto.R_version _ -> ()
+    | exception Error msg when msg = lock_not_held_reply ->
+      (* The rollback above already ran, so local state is coherent; the
+         abort still failed as a lock operation, which the caller should
+         know. *)
+      Iw_metrics.incr c.c_instr.i_locks_lost;
+      g.g_valid <- false;
+      g.g_version <- 0;
+      g.g_lock <- Unlocked;
+      raise (Lock_lost g.g_name)
     | _ -> error "unexpected response to Write_release");
     g.g_lock <- Unlocked
 

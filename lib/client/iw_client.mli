@@ -24,15 +24,56 @@ exception Busy
 exception Error of string
 (** Server-reported or protocol error. *)
 
+exception Lock_lost of string
+(** The named segment's write lock did not survive a failure: the server
+    reclaimed it after an inactivity lease, or the session itself was lost
+    across a reconnect.  Raised by {!wl_release} or {!wl_abort}; the critical
+    section's effects were NOT published, the segment is left unlocked with
+    its cache invalidated, and the application decides whether to redo the
+    work under a fresh {!wl_acquire}. *)
+
 (** {1 Connection and segments} *)
 
 val connect :
   ?arch:Iw_arch.t -> ?busy_wait:float option -> Iw_proto.link -> t
 (** Attach to a server.  [arch] (default {!Iw_arch.x86_32}) fixes the local
     data layout.  [busy_wait] controls {!wl_acquire} contention: [Some d]
-    retries every [d] seconds, [None] (default) raises {!Busy} at once. *)
+    retries with capped exponential backoff and jitter starting at [d]
+    seconds, [None] (default) raises {!Busy} at once. *)
 
 val disconnect : t -> unit
+
+(** {2 Failure recovery}
+
+    Without a reconnect policy (the default), a dead link surfaces as
+    {!Iw_transport.Closed} or {!Iw_transport.Timeout} from whatever operation
+    hit it — the pre-fault behaviour.  With one, the client re-dials,
+    re-establishes its session, and resends the interrupted request. *)
+
+type retry = {
+  r_attempts : int;  (** re-dial attempts before giving up on the server *)
+  r_base_delay : float;  (** first backoff sleep, seconds *)
+  r_max_delay : float;  (** backoff cap, seconds *)
+  r_call_retries : int;  (** resends of one request across recoveries *)
+}
+
+val default_retry : retry
+(** 8 dial attempts, 20 ms doubling to a 1 s cap (jittered), 4 resends. *)
+
+val set_reconnect :
+  ?retry:retry -> t -> dial:(unit -> Iw_proto.link) -> unit
+(** Arm reconnect-with-recovery.  On a dead link the client closes it, dials
+    a fresh one with capped exponential backoff, and sends
+    {!Iw_proto.Resume_session}: a server that still knows the session (it
+    runs with an inactivity lease) answers with the write locks that
+    survived; otherwise the client falls back to a fresh [Hello] and a new
+    session.  Either way every cached segment is flagged stale, server-side
+    subscriptions are re-established, write locks that did not survive are
+    rolled back locally (their next {!wl_release}/{!wl_abort} raises
+    {!Lock_lost}), and the interrupted request is resent — safe even for
+    [Write_release], which the server deduplicates per session.
+    [Interweave.loopback_client] and [Interweave.tcp_client] call this
+    automatically. *)
 
 val space : t -> Iw_mem.space
 
@@ -99,7 +140,9 @@ val wl_acquire : seg -> unit
 
 val wl_release : seg -> unit
 (** Collect local modifications into a wire-format diff, send it to the
-    server, and disable modification tracking. *)
+    server, and disable modification tracking.
+    @raise Lock_lost when the server no longer recognises this client's
+    write lock (see {!set_reconnect}); the diff was not applied. *)
 
 val wl_abort : seg -> unit
 (** Abandon the current write critical section: every store since

@@ -11,6 +11,7 @@ module Metrics = Iw_metrics
 module Trace = Iw_trace
 module Flight = Iw_flight
 module Obs_json = Iw_obs_json
+module Fault = Iw_fault
 
 type server = Iw_server.t
 
@@ -46,7 +47,8 @@ module Desc = struct
   let structure fields = Types.Struct (Array.of_list fields)
 end
 
-let start_server ?checkpoint_dir () = Iw_server.create ?checkpoint_dir ()
+let start_server ?checkpoint_dir ?lease_secs () =
+  Iw_server.create ?checkpoint_dir ?lease_secs ()
 
 (* IW_SANITIZE=1 in the environment attaches a collecting Iw_sanitizer to
    every client these helpers build, so a whole program or test suite can be
@@ -83,8 +85,16 @@ let direct_client ?arch server =
    The link's I/O callback feeds actual framed byte counts into the client's
    stats (the Hello handshake's bytes accumulate in the pre-counters until
    the client exists), replacing the payload-only approximation direct
-   links are limited to. *)
-let demux_client ?arch ~busy_wait conn =
+   links are limited to.
+
+   [dial] produces a fresh connection each time it is called: once for the
+   initial link, and again on every recovery ([Iw_client.set_reconnect]).
+   When a fault plan is in force — [fault], or the [IW_FAULT] environment
+   variable — each dialed connection is wrapped in the injector (one armed
+   injector for the client's lifetime, so frame counters and the one-shot
+   close survive re-dials), and calls get a default 1 s deadline so a
+   dropped frame turns into [Timeout]-and-recover instead of a hang. *)
+let demux_client ?arch ?fault ?call_timeout ?flight ~busy_wait dial =
   let client = ref None in
   let pre_sent = ref 0 and pre_received = ref 0 in
   let on_notify n =
@@ -102,24 +112,63 @@ let demux_client ?arch ~busy_wait conn =
       | `Sent -> pre_sent := !pre_sent + bytes
       | `Received -> pre_received := !pre_received + bytes)
   in
-  let link = Iw_proto.demux_link ~on_io conn ~on_notify in
-  let c = Iw_client.connect ?arch ~busy_wait link in
+  let plan = match fault with Some _ -> fault | None -> Iw_fault.env_plan () in
+  let injector = Option.map Iw_fault.arm plan in
+  (* Every request gets a deadline: a reply lost in transit (a faulty
+     network, or a server running --fault-plan) must trigger recovery, not
+     hang the caller.  Tight when this client injects faults itself, and
+     generous — handlers are in-memory-fast, lock contention is R_busy
+     polling, so 30 s is far beyond any honest reply — otherwise. *)
+  let call_timeout =
+    match (call_timeout, plan) with
+    | (Some _ as t), _ -> t
+    | None, Some _ -> Some 1.0
+    | None, None -> Some 30.0
+  in
+  let mk () =
+    let conn = dial () in
+    let conn =
+      match injector with
+      | None -> conn
+      | Some inj -> Iw_fault.wrap ?flight inj conn
+    in
+    Iw_proto.demux_link ~on_io ?call_timeout conn ~on_notify
+  in
+  (* A fault plan can eat the very first exchange; each retry dials afresh. *)
+  let rec handshake k =
+    let link = mk () in
+    match Iw_client.connect ?arch ~busy_wait link with
+    | c -> c
+    | exception
+        ((Iw_transport.Closed | Iw_transport.Timeout | End_of_file | Iw_client.Error _)
+         as e) ->
+      (try link.Iw_proto.close () with _ -> ());
+      if k < 3 then handshake (k + 1) else raise e
+  in
+  let c = handshake 0 in
   client := Some c;
   let s = Iw_client.stats c in
   s.Iw_client.bytes_sent <- s.Iw_client.bytes_sent + !pre_sent;
   s.Iw_client.bytes_received <- s.Iw_client.bytes_received + !pre_received;
   Iw_client.set_framed_byte_accounting c true;
   Iw_client.enable_notifications c;
+  Iw_client.set_reconnect c ~dial:mk;
   maybe_sanitize c
 
-let loopback_client ?arch server =
-  let client_end, server_end = Iw_transport.loopback () in
-  let serve () = Iw_server.serve_conn server server_end in
-  ignore (Thread.create serve () : Thread.t);
-  demux_client ?arch ~busy_wait:(Some 0.002) client_end
+let loopback_client ?arch ?fault ?call_timeout server =
+  let dial () =
+    let client_end, server_end = Iw_transport.loopback () in
+    let serve () = Iw_server.serve_conn server server_end in
+    ignore (Thread.create serve () : Thread.t);
+    client_end
+  in
+  demux_client ?arch ?fault ?call_timeout
+    ~flight:(Iw_server.flight server)
+    ~busy_wait:(Some 0.002) dial
 
-let tcp_client ?arch ~host ~port () =
-  demux_client ?arch ~busy_wait:(Some 0.002) (Iw_transport.tcp_connect ~host ~port)
+let tcp_client ?arch ?fault ?call_timeout ~host ~port () =
+  demux_client ?arch ?fault ?call_timeout ~busy_wait:(Some 0.002) (fun () ->
+      Iw_transport.tcp_connect ~host ~port)
 
 let open_segment = Iw_client.open_segment
 

@@ -50,6 +50,12 @@ module Flight = Iw_flight
 module Obs_json = Iw_obs_json
 (** The minimal JSON representation used by metric and benchmark output. *)
 
+module Fault = Iw_fault
+(** Deterministic fault injection for links: seedable drop/delay/garble/close
+    plans, parsed from a string or the [IW_FAULT] environment variable and
+    wrapped around any {!Transport.conn}.  {!loopback_client} and
+    {!tcp_client} apply [IW_FAULT] automatically. *)
+
 type server = Iw_server.t
 
 type client = Iw_client.t
@@ -89,8 +95,11 @@ end
 
 (** {1 Deployment} *)
 
-val start_server : ?checkpoint_dir:string -> unit -> server
-(** An in-process server. *)
+val start_server : ?checkpoint_dir:string -> ?lease_secs:float -> unit -> server
+(** An in-process server.  With [lease_secs], write locks survive dropped
+    connections for a possible {!Proto.Resume_session}, and sessions quiet
+    for longer than the lease lose their locks to the next contender (see
+    {!Iw_server.create}). *)
 
 (** The three client constructors below also honour the [IW_SANITIZE]
     environment variable: any value other than empty or ["0"] attaches a
@@ -104,13 +113,33 @@ val direct_client : ?arch:Arch.t -> server -> client
     them.  This is the configuration the paper's translation-cost experiments
     isolate. *)
 
-val loopback_client : ?arch:Arch.t -> server -> client
+val loopback_client :
+  ?arch:Arch.t -> ?fault:Fault.plan -> ?call_timeout:float -> server -> client
 (** A client talking to the in-process server over a framed loopback channel
     served by a dedicated thread — full protocol encode/decode on both
-    sides. *)
+    sides.
 
-val tcp_client : ?arch:Arch.t -> host:string -> port:int -> unit -> client
-(** Connect to a standalone [iw_server] process. *)
+    Both transported-client constructors arm reconnect-with-recovery
+    ({!Iw_client.set_reconnect}): a dead connection is re-dialed and the
+    session resumed transparently.  Every request carries a deadline so a
+    reply lost in transit (lossy network, server-side fault plan) triggers
+    recovery instead of hanging the caller: [call_timeout] when given,
+    else 1 s when this client injects faults itself, else 30 s.  A fault
+    plan — [fault], or the [IW_FAULT] environment variable when absent —
+    wraps every dialed connection in a {!Fault} injector (for loopback,
+    injections land in the server's flight recorder). *)
+
+val tcp_client :
+  ?arch:Arch.t ->
+  ?fault:Fault.plan ->
+  ?call_timeout:float ->
+  host:string ->
+  port:int ->
+  unit ->
+  client
+(** Connect to a standalone [iw_server] process.  See {!loopback_client}
+    for fault-plan and recovery behaviour.
+    @raise Transport.Connect_failed when the server cannot be reached. *)
 
 (** {1 The paper's API}
 

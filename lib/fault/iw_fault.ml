@@ -1,0 +1,254 @@
+type plan = {
+  p_seed : int;
+  p_drop : float;
+  p_delay : float;
+  p_garble : float;
+  p_close_req : int option;
+}
+
+let default_plan =
+  { p_seed = 1; p_drop = 0.0; p_delay = 0.0; p_garble = 0.0; p_close_req = None }
+
+let parse_duration directive s =
+  (* A duration needs an explicit unit — a bare "delay:5" is ambiguous
+     between seconds and milliseconds, and silently guessing wrong turns a
+     smoke test into a multi-minute hang. *)
+  let num_with suffix =
+    if String.length s > String.length suffix
+       && Filename.check_suffix s suffix then
+      float_of_string_opt (String.sub s 0 (String.length s - String.length suffix))
+    else None
+  in
+  let value =
+    match num_with "us" with
+    | Some v -> Some (v *. 1e-6)
+    | None -> (
+      match num_with "ms" with
+      | Some v -> Some (v *. 1e-3)
+      | None -> ( match num_with "s" with Some v -> Some v | None -> None))
+  in
+  match value with
+  | Some v when v >= 0.0 -> Ok v
+  | Some _ -> Error (Printf.sprintf "%S: duration must be >= 0" directive)
+  | None ->
+    Error (Printf.sprintf "%S: expected a duration with a unit (us/ms/s)" directive)
+
+let parse_prob directive s =
+  match float_of_string_opt s with
+  | Some p when p >= 0.0 && p <= 1.0 -> Ok p
+  | Some _ -> Error (Printf.sprintf "%S: probability must be in [0, 1]" directive)
+  | None -> Error (Printf.sprintf "%S: expected a probability" directive)
+
+let parse s =
+  let directives =
+    String.split_on_char ',' s |> List.map String.trim
+    |> List.filter (fun d -> d <> "")
+  in
+  let rec go plan = function
+    | [] -> Ok plan
+    | d :: rest -> (
+      let with_value key f =
+        let prefix = key ^ ":" in
+        if String.length d > String.length prefix
+           && String.sub d 0 (String.length prefix) = prefix then
+          Some (f (String.sub d (String.length prefix) (String.length d - String.length prefix)))
+        else None
+      in
+      let result =
+        match with_value "seed" (fun v ->
+            match int_of_string_opt v with
+            | Some n -> Ok { plan with p_seed = n }
+            | None -> Error (Printf.sprintf "%S: expected an integer seed" d))
+        with
+        | Some r -> r
+        | None -> (
+          match with_value "drop" (fun v ->
+              Result.map (fun p -> { plan with p_drop = p }) (parse_prob d v))
+          with
+          | Some r -> r
+          | None -> (
+            match with_value "garble" (fun v ->
+                Result.map (fun p -> { plan with p_garble = p }) (parse_prob d v))
+            with
+            | Some r -> r
+            | None -> (
+              match with_value "delay" (fun v ->
+                  Result.map (fun t -> { plan with p_delay = t }) (parse_duration d v))
+              with
+              | Some r -> r
+              | None -> (
+                match with_value "close@req" (fun _ -> Ok plan) with
+                | Some _ ->
+                  Error (Printf.sprintf "%S: close takes '=', as in close@req=17" d)
+                | None ->
+                  let close_prefix = "close@req=" in
+                  if String.length d > String.length close_prefix
+                     && String.sub d 0 (String.length close_prefix) = close_prefix
+                  then
+                    let v =
+                      String.sub d (String.length close_prefix)
+                        (String.length d - String.length close_prefix)
+                    in
+                    match int_of_string_opt v with
+                    | Some n when n >= 1 -> Ok { plan with p_close_req = Some n }
+                    | Some _ -> Error (Printf.sprintf "%S: frame number must be >= 1" d)
+                    | None -> Error (Printf.sprintf "%S: expected a frame number" d)
+                  else
+                    Error
+                      (Printf.sprintf
+                         "%S: unknown directive (expected seed:N, drop:P, delay:D, \
+                          garble:P, or close@req=N)"
+                         d)))))
+      in
+      match result with
+      | Ok plan -> go plan rest
+      | Error _ as e -> e)
+  in
+  go default_plan directives
+
+let parse_exn s =
+  match parse s with
+  | Ok p -> p
+  | Error msg -> invalid_arg (Printf.sprintf "Iw_fault.parse: %s" msg)
+
+let pp ppf p =
+  let parts = ref [] in
+  let add fmt = Printf.ksprintf (fun s -> parts := s :: !parts) fmt in
+  add "seed:%d" p.p_seed;
+  if p.p_drop > 0.0 then add "drop:%g" p.p_drop;
+  if p.p_delay > 0.0 then add "delay:%gus" (p.p_delay *. 1e6);
+  if p.p_garble > 0.0 then add "garble:%g" p.p_garble;
+  (match p.p_close_req with Some n -> add "close@req=%d" n | None -> ());
+  Format.pp_print_string ppf (String.concat "," (List.rev !parts))
+
+let env_plan () =
+  match Sys.getenv_opt "IW_FAULT" with
+  | None | Some "" -> None
+  | Some s -> (
+    match parse s with
+    | Ok p -> Some p
+    | Error msg -> invalid_arg (Printf.sprintf "IW_FAULT: %s" msg))
+
+type kind =
+  | Drop
+  | Delay
+  | Garble
+  | Close
+
+let kind_name = function
+  | Drop -> "drop"
+  | Delay -> "delay"
+  | Garble -> "garble"
+  | Close -> "close"
+
+(* A small xorshift PRNG.  [Random] would do, but a private deterministic
+   stream guarantees that injection decisions depend only on the plan and
+   the frame index — no other code in the process can perturb them. *)
+type rng = { mutable state : int }
+
+let mk_rng seed =
+  (* Spread the (possibly tiny) seed before first use. *)
+  let s = (seed * 0x9E3779B9 + 0x7F4A7C15) land max_int in
+  { state = (if s = 0 then 0x2545F491 else s) }
+
+let rng_next r =
+  let x = r.state in
+  let x = x lxor (x lsl 13) in
+  let x = x lxor (x lsr 7) in
+  let x = x lxor (x lsl 17) in
+  let x = x land max_int in
+  let x = if x = 0 then 0x2545F491 else x in
+  r.state <- x;
+  x
+
+let rng_float r = float_of_int (rng_next r land 0xFFFFFF) /. 16777216.0
+
+type t = {
+  t_plan : plan;
+  t_send_rng : rng;
+  t_recv_rng : rng;
+  mutable t_sends : int;
+  mutable t_closed : bool;
+}
+
+let arm plan =
+  {
+    t_plan = plan;
+    t_send_rng = mk_rng plan.p_seed;
+    t_recv_rng = mk_rng (plan.p_seed lxor 0x5DEECE6D);
+    t_sends = 0;
+    t_closed = false;
+  }
+
+type instruments = { i_injected : kind -> Iw_metrics.counter }
+
+let instruments =
+  lazy
+    (let t = Iw_transport.metrics () in
+     let by_kind =
+       List.map
+         (fun k ->
+           ( k,
+             Iw_metrics.counter t ~help:"Faults injected by Iw_fault, by kind"
+               (Iw_metrics.with_label "iw_fault_injected_total" "kind" (kind_name k)) ))
+         [ Drop; Delay; Garble; Close ]
+     in
+     { i_injected = (fun k -> List.assq k by_kind) })
+
+let garble_payload rng s =
+  if String.length s = 0 then s
+  else begin
+    let b = Bytes.of_string s in
+    let pos = rng_next rng mod Bytes.length b in
+    let bit = 1 lsl (rng_next rng land 7) in
+    Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor bit));
+    Bytes.unsafe_to_string b
+  end
+
+let wrap ?flight ?on_inject t conn =
+  let i = Lazy.force instruments in
+  let inject kind =
+    Iw_metrics.incr (i.i_injected kind);
+    (match flight with
+     | Some f -> Iw_flight.record f ("fault!" ^ kind_name kind)
+     | None -> ());
+    match on_inject with Some f -> f kind | None -> ()
+  in
+  let plan = t.t_plan in
+  let faulted rng s =
+    (* Per-frame decision order is fixed (delay, drop, garble) so a given
+       frame index always consumes the same number of PRNG draws. *)
+    if plan.p_delay > 0.0 then begin
+      inject Delay;
+      Thread.delay plan.p_delay
+    end;
+    if plan.p_drop > 0.0 && rng_float rng < plan.p_drop then begin
+      inject Drop;
+      None
+    end
+    else if plan.p_garble > 0.0 && rng_float rng < plan.p_garble then begin
+      inject Garble;
+      Some (garble_payload rng s)
+    end
+    else Some s
+  in
+  let send s =
+    t.t_sends <- t.t_sends + 1;
+    (match plan.p_close_req with
+     | Some n when t.t_sends >= n && not t.t_closed ->
+       t.t_closed <- true;
+       inject Close;
+       conn.Iw_transport.shutdown ();
+       raise Iw_transport.Closed
+     | _ -> ());
+    match faulted t.t_send_rng s with
+    | Some s -> conn.Iw_transport.send s
+    | None -> ()
+  in
+  let rec recv () =
+    let s = conn.Iw_transport.recv () in
+    match faulted t.t_recv_rng s with
+    | Some s -> s
+    | None -> recv ()
+  in
+  { conn with Iw_transport.send; recv }

@@ -1,0 +1,83 @@
+(** Deterministic fault injection for framed transports.
+
+    A {!plan} describes which faults to inject and at what rate; {!arm}
+    seeds a deterministic pseudo-random stream from it, and {!wrap} applies
+    the armed injector to one {!Iw_transport.conn}.  Because the wrapper
+    sits {e above} the connection's framing, a dropped frame is a cleanly
+    lost message and a garbled frame is a delivered-but-corrupt payload —
+    exactly the two failure shapes the retry and reconnect machinery must
+    absorb — while the length-prefixed stream itself stays parseable.
+
+    The plan syntax (also accepted from the [IW_FAULT] environment
+    variable) is a comma-separated list of directives:
+
+    {v
+    seed:42             PRNG seed (default 1)
+    drop:0.01           drop each frame with probability 0.01
+    delay:5ms           delay every frame by 5ms (us/ms/s suffixes)
+    garble:0.001        flip one byte of each frame with probability 0.001
+    close@req=17        shut the connection down at the 17th sent frame
+    v}
+
+    Determinism: each direction of a wrapped connection consumes its own
+    PRNG stream, so the fault decision for the [n]-th frame sent (or
+    received) depends only on the plan, the seed, and [n] — the same seed
+    always yields the same injected fault sequence per direction, even
+    when sender and receiver run on different threads.
+
+    Every injected fault increments
+    [iw_fault_injected_total{kind="drop"|"delay"|"garble"|"close"}] in the
+    process-global transport registry ({!Iw_transport.metrics}) and, when a
+    flight recorder is supplied to {!wrap}, records a [fault!<kind>]
+    event in it. *)
+
+type plan = {
+  p_seed : int;  (** PRNG seed; [seed:N] (default 1) *)
+  p_drop : float;  (** per-frame drop probability; [drop:P] *)
+  p_delay : float;  (** per-frame delay in seconds; [delay:D] *)
+  p_garble : float;  (** per-frame byte-corruption probability; [garble:P] *)
+  p_close_req : int option;
+      (** shut down at the [n]-th sent frame (1-based); [close@req=N] *)
+}
+
+val parse : string -> (plan, string) result
+(** Parse a plan string.  Rejects unknown directives, probabilities outside
+    [0..1], negative durations, durations without a unit, and [close@req=0]
+    — the error message names the offending directive. *)
+
+val parse_exn : string -> plan
+(** {!parse}, raising [Invalid_argument] on error. *)
+
+val pp : Format.formatter -> plan -> unit
+(** Render a plan in its own input syntax. *)
+
+val env_plan : unit -> plan option
+(** The plan in [IW_FAULT], read at call time ([None] when unset or
+    empty).  Raises [Invalid_argument] on a syntactically invalid value —
+    a typo in a fault plan must fail loudly, not silently disable
+    injection. *)
+
+type kind =
+  | Drop
+  | Delay
+  | Garble
+  | Close
+
+val kind_name : kind -> string
+
+type t
+(** An armed injector: the plan plus its PRNG state and frame counters.
+    One armed injector may wrap several successive connections (e.g. each
+    re-dial of a reconnecting client); counters continue across them, so a
+    [close@req=N] plan fires once per armed injector, not once per
+    connection. *)
+
+val arm : plan -> t
+
+val wrap :
+  ?flight:Iw_flight.t -> ?on_inject:(kind -> unit) -> t -> Iw_transport.conn -> Iw_transport.conn
+(** Wrap a connection with the armed injector.  Send-side faults: drop,
+    delay, garble, close-at-frame.  Receive-side faults: drop (the frame is
+    discarded and the next one returned), delay, garble.  [on_inject] runs
+    synchronously at each injection (tests use it to capture the fault
+    sequence); [flight] additionally records each injection. *)

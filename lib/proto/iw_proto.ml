@@ -75,6 +75,10 @@ type request =
       segment : string option;
     }
   | Flight_recorder of { session : int }
+  | Resume_session of {
+      session : int;
+      arch : string;
+    }
 
 let request_variant = function
   | Hello _ -> "hello"
@@ -93,6 +97,26 @@ let request_variant = function
   | Server_stats _ -> "server_stats"
   | Segment_stats _ -> "segment_stats"
   | Flight_recorder _ -> "flight_recorder"
+  | Resume_session _ -> "resume_session"
+
+let request_session = function
+  | Hello _ -> None
+  | Open_segment { session; _ }
+  | Segment_meta { session; _ }
+  | Read_lock { session; _ }
+  | Read_release { session; _ }
+  | Write_lock { session; _ }
+  | Write_release { session; _ }
+  | Register_desc { session; _ }
+  | Get_version { session; _ }
+  | Checkpoint { session }
+  | Stat { session; _ }
+  | Subscribe { session; _ }
+  | Unsubscribe { session; _ }
+  | Server_stats { session }
+  | Segment_stats { session; _ }
+  | Flight_recorder { session }
+  | Resume_session { session; _ } -> Some session
 
 type stat = {
   st_version : int;
@@ -122,6 +146,7 @@ type response =
   | R_server_stats of Iw_metrics.snapshot
   | R_segment_stats of Iw_metrics.snapshot
   | R_flight of string
+  | R_resumed of { held : string list }
 
 module Buf = Iw_wire.Buf
 module Reader = Iw_wire.Reader
@@ -285,6 +310,10 @@ let encode_request buf = function
   | Flight_recorder { session } ->
     Buf.u8 buf 15;
     Buf.u32 buf session
+  | Resume_session { session; arch } ->
+    Buf.u8 buf 16;
+    Buf.u32 buf session;
+    Buf.string buf arch
 
 let decode_request r =
   match Reader.u8 r with
@@ -346,6 +375,10 @@ let decode_request r =
     let segment = if Reader.u8 r = 1 then Some (Reader.string r) else None in
     Segment_stats { session; segment }
   | 15 -> Flight_recorder { session = Reader.u32 r }
+  | 16 ->
+    let session = Reader.u32 r in
+    let arch = Reader.string r in
+    Resume_session { session; arch }
   | t -> raise (Iw_wire.Malformed (Printf.sprintf "unknown request tag %d" t))
 
 let put_ctx buf ctx =
@@ -452,6 +485,10 @@ let encode_response buf = function
   | R_flight json ->
     Buf.u8 buf 15;
     Buf.lstring buf json
+  | R_resumed { held } ->
+    Buf.u8 buf 16;
+    Buf.u32 buf (List.length held);
+    List.iter (Buf.string buf) held
 
 let decode_response r =
   match Reader.u8 r with
@@ -493,6 +530,9 @@ let decode_response r =
   | 13 -> R_server_stats (get_snapshot r)
   | 14 -> R_segment_stats (get_snapshot r)
   | 15 -> R_flight (Reader.lstring r)
+  | 16 ->
+    let n = Reader.u32 r in
+    R_resumed { held = List.init n (fun _ -> Reader.string r) }
   | t -> raise (Iw_wire.Malformed (Printf.sprintf "unknown response tag %d" t))
 
 type link = {
@@ -542,12 +582,14 @@ let notification_frame n =
   Buf.u32 buf n.n_version;
   Buf.contents buf
 
-let demux_link ?on_io conn ~on_notify =
+let demux_link ?on_io ?call_timeout conn ~on_notify =
   (* One receiver thread reads every frame: notifications are dispatched
      immediately (so a staleness flag is never left sitting in a socket
      buffer), responses are handed to the single outstanding caller. *)
   let m = Mutex.create () in
   let c = Condition.create () in
+  let finished = ref false in
+  let dead = ref false in
   let pending : (response, exn) result Queue.t = Queue.create () in
   let push r =
     Mutex.lock m;
@@ -590,13 +632,33 @@ let demux_link ?on_io conn ~on_notify =
     in
     (try loop ()
      with Iw_transport.Closed | Iw_wire.Malformed _ -> push (Error Iw_transport.Closed));
+    Mutex.lock m;
+    finished := true;
+    Condition.broadcast c;
+    Mutex.unlock m;
     (* Only the receiver releases the descriptor: releasing it from another
        thread could let the OS reuse the number while this thread still
        reads from it. *)
     conn.Iw_transport.close ()
   in
   ignore (Thread.create receiver () : Thread.t);
+  (* [Condition] has no timed wait, so deadlines need a ticker thread that
+     periodically wakes the (single) waiting caller to re-check the clock.
+     Only spawned when a deadline is armed; exits with the receiver. *)
+  (match call_timeout with
+  | None -> ()
+  | Some _ ->
+    let tick () =
+      while not !finished do
+        Thread.delay 0.025;
+        Mutex.lock m;
+        Condition.broadcast c;
+        Mutex.unlock m
+      done
+    in
+    ignore (Thread.create tick () : Thread.t));
   let call ?ctx req =
+    if !dead then raise Iw_transport.Closed;
     let buf = Buf.create () in
     encode_request_env buf ?ctx req;
     let frame = Buf.contents buf in
@@ -604,11 +666,30 @@ let demux_link ?on_io conn ~on_notify =
     | None -> ()
     | Some f -> f ~dir:`Sent (String.length frame));
     conn.Iw_transport.send frame;
+    let deadline =
+      match call_timeout with
+      | None -> None
+      | Some d -> Some (Unix.gettimeofday () +. d)
+    in
     Mutex.lock m;
-    while Queue.is_empty pending do
-      Condition.wait c m
-    done;
-    let r = Queue.pop pending in
+    let rec wait () =
+      if not (Queue.is_empty pending) then Queue.pop pending
+      else begin
+        (match deadline with
+        | Some dl when Unix.gettimeofday () >= dl ->
+          Mutex.unlock m;
+          (* Desynchronized: a reply arriving now would pair with the next
+             request.  Mark the link dead and shut the connection down; the
+             receiver will push [Closed] for any still-blocked caller. *)
+          dead := true;
+          conn.Iw_transport.shutdown ();
+          raise Iw_transport.Timeout
+        | _ -> ());
+        Condition.wait c m;
+        wait ()
+      end
+    in
+    let r = wait () in
     Mutex.unlock m;
     match r with Ok resp -> resp | Error e -> raise e
   in

@@ -90,10 +90,24 @@ type request =
   | Flight_recorder of { session : int }
       (** fetch the server's flight-recorder ring as rendered JSON — backs
           [iw-admin flight] *)
+  | Resume_session of {
+      session : int;
+      arch : string;
+    }
+      (** re-attach a previous session after a reconnect.  A server that
+          still knows the session answers {!R_resumed} listing the segments
+          whose write lock the session holds (non-empty only when the
+          server runs with an inactivity lease — without one, locks were
+          released when the old connection died); an unknown session gets
+          [R_error] and the client falls back to a fresh [Hello]. *)
 
 val request_variant : request -> string
 (** Stable lowercase tag for a request ([read_lock], [write_release], ...),
     used as a metric label. *)
+
+val request_session : request -> int option
+(** The session a request belongs to ([None] for [Hello], which creates
+    one).  Servers use it to refresh per-session inactivity leases. *)
 
 type stat = {
   st_version : int;
@@ -123,6 +137,9 @@ type response =
   | R_server_stats of Iw_metrics.snapshot
   | R_segment_stats of Iw_metrics.snapshot
   | R_flight of string  (** flight-recorder ring, rendered as JSON *)
+  | R_resumed of { held : string list }
+      (** session re-attached; [held] lists segments whose write lock the
+          session still holds *)
 
 val encode_request : Iw_wire.Buf.t -> request -> unit
 
@@ -222,6 +239,7 @@ val notification_frame : notification -> string
 
 val demux_link :
   ?on_io:(dir:[ `Sent | `Received ] -> int -> unit) ->
+  ?call_timeout:float ->
   Iw_transport.conn ->
   on_notify:(notification -> unit) ->
   link
@@ -229,4 +247,11 @@ val demux_link :
     thread and must only perform cheap, thread-safe work (the client library
     sets a staleness flag).  At most one outstanding [call] at a time.
     [on_io] observes frame payload sizes; received bytes include
-    notification frames and are reported from the receiver thread. *)
+    notification frames and are reported from the receiver thread.
+
+    With [call_timeout] (seconds), a [call] that receives no response in
+    time shuts the connection down and raises {!Iw_transport.Timeout}: once
+    a response has been missed the link is desynchronized, so the whole
+    connection — not just the one call — is abandoned, and every later
+    [call] on this link raises {!Iw_transport.Closed}.  Recovery means
+    re-dialing (see [Iw_client.set_reconnect]).  Granularity is ~25 ms. *)

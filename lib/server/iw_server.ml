@@ -63,12 +63,21 @@ type seg = {
   s_vtimes : (int, float) Hashtbl.t;  (* version -> commit wall time *)
   s_vtimes_order : int Queue.t;  (* eviction order for s_vtimes *)
   s_busy_since : (int, float) Hashtbl.t;  (* session -> first R_busy time *)
+  s_releases : (int, int * int) Hashtbl.t;
+      (* session -> (diff from_version, committed version) of its last
+         applied Write_release — lets a release retried over a fresh
+         connection be recognized as a duplicate instead of refused *)
 }
 
 type t = {
   segs : (string, seg) Hashtbl.t;
   mutable next_session : int;
   session_arch : (int, string) Hashtbl.t;
+  lease_secs : float option;
+      (* with a lease, a disconnect keeps the session's write locks; any
+         session quiet for longer than the lease loses them to the next
+         contender *)
+  session_last : (int, float) Hashtbl.t;  (* session -> last request wall time *)
   lock : Mutex.t;
   checkpoint_dir : string option;
   diff_cache_capacity : int;
@@ -76,6 +85,8 @@ type t = {
   t_metrics : Iw_metrics.t;
   t_flight : Iw_flight.t;
   t_version_advances : Iw_metrics.counter;
+  t_locks_reclaimed : Iw_metrics.counter;
+  t_sessions_resumed : Iw_metrics.counter;
   mutable prediction : bool;
   t_scratch : Iw_wire.Buf.t;  (* reused payload buffer; handler is serialized *)
   notifiers : (int, Iw_proto.notification -> unit) Hashtbl.t;  (* session -> push *)
@@ -601,6 +612,7 @@ let fresh_seg name =
     s_vtimes = Hashtbl.create 64;
     s_vtimes_order = Queue.create ();
     s_busy_since = Hashtbl.create 4;
+    s_releases = Hashtbl.create 4;
   }
 
 (* Checkpointing (paper, Sec. 2.2): serialize each segment — metadata,
@@ -752,7 +764,7 @@ let read_checkpoint path =
   done;
   seg
 
-let create ?checkpoint_dir ?(diff_cache_capacity = 64) () =
+let create ?checkpoint_dir ?(diff_cache_capacity = 64) ?lease_secs () =
   (* Server metrics are on by default (IW_METRICS=0 disables): a server is a
      shared, long-lived process, and iw-admin stats should find live data. *)
   let t_metrics =
@@ -795,6 +807,8 @@ let create ?checkpoint_dir ?(diff_cache_capacity = 64) () =
       segs;
       next_session = 1;
       session_arch = Hashtbl.create 16;
+      lease_secs;
+      session_last = Hashtbl.create 16;
       lock = Mutex.create ();
       checkpoint_dir;
       diff_cache_capacity;
@@ -810,6 +824,14 @@ let create ?checkpoint_dir ?(diff_cache_capacity = 64) () =
       t_version_advances =
         Iw_metrics.counter t_metrics ~help:"Segment version advances"
           "iw_server_version_advances_total";
+      t_locks_reclaimed =
+        Iw_metrics.counter t_metrics
+          ~help:"Write locks reclaimed from sessions that outlived their lease"
+          "iw_server_locks_reclaimed_total";
+      t_sessions_resumed =
+        Iw_metrics.counter t_metrics
+          ~help:"Sessions re-attached by Resume_session after a reconnect"
+          "iw_server_sessions_resumed_total";
       prediction = true;
     }
   in
@@ -866,12 +888,34 @@ let diff_ctx t name =
 
 let handle_locked t (req : Iw_proto.request) : Iw_proto.response =
   t.t_stats.requests <- t.t_stats.requests + 1;
+  (* Any request from a session refreshes its inactivity lease. *)
+  (match t.lease_secs with
+  | None -> ()
+  | Some _ -> (
+    match Iw_proto.request_session req with
+    | Some session -> Hashtbl.replace t.session_last session (Unix.gettimeofday ())
+    | None -> ()));
   match req with
   | Hello { arch } ->
     let session = t.next_session in
     t.next_session <- session + 1;
     Hashtbl.replace t.session_arch session arch;
+    if t.lease_secs <> None then
+      Hashtbl.replace t.session_last session (Unix.gettimeofday ());
     R_hello { session }
+  | Resume_session { session; arch } ->
+    if Hashtbl.mem t.session_arch session then begin
+      Hashtbl.replace t.session_arch session arch;
+      let held =
+        Hashtbl.fold
+          (fun name seg acc ->
+            if seg.s_writer = Some session then name :: acc else acc)
+          t.segs []
+      in
+      Iw_metrics.incr t.t_sessions_resumed;
+      R_resumed { held = List.sort compare held }
+    end
+    else R_error (Printf.sprintf "unknown session %d" session)
   | Open_segment { session = _; name; create } -> begin
     match Hashtbl.find_opt t.segs name with
     | Some seg -> R_segment { version = seg.s_version }
@@ -937,6 +981,26 @@ let handle_locked t (req : Iw_proto.request) : Iw_proto.response =
   | Read_release _ -> R_ok
   | Write_lock { session; name; version } ->
     let seg = seg_of t name in
+    (* Lazy lease reclamation: a write lock leased to a session that has
+       been quiet past its lease is taken from it here, at the moment a
+       contender asks — no reaper thread.  The old holder's eventual
+       Write_release finds no lock and no duplicate-release record, so the
+       loss is surfaced to it (the client maps that to [Lock_lost]). *)
+    (match (seg.s_writer, t.lease_secs) with
+    | Some s, Some lease when s <> session ->
+      let quiet_for =
+        match Hashtbl.find_opt t.session_last s with
+        | Some last -> Unix.gettimeofday () -. last
+        | None -> infinity
+      in
+      if quiet_for > lease then begin
+        seg.s_writer <- None;
+        Iw_metrics.incr t.t_locks_reclaimed;
+        if Iw_flight.enabled t.t_flight then
+          Iw_flight.record t.t_flight ~segment:name ~version:seg.s_version
+            "lock_reclaim"
+      end
+    | _ -> ());
     begin
       match seg.s_writer with
       | Some s when s <> session ->
@@ -992,6 +1056,7 @@ let handle_locked t (req : Iw_proto.request) : Iw_proto.response =
         let before = seg.s_version in
         let v = apply_diff t seg diff in
         seg.s_writer <- None;
+        Hashtbl.replace seg.s_releases session (diff.Iw_wire.Diff.from_version, v);
         if v > before then
           Hashtbl.iter
             (fun subscriber () ->
@@ -1005,7 +1070,14 @@ let handle_locked t (req : Iw_proto.request) : Iw_proto.response =
               end)
             seg.s_subscribers;
         R_version v
-      | Some _ | None -> R_error "write lock not held"
+      | Some _ | None -> (
+        (* A release resent after a reconnect may duplicate one that was
+           applied just before the connection died; recognize it by the
+           session and the diff's base version and return the same answer
+           instead of refusing. *)
+        match Hashtbl.find_opt seg.s_releases session with
+        | Some (from, v) when from = diff.Iw_wire.Diff.from_version -> R_version v
+        | _ -> R_error "write lock not held")
     end
   | Register_desc { session = _; name; desc } ->
     let seg = seg_of t name in
@@ -1074,7 +1146,8 @@ let handle_plain t req =
 (* What the flight recorder and span args can say about a request/response
    pair without holding the server lock. *)
 let request_segment : Iw_proto.request -> string = function
-  | Hello _ | Checkpoint _ | Server_stats _ | Flight_recorder _ -> ""
+  | Hello _ | Checkpoint _ | Server_stats _ | Flight_recorder _ | Resume_session _ ->
+    ""
   | Segment_stats { segment; _ } -> Option.value segment ~default:""
   | Open_segment { name; _ }
   | Segment_meta { name; _ }
@@ -1093,7 +1166,7 @@ let response_version : Iw_proto.response -> int = function
   | R_update diff | R_granted (Some diff) -> diff.Iw_wire.Diff.to_version
   | R_stat st -> st.Iw_proto.st_version
   | R_hello _ | R_up_to_date | R_granted None | R_busy | R_serial _ | R_ok
-  | R_error _ | R_server_stats _ | R_segment_stats _ | R_flight _ -> 0
+  | R_error _ | R_server_stats _ | R_segment_stats _ | R_flight _ | R_resumed _ -> 0
 
 (* Per-variant dispatch latency, span adoption, and flight recording.  The
    registry's own registration lock makes the histogram lookup safe from
@@ -1165,10 +1238,22 @@ let register_notifier t ~session ~push =
   Hashtbl.replace t.notifiers session push;
   Mutex.unlock t.lock
 
-let unregister_session t session =
+let unregister_session ?only_if t session =
   Mutex.lock t.lock;
-  Hashtbl.remove t.notifiers session;
-  Hashtbl.iter (fun _ seg -> Hashtbl.remove seg.s_subscribers session) t.segs;
+  (* [only_if] guards against a stale connection's cleanup racing a
+     resumed session: if another connection has re-registered its own
+     notifier for this session, the old connection owns nothing here and
+     must not tear down the new registration or its subscriptions. *)
+  let owns =
+    match (only_if, Hashtbl.find_opt t.notifiers session) with
+    | None, _ -> true
+    | Some p, Some q -> p == q
+    | Some _, None -> false
+  in
+  if owns then begin
+    Hashtbl.remove t.notifiers session;
+    Hashtbl.iter (fun _ seg -> Hashtbl.remove seg.s_subscribers session) t.segs
+  end;
   Mutex.unlock t.lock
 
 let release_session_locks t session =
@@ -1203,14 +1288,20 @@ let serve_conn t conn =
        (match req_result with
        | Ok req ->
          let resp = handle ?ctx t req in
+         (* Notifications share the connection; conn.send is thread-safe
+            and registration must take the server lock, because handlers
+            iterate the notifier table while holding it. *)
+         let attach session =
+           let push n = conn.Iw_transport.send (Iw_proto.notification_frame n) in
+           sessions := (session, push) :: !sessions;
+           register_notifier t ~session ~push
+         in
          (match resp with
-         | Iw_proto.R_hello { session } ->
-           sessions := session :: !sessions;
-           (* Notifications share the connection; conn.send is thread-safe
-              and registration must take the server lock, because handlers
-              iterate the notifier table while holding it. *)
-           register_notifier t ~session ~push:(fun n ->
-               conn.Iw_transport.send (Iw_proto.notification_frame n))
+         | Iw_proto.R_hello { session } -> attach session
+         | Iw_proto.R_resumed _ -> (
+           match req with
+           | Iw_proto.Resume_session { session; _ } -> attach session
+           | _ -> ())
          | _ -> ());
          conn.Iw_transport.send (Iw_proto.response_frame ?seq resp)
        | Error msg ->
@@ -1229,6 +1320,12 @@ let serve_conn t conn =
     (* A connection thread dying of anything else is the crash the ring
        buffer was recording for. *)
     Iw_flight.dump ~reason:("serve_conn: " ^ Printexc.to_string e) t.t_flight);
-  List.iter (release_session_locks t) !sessions;
-  List.iter (unregister_session t) !sessions;
+  (* Without a lease, a dead connection means dead sessions: drop their
+     locks immediately (the pre-lease behavior).  With one, locks survive
+     the disconnect so the client can resume; a session that never comes
+     back loses them to lazy reclamation in Write_lock. *)
+  if t.lease_secs = None then
+    List.iter (fun (session, _) -> release_session_locks t session) !sessions;
+  List.iter (fun (session, push) -> unregister_session ~only_if:push t session)
+    !sessions;
   conn.Iw_transport.close ()

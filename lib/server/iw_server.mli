@@ -15,10 +15,19 @@
 
 type t
 
-val create : ?checkpoint_dir:string -> ?diff_cache_capacity:int -> unit -> t
+val create :
+  ?checkpoint_dir:string -> ?diff_cache_capacity:int -> ?lease_secs:float -> unit -> t
 (** A fresh server.  When [checkpoint_dir] is given, segments previously
     checkpointed there are reloaded, and {!Iw_proto.Checkpoint} requests
-    persist all segments to it. *)
+    persist all segments to it.
+
+    [lease_secs] enables per-session inactivity leases: write locks survive
+    a dropped connection (so a client can reconnect and
+    {!Iw_proto.Resume_session} back into them), and a session quiet for
+    longer than the lease loses its locks to the next {!Iw_proto.Write_lock}
+    contender — lazy reclamation, no reaper thread, counted in
+    [iw_server_locks_reclaimed_total].  Without it (the default), a dropped
+    connection releases its sessions' locks immediately, as before. *)
 
 val handle : ?ctx:Iw_proto.trace_ctx -> t -> Iw_proto.request -> Iw_proto.response
 (** Process one request.  Thread-safe: requests are serialized by an internal
@@ -36,9 +45,11 @@ val direct_link : t -> Iw_proto.link
 val serve_conn : t -> Iw_transport.conn -> unit
 (** Serve one framed connection until it closes.  Write locks held by
     sessions that spoke only through this connection are released when it
-    drops.  A request that fails to decode draws an [R_error] reply (echoing
-    the envelope seq when one was readable) and a flight-recorder dump
-    instead of killing the connection. *)
+    drops — unless the server runs with [lease_secs], in which case they
+    are kept for a possible {!Iw_proto.Resume_session}.  A request that
+    fails to decode draws an [R_error] reply (echoing the envelope seq when
+    one was readable) and a flight-recorder dump instead of killing the
+    connection. *)
 
 val checkpoint : t -> unit
 (** Persist every segment to the checkpoint directory (no-op without one).
@@ -58,8 +69,12 @@ val register_notifier :
 (** [push] is called with the server lock held and must be cheap and must
     not call back into the server. *)
 
-val unregister_session : t -> int -> unit
-(** Drop a session's notifier and all of its subscriptions. *)
+val unregister_session :
+  ?only_if:(Iw_proto.notification -> unit) -> t -> int -> unit
+(** Drop a session's notifier and all of its subscriptions.  With
+    [only_if], a no-op unless the registered notifier is physically that
+    closure — how a dying connection avoids tearing down a session that
+    already resumed on a newer connection. *)
 
 val subblock_units : int
 (** Subblock granularity: 16 primitive data units, matching the paper. *)

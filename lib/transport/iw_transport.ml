@@ -7,6 +7,8 @@ type conn = {
 }
 
 exception Closed
+exception Timeout
+exception Connect_failed of string
 
 (* Transport-wide metrics: one process-global registry shared by every
    connection in the process, enabled by default (IW_METRICS=0 disables).
@@ -215,10 +217,19 @@ let tcp_connect ~host ~port =
   let addr =
     match Unix.getaddrinfo host (string_of_int port) [ Unix.AI_SOCKTYPE SOCK_STREAM ] with
     | { ai_addr; _ } :: _ -> ai_addr
-    | [] -> failwith ("Iw_transport.tcp_connect: cannot resolve " ^ host)
+    | [] -> raise (Connect_failed (Printf.sprintf "cannot resolve %s" host))
+    | exception Unix.Unix_error (e, _, _) ->
+      raise
+        (Connect_failed
+           (Printf.sprintf "cannot resolve %s: %s" host (Unix.error_message e)))
   in
   let fd = Unix.socket (Unix.domain_of_sockaddr addr) SOCK_STREAM 0 in
-  Unix.connect fd addr;
+  (try Unix.connect fd addr
+   with Unix.Unix_error (e, _, _) ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise
+       (Connect_failed
+          (Printf.sprintf "connect to %s:%d: %s" host port (Unix.error_message e))));
   Unix.setsockopt fd TCP_NODELAY true;
   conn_of_fd fd (Printf.sprintf "%s:%d" host port)
 

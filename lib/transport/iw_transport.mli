@@ -19,6 +19,17 @@ type conn = {
 
 exception Closed
 
+exception Timeout
+(** Raised by a deadline-armed call (see {!Iw_proto.demux_link}) when no
+    response arrived in time.  The link is desynchronized at that point — a
+    late reply could pair with the next request — so the raiser shuts the
+    connection down first; recovery means re-dialing. *)
+
+exception Connect_failed of string
+(** {!tcp_connect} failed before a connection existed: name resolution
+    failure or a connect error (refused, unreachable, ...).  Distinct from
+    {!Closed}, which means an established connection died. *)
+
 val metrics : unit -> Iw_metrics.t
 (** The process-global transport registry: frame and byte counters per
     direction, a frame-size histogram, and a blocked-receive latency
@@ -32,6 +43,8 @@ val loopback : unit -> conn * conn
     raise {!Closed}. *)
 
 val tcp_connect : host:string -> port:int -> conn
+(** Raises {!Connect_failed} when the host cannot be resolved or the
+    connection is refused. *)
 
 val tcp_server :
   port:int -> ?backlog:int -> stop:bool ref -> (conn -> unit) -> unit

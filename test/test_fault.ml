@@ -1,0 +1,266 @@
+(* The robustness layer: fault-plan parsing, deterministic injection,
+   metrics/flight evidence, call deadlines, typed connect errors, and the
+   acceptance scenarios — a write-lock holder surviving a forced server-side
+   close via Resume_session, and a leased server reclaiming a dead client's
+   lock (the loser seeing a typed Lock_lost). *)
+
+module F = Iw_fault
+
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+(* Parsing *)
+
+let test_parse_ok () =
+  match F.parse "seed:7,drop:0.25,delay:5ms,garble:0.1,close@req=17" with
+  | Error e -> Alcotest.fail e
+  | Ok p ->
+    Alcotest.(check int) "seed" 7 p.F.p_seed;
+    Alcotest.(check (float 1e-9)) "drop" 0.25 p.F.p_drop;
+    Alcotest.(check (float 1e-9)) "delay" 0.005 p.F.p_delay;
+    Alcotest.(check (float 1e-9)) "garble" 0.1 p.F.p_garble;
+    Alcotest.(check (option int)) "close" (Some 17) p.F.p_close_req;
+    (* pp renders back into the input syntax. *)
+    let pp = Format.asprintf "%a" F.pp p in
+    (match F.parse pp with
+    | Ok p' -> Alcotest.(check bool) "pp roundtrip" true (p = p')
+    | Error e -> Alcotest.fail ("pp output does not re-parse: " ^ e))
+
+let test_parse_errors () =
+  let rejects s =
+    match F.parse s with
+    | Ok _ -> Alcotest.failf "accepted %S" s
+    | Error _ -> ()
+  in
+  rejects "drop:2.0";
+  rejects "drop:x";
+  rejects "delay:5";  (* no unit *)
+  rejects "delay:-1ms";
+  rejects "close@req=0";
+  rejects "close@req:3";  (* ':' instead of '=' *)
+  rejects "frobnicate:1";
+  rejects "seed:yes"
+
+(* Deterministic injection *)
+
+let counting_conn () =
+  let n = ref 0 in
+  {
+    Iw_transport.send = (fun _ -> ());
+    recv =
+      (fun () ->
+        incr n;
+        Printf.sprintf "frame-%d" !n);
+    shutdown = (fun () -> ());
+    close = (fun () -> ());
+    peer = "test";
+  }
+
+(* The injected-fault sequence for a given plan over given traffic. *)
+let injection_trace plan_str frames =
+  let log = ref [] in
+  let t = F.arm (F.parse_exn plan_str) in
+  let conn = F.wrap ~on_inject:(fun k -> log := F.kind_name k :: !log) t (counting_conn ()) in
+  for i = 1 to frames do
+    conn.Iw_transport.send (Printf.sprintf "out-%d" i);
+    ignore (conn.Iw_transport.recv () : string)
+  done;
+  List.rev !log
+
+let test_determinism () =
+  let plan = "seed:5,drop:0.3,garble:0.3" in
+  let a = injection_trace plan 100 and b = injection_trace plan 100 in
+  Alcotest.(check (list string)) "same plan, same schedule" a b;
+  let c = injection_trace "seed:6,drop:0.3,garble:0.3" 100 in
+  Alcotest.(check bool) "different seed, different schedule" true (a <> c)
+
+let test_close_at_frame () =
+  let t = F.arm (F.parse_exn "close@req=3") in
+  let shut = ref false in
+  let base = counting_conn () in
+  let conn = F.wrap t { base with Iw_transport.shutdown = (fun () -> shut := true) } in
+  conn.Iw_transport.send "one";
+  conn.Iw_transport.send "two";
+  (match conn.Iw_transport.send "three" with
+  | () -> Alcotest.fail "send 3 should have closed the link"
+  | exception Iw_transport.Closed -> ());
+  Alcotest.(check bool) "connection was shut down" true !shut
+
+let test_metrics_and_flight () =
+  let flight = Iw_flight.create ~capacity:16 () in
+  let t = F.arm (F.parse_exn "seed:1,drop:1.0") in
+  let conn = F.wrap ~flight t (counting_conn ()) in
+  conn.Iw_transport.send "doomed";
+  let prom =
+    Iw_metrics.render_prometheus (Iw_metrics.snapshot (Iw_transport.metrics ()))
+  in
+  Alcotest.(check bool) "counter in transport registry" true
+    (contains ~needle:"iw_fault_injected_total{kind=\"drop\"}" prom);
+  Alcotest.(check bool) "event in flight dump" true
+    (contains ~needle:"fault!drop" (Iw_flight.dump_string flight))
+
+(* Protocol additions *)
+
+let test_resume_codec () =
+  let buf = Iw_wire.Buf.create () in
+  Iw_proto.encode_request buf (Iw_proto.Resume_session { session = 42; arch = "mips32" });
+  (match Iw_proto.decode_request (Iw_wire.Reader.of_string (Iw_wire.Buf.contents buf)) with
+  | Iw_proto.Resume_session { session = 42; arch = "mips32" } -> ()
+  | _ -> Alcotest.fail "Resume_session did not roundtrip");
+  let buf = Iw_wire.Buf.create () in
+  Iw_proto.encode_response buf (Iw_proto.R_resumed { held = [ "a"; "b/c" ] });
+  match Iw_proto.decode_response (Iw_wire.Reader.of_string (Iw_wire.Buf.contents buf)) with
+  | Iw_proto.R_resumed { held = [ "a"; "b/c" ] } -> ()
+  | _ -> Alcotest.fail "R_resumed did not roundtrip"
+
+let test_call_timeout () =
+  (* A server that never answers: the call must deadline out rather than
+     hang, and the desynchronized link must refuse further calls. *)
+  let client_end, _server_end = Iw_transport.loopback () in
+  let link = Iw_proto.demux_link ~call_timeout:0.1 client_end ~on_notify:ignore in
+  (match link.Iw_proto.call (Iw_proto.Hello { arch = "x86_32" }) with
+  | _ -> Alcotest.fail "call should have timed out"
+  | exception Iw_transport.Timeout -> ());
+  match link.Iw_proto.call (Iw_proto.Hello { arch = "x86_32" }) with
+  | _ -> Alcotest.fail "dead link accepted another call"
+  | exception Iw_transport.Closed -> ()
+
+let test_connect_failed () =
+  match Iw_transport.tcp_connect ~host:"127.0.0.1" ~port:1 with
+  | _ -> Alcotest.fail "connect to port 1 should fail"
+  | exception Iw_transport.Connect_failed msg ->
+    Alcotest.(check bool) "message names the endpoint" true
+      (contains ~needle:"127.0.0.1:1" msg)
+
+(* Reconnect-with-recovery *)
+
+(* A loopback client whose server side we can kill at will, dialing a fresh
+   loopback pair (and serve thread) on every [dial] — the same wiring
+   Interweave.loopback_client uses, laid bare for fault control. *)
+let reconnectable_client server =
+  let dials = ref 0 in
+  let live_server_end = ref None in
+  let cref = ref None in
+  let dial () =
+    incr dials;
+    let client_end, server_end = Iw_transport.loopback () in
+    live_server_end := Some server_end;
+    ignore (Thread.create (fun () -> Iw_server.serve_conn server server_end) () : Thread.t);
+    Iw_proto.demux_link client_end ~on_notify:(fun n ->
+        match !cref with Some c -> Iw_client.handle_notification c n | None -> ())
+  in
+  let c = Iw_client.connect (dial ()) in
+  cref := Some c;
+  Iw_client.enable_notifications c;
+  Iw_client.set_reconnect c ~dial;
+  let kill () = (Option.get !live_server_end).Iw_transport.shutdown () in
+  (c, kill, dials)
+
+let int_desc = Iw_types.Prim Iw_arch.Int
+
+let test_resume_keeps_write_lock () =
+  let server = Iw_server.create ~lease_secs:60.0 () in
+  let c, kill, dials = reconnectable_client server in
+  let session_before = Iw_client.session c in
+  let g = Iw_client.open_segment c "fault/resume" in
+  Iw_client.wl_acquire g;
+  let a = Iw_client.malloc g int_desc ~name:"x" in
+  Iw_client.write_int c a 42;
+  (* The server side drops the connection while the write lock is held. *)
+  kill ();
+  (* The release must reconnect, resume the session, find the lock intact,
+     and commit — all transparently. *)
+  Iw_client.wl_release g;
+  Alcotest.(check int) "session resumed, not recreated" session_before (Iw_client.session c);
+  Alcotest.(check bool) "re-dialed at least once" true (!dials >= 2);
+  Alcotest.(check int) "release published a version" 1 (Iw_client.segment_version g);
+  (* The committed value is visible through a clean channel. *)
+  let r = Iw_client.connect (Iw_server.direct_link server) in
+  let gr = Iw_client.open_segment ~create:false r "fault/resume" in
+  Iw_client.rl_acquire gr;
+  let ar = (Option.get (Iw_client.find_named_block gr "x")).Iw_mem.b_addr in
+  Alcotest.(check int) "value survived the reconnect" 42 (Iw_client.read_int r ar);
+  Iw_client.rl_release gr
+
+let test_lease_reclaim () =
+  let lease = 0.2 in
+  let server = Iw_server.create ~lease_secs:lease () in
+  let a_client = Iw_client.connect (Iw_server.direct_link server) in
+  let b_client = Iw_client.connect ~busy_wait:(Some 0.02) (Iw_server.direct_link server) in
+  let ga = Iw_client.open_segment a_client "fault/lease" in
+  Iw_client.wl_acquire ga;
+  let addr = Iw_client.malloc ga int_desc ~name:"n" in
+  Iw_client.write_int a_client addr 1;
+  (* Client A goes quiet past its lease while still holding the lock. *)
+  Unix.sleepf (2.5 *. lease);
+  (* Client B must obtain the lock within the retry budget — the server
+     reclaims it lazily on B's Write_lock. *)
+  let gb = Iw_client.open_segment ~create:false b_client "fault/lease" in
+  let t0 = Unix.gettimeofday () in
+  Iw_client.wl_acquire gb;
+  Alcotest.(check bool) "reclaimed within 2x lease" true
+    (Unix.gettimeofday () -. t0 <= 2.0 *. lease);
+  let addr_b = Iw_client.malloc gb int_desc ~name:"b" in
+  Iw_client.write_int b_client addr_b 7;
+  Iw_client.wl_release gb;
+  (* A's critical section is gone: its release must surface a typed error,
+     not publish, and leave the segment unlocked. *)
+  Iw_client.write_int a_client addr 99;
+  (match Iw_client.wl_release ga with
+  | () -> Alcotest.fail "A's release should have failed"
+  | exception Iw_client.Lock_lost name ->
+    Alcotest.(check string) "names the segment" "fault/lease" name);
+  Alcotest.(check bool) "A left unlocked" false (Iw_client.locked ga);
+  (* A can start over and sees B's committed state, not its own lost write:
+     A's critical section never published, so B's commit is version 1. *)
+  Iw_client.wl_acquire ga;
+  Alcotest.(check int) "A sees B's commit" 1 (Iw_client.segment_version ga);
+  Alcotest.(check bool) "A's lost block is gone" true
+    (Iw_client.find_named_block ga "n" = None);
+  Alcotest.(check bool) "B's block arrived" true
+    (Iw_client.find_named_block ga "b" <> None);
+  Iw_client.wl_release ga
+
+let test_env_fault_end_to_end () =
+  Unix.putenv "IW_FAULT" "seed:3,drop:0.15,delay:100us";
+  Fun.protect ~finally:(fun () -> Unix.putenv "IW_FAULT" "")
+  @@ fun () ->
+  let server = Interweave.start_server ~lease_secs:5.0 () in
+  let c = Interweave.loopback_client ~call_timeout:0.15 server in
+  let g = Interweave.open_segment c "fault/env" in
+  let a =
+    Interweave.with_write_lock g (fun () -> Interweave.malloc g Interweave.Desc.int ~name:"n")
+  in
+  for i = 1 to 8 do
+    Interweave.with_write_lock g (fun () -> Interweave.Client.write_int c a i)
+  done;
+  (* Despite the lossy link, state converged. *)
+  let r = Interweave.direct_client server in
+  let gr = Interweave.open_segment ~create:false r "fault/env" in
+  Interweave.with_read_lock gr (fun () ->
+      let ar = (Option.get (Interweave.Client.find_named_block gr "n")).Iw_mem.b_addr in
+      Alcotest.(check int) "all writes landed" 8 (Interweave.Client.read_int r ar));
+  (* And the injections left evidence in the transport registry. *)
+  let prom =
+    Iw_metrics.render_prometheus (Iw_metrics.snapshot (Iw_transport.metrics ()))
+  in
+  Alcotest.(check bool) "env plan injected faults" true
+    (contains ~needle:"iw_fault_injected_total" prom)
+
+let suite =
+  ( "fault",
+    [
+      Alcotest.test_case "plan parse" `Quick test_parse_ok;
+      Alcotest.test_case "plan rejects bad directives" `Quick test_parse_errors;
+      Alcotest.test_case "seeded determinism" `Quick test_determinism;
+      Alcotest.test_case "close at frame N" `Quick test_close_at_frame;
+      Alcotest.test_case "metrics and flight evidence" `Quick test_metrics_and_flight;
+      Alcotest.test_case "resume codec" `Quick test_resume_codec;
+      Alcotest.test_case "call timeout" `Quick test_call_timeout;
+      Alcotest.test_case "typed connect failure" `Quick test_connect_failed;
+      Alcotest.test_case "reconnect keeps write lock" `Quick test_resume_keeps_write_lock;
+      Alcotest.test_case "lease reclaims dead client's lock" `Quick test_lease_reclaim;
+      Alcotest.test_case "IW_FAULT end to end" `Quick test_env_fault_end_to_end;
+    ] )

@@ -228,9 +228,40 @@ let prop_random_updates_converge_and_survive_checkpoint =
       in
       converged && survived)
 
+(* One pass under a seeded fault plan: drops, delays, and one forced
+   mid-run close must neither hang a client nor silently diverge server
+   state.  Garble is deliberately absent — the wire has no frame checksum,
+   so a flipped byte can decode into a different-but-valid request, which
+   is genuine corruption rather than a transient fault to absorb. *)
+let test_seeded_fault_convergence () =
+  let plan = Fault.parse_exn "seed:9,drop:0.03,delay:200us,close@req=25" in
+  let server = start_server ~lease_secs:2.0 () in
+  let w = loopback_client ~fault:plan ~call_timeout:0.5 server in
+  let h = open_segment w "fuzz/fault" in
+  let n = 50 in
+  let a = with_write_lock h (fun () -> malloc h (Desc.array Desc.int n) ~name:"xs") in
+  let expected = Array.make n 0 in
+  for round = 1 to 60 do
+    let idx = round * 17 mod n in
+    with_write_lock h (fun () -> Client.write_int w (a + (idx * 4)) round);
+    expected.(idx) <- round
+  done;
+  (* Verify through a clean, fault-free channel. *)
+  let r = direct_client server in
+  let hr = open_segment ~create:false r "fuzz/fault" in
+  with_read_lock hr (fun () ->
+      let ar = (Option.get (Client.find_named_block hr "xs")).Mem.b_addr in
+      for i = 0 to n - 1 do
+        Alcotest.(check int)
+          (Printf.sprintf "cell %d" i)
+          expected.(i)
+          (Client.read_int r (ar + (i * 4)))
+      done)
+
 let suite =
   ( "fuzz",
     [
       QCheck_alcotest.to_alcotest prop_random_desc_cross_arch;
       QCheck_alcotest.to_alcotest prop_random_updates_converge_and_survive_checkpoint;
+      Alcotest.test_case "seeded fault plan converges" `Quick test_seeded_fault_convergence;
     ] )

@@ -22,4 +22,5 @@ let () =
       Test_obs.suite;
       Test_dtrace.suite;
       Test_flight.suite;
+      Test_fault.suite;
     ]
