@@ -148,12 +148,15 @@ let contains hay needle =
 let coherence_gauges =
   [ "iw_seg_version_lag"; "iw_seg_staleness_us"; "iw_seg_wasted_acquire_total" ]
 
-let check_prom_gauges () =
+let check_prom_gauges ?store () =
   let module I = Interweave in
   (* Leased so that, under an IW_FAULT plan (the @check fault smoke), a
      connection dropped mid-critical-section resumes with its lock intact
-     instead of surfacing Lock_lost. *)
-  let server = I.start_server ~lease_secs:30.0 () in
+     instead of surfacing Lock_lost.  With --store, the server is durable:
+     the directory it leaves behind — a checkpoint plus the write-ahead-log
+     records of every later commit — is validation material for
+     `iw-check --store`. *)
+  let server = I.start_server ~lease_secs:30.0 ?checkpoint_dir:store () in
   let writer = I.loopback_client server in
   let reader = I.loopback_client server in
   let hw = I.open_segment writer "bench/prom-smoke" in
@@ -161,6 +164,9 @@ let check_prom_gauges () =
   let a = I.malloc hw (I.Desc.array I.Desc.int 8) in
   I.Client.write_int writer a 1;
   I.wl_release hw;
+  (* Checkpoint between the first commit and the rest, so the store ends
+     with both a checkpoint and log records that must continue it. *)
+  if store <> None then I.Server.checkpoint server;
   let hr = I.open_segment ~create:false reader "bench/prom-smoke" in
   (* First acquire pulls the copy; writes behind the reader's back create
      version lag and realized staleness on the refresh; a re-acquire with
@@ -218,17 +224,27 @@ let check_prom =
           "After the run, drive a small coherence workload and fail unless the \
            per-segment gauges appear in the server's Prometheus metric rendering.")
 
+let store =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "store" ] ~docv:"DIR"
+        ~doc:
+          "Make the $(b,--check-prom) smoke server durable: write-ahead log \
+           and checkpoint its segment under $(docv), leaving a store that \
+           $(b,iw-check --store) can validate offline.")
+
 let term f =
   Term.(
-    const (fun quick size json prom_check ->
+    const (fun quick size json prom_check store ->
         let size = eff_size quick size in
         let figures = f ~quick ~size () in
         (match json with
         | None -> ()
         | Some path -> write_json ~quick ~size path figures);
-        if prom_check then check_prom_gauges ();
+        if prom_check || store <> None then check_prom_gauges ?store ();
         0)
-    $ quick $ size $ json $ check_prom)
+    $ quick $ size $ json $ check_prom $ store)
 
 let cmd_of name doc f = Cmd.v (Cmd.info name ~doc) (term f)
 

@@ -97,6 +97,91 @@ let run_fault_plan s =
     Printf.eprintf "iw-check: invalid fault plan: %s\n" msg;
     1
 
+(* --store: offline validation of a server's durability directory — every
+   checkpoint's magic and CRC trailer, every write-ahead-log record's CRC,
+   and version continuity from each checkpoint into its segment's log.  A
+   torn log tail is reported but does not fail the run (it is the normal
+   shape of a crash and recovery truncates it); corrupt records, bad
+   checkpoints, version gaps, and checkpoint→log discontinuities do. *)
+let run_store dir =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then begin
+    Printf.eprintf "iw-check: %s: not a directory\n" dir;
+    2
+  end
+  else begin
+    let files = Sys.readdir dir in
+    Array.sort compare files;
+    let errors = ref 0 in
+    let err fmt =
+      incr errors;
+      Printf.ksprintf (fun m -> Printf.eprintf "iw-check: %s\n" m) fmt
+    in
+    (* Checkpoint versions by segment name, for continuity against the log. *)
+    let ckpt_versions = Hashtbl.create 8 in
+    Array.iter
+      (fun f ->
+        let path = Filename.concat dir f in
+        if Filename.check_suffix f Iw_store.checkpoint_suffix then begin
+          match Iw_store.verify_checkpoint path with
+          | Ok (name, version) ->
+            Hashtbl.replace ckpt_versions name version;
+            Printf.printf "%s: checkpoint OK (%s at version %d)\n" f name version
+          | Error msg -> err "%s: %s" f msg
+        end
+        else if Filename.check_suffix f Iw_store.log_suffix then begin
+          match Iw_store.scan_log path with
+          | Error msg -> err "%s: %s" f msg
+          | Ok r ->
+            (match r.Iw_store.lr_tail with
+            | Iw_store.Tail_clean -> ()
+            | Iw_store.Tail_torn reason ->
+              Printf.printf
+                "%s: torn tail (%s) — consistent with a crash; recovery will \
+                 truncate it\n"
+                f reason
+            | Iw_store.Tail_corrupt reason -> err "%s: %s" f reason);
+            (match r.Iw_store.lr_gap with
+            | Some (expected, got) ->
+              err "%s: version gap in log: expected %d, found %d" f expected got
+            | None -> ());
+            (match r.Iw_store.lr_segment with
+            | None ->
+              if r.Iw_store.lr_records > 0 then err "%s: no header record" f
+            | Some name ->
+              (* Continuity: the log's first commit must continue its
+                 segment's checkpoint (or start from scratch without one).
+                 First commits at or below the checkpoint version are stale
+                 records the checkpoint already covers — replay skips them. *)
+              let ckpt =
+                match Hashtbl.find_opt ckpt_versions name with
+                | Some v -> v
+                | None -> 0
+              in
+              (match r.Iw_store.lr_first_commit with
+              | Some first when first > ckpt + 1 ->
+                err
+                  "%s: log for %s starts at version %d but its checkpoint \
+                   ends at %d (missing %d version(s))"
+                  f name first ckpt
+                  (first - ckpt - 1)
+              | _ -> ());
+              Printf.printf
+                "%s: log OK (%s, %d record(s), %d commit(s)%s)\n" f name
+                r.Iw_store.lr_records r.Iw_store.lr_commits
+                (match (r.Iw_store.lr_first_commit, r.Iw_store.lr_last_commit) with
+                | Some a, Some b -> Printf.sprintf ", versions %d..%d" a b
+                | _ -> ""))
+        end
+        else if Filename.check_suffix f ".corrupt" then
+          Printf.printf "%s: quarantined file (left by a previous recovery)\n" f)
+      files;
+    if !errors = 0 then begin
+      Printf.printf "%s: store OK\n" dir;
+      0
+    end
+    else 1
+  end
+
 let run files json werror arch_names =
   match resolve_arches arch_names with
   | Error msg ->
@@ -162,6 +247,18 @@ let fault_plan =
            $(b,seed:7,drop:0.01,delay:5ms,close\\@req=17)) and print its \
            normalized form, instead of linting IDL files.")
 
+let store_dir =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "store" ] ~docv:"DIR"
+        ~doc:
+          "Validate a server durability directory (a --checkpoint-dir): \
+           checkpoint magic and CRC trailers, write-ahead-log record CRCs, \
+           and version continuity from each checkpoint into its log.  Run \
+           it against a stopped (or crashed) server's directory; a torn log \
+           tail is reported but passes, since recovery truncates it.")
+
 let json =
   Arg.(value & flag & info [ "json" ] ~doc:"Emit diagnostics as a JSON array.")
 
@@ -185,17 +282,20 @@ let cmd =
   Cmd.v
     (Cmd.info "iw-check" ~doc)
     Term.(
-      const (fun files json werror arches _lint bench_schema fault_plan ->
-          match (fault_plan, bench_schema) with
-          | Some plan, _ -> run_fault_plan plan
-          | None, Some path -> run_bench_schema path
-          | None, None ->
+      const (fun files json werror arches _lint bench_schema fault_plan store ->
+          match (fault_plan, bench_schema, store) with
+          | Some plan, _, _ -> run_fault_plan plan
+          | None, Some path, _ -> run_bench_schema path
+          | None, None, Some dir -> run_store dir
+          | None, None, None ->
             if files = [] then begin
               Printf.eprintf
-                "iw-check: no IDL files given (and no --bench-schema or --fault-plan)\n";
+                "iw-check: no IDL files given (and no --bench-schema, \
+                 --fault-plan, or --store)\n";
               2
             end
             else run files json werror arches)
-      $ files $ json $ werror $ arch_names $ lint_flag $ bench_schema $ fault_plan)
+      $ files $ json $ werror $ arch_names $ lint_flag $ bench_schema $ fault_plan
+      $ store_dir)
 
 let () = exit (Cmd.eval' cmd)

@@ -7,7 +7,7 @@ let setup_logging verbose =
   Logs.set_reporter (Logs_fmt.reporter ());
   Logs.set_level (Some (if verbose then Logs.Debug else Logs.Info))
 
-let run port checkpoint_dir checkpoint_secs trace lease_secs fault_plan verbose =
+let run port checkpoint_dir checkpoint_secs fsync trace lease_secs fault_plan verbose =
   setup_logging verbose;
   (match trace with
   | Some path ->
@@ -31,7 +31,25 @@ let run port checkpoint_dir checkpoint_secs trace lease_secs fault_plan verbose 
         Printf.eprintf "iw-server: %s\n" msg;
         exit 1)
   in
-  let server = Iw_server.create ?checkpoint_dir ?lease_secs () in
+  (* --fsync beats IW_FSYNC (which Iw_server.create consults when no policy
+     is passed); a bad policy is a startup error. *)
+  let fsync =
+    match fsync with
+    | None -> None
+    | Some s -> (
+      match Iw_store.fsync_of_string s with
+      | Ok f -> Some f
+      | Error msg ->
+        Printf.eprintf "iw-server: invalid --fsync: %s\n" msg;
+        exit 1)
+  in
+  let server = Iw_server.create ?checkpoint_dir ?lease_secs ?fsync () in
+  (match Iw_server.store server with
+  | Some store ->
+    Logs.info (fun m ->
+        m "durable store in %s (write-ahead log, fsync %a)" (Iw_store.dir store)
+          Iw_store.pp_fsync (Iw_store.fsync_policy store))
+  | None -> ());
   (match lease_secs with
   | Some l ->
     Logs.info (fun m ->
@@ -46,10 +64,24 @@ let run port checkpoint_dir checkpoint_secs trace lease_secs fault_plan verbose 
   (match checkpoint_dir with
   | Some dir ->
     Logs.info (fun m -> m "checkpointing to %s every %.0fs" dir checkpoint_secs);
+    (* A failed checkpoint (disk full, permissions) must not silently kill
+       the timer: log it, count it, and try again next interval — the
+       write-ahead log is still protecting every commit in the meantime. *)
+    let failures =
+      Iw_metrics.counter
+        (Iw_server.metrics server)
+        ~help:"Periodic checkpoints that raised instead of completing"
+        "iw_server_checkpoint_failures_total"
+    in
     let rec ticker () =
       Thread.delay checkpoint_secs;
-      Iw_server.checkpoint server;
-      Logs.debug (fun m -> m "checkpoint complete");
+      (match Iw_server.checkpoint server with
+      | () -> Logs.debug (fun m -> m "checkpoint complete")
+      | exception e ->
+        Iw_metrics.incr failures;
+        Logs.err (fun m ->
+            m "checkpoint failed (will retry in %.0fs): %s" checkpoint_secs
+              (Printexc.to_string e)));
       ticker ()
     in
     ignore (Thread.create ticker () : Thread.t)
@@ -97,7 +129,23 @@ let checkpoint_secs =
   Arg.(
     value
     & opt float 30.
-    & info [ "checkpoint-interval" ] ~docv:"SECS" ~doc:"Seconds between checkpoints.")
+    & info [ "checkpoint-interval" ] ~docv:"SECS"
+        ~doc:
+          "Seconds between checkpoints.  With the write-ahead log protecting \
+           every commit, this is a compaction interval — it bounds recovery \
+           replay time, not durability.")
+
+let fsync =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "fsync" ] ~docv:"POLICY"
+        ~doc:
+          "Write-ahead-log fsync policy: $(b,always) (fsync before every \
+           ack), $(b,interval) or $(b,interval:SECS) (at most one fsync per \
+           that many seconds, default 1s), or $(b,never).  Bounds what a \
+           power loss can lose; a plain crash loses nothing acknowledged \
+           under any policy.  Overrides the IW_FSYNC environment variable.")
 
 let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Debug logging.")
 
@@ -137,7 +185,7 @@ let cmd =
   Cmd.v
     (Cmd.info "iw-server" ~doc)
     Term.(
-      const run $ port $ checkpoint_dir $ checkpoint_secs $ trace $ lease_secs
-      $ fault_plan $ verbose)
+      const run $ port $ checkpoint_dir $ checkpoint_secs $ fsync $ trace
+      $ lease_secs $ fault_plan $ verbose)
 
 let () = exit (Cmd.eval cmd)

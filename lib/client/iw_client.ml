@@ -286,7 +286,7 @@ let forget_block g b =
 
 let transient = function
   | Iw_transport.Closed | Iw_transport.Timeout | Iw_transport.Connect_failed _
-  | Unix.Unix_error _ | End_of_file | Sys_error _ ->
+  | Iw_transport.Corrupt _ | Unix.Unix_error _ | End_of_file | Sys_error _ ->
     true
   | _ -> false
 
@@ -423,8 +423,7 @@ let call c req =
     let reply =
       match c.c_link.Iw_proto.call ?ctx:(mk_ctx ()) req with
       | r -> Ok r
-      | exception ((Iw_transport.Closed | Iw_transport.Timeout | End_of_file) as e) ->
-        Error e
+      | exception e when transient e -> Error e
     in
     match (reply, c.c_reconnect) with
     | Ok (Iw_proto.R_error msg), Some rc

@@ -12,6 +12,7 @@ module Trace = Iw_trace
 module Flight = Iw_flight
 module Obs_json = Iw_obs_json
 module Fault = Iw_fault
+module Store = Iw_store
 
 type server = Iw_server.t
 
@@ -47,8 +48,8 @@ module Desc = struct
   let structure fields = Types.Struct (Array.of_list fields)
 end
 
-let start_server ?checkpoint_dir ?lease_secs () =
-  Iw_server.create ?checkpoint_dir ?lease_secs ()
+let start_server ?checkpoint_dir ?lease_secs ?fsync () =
+  Iw_server.create ?checkpoint_dir ?lease_secs ?fsync ()
 
 (* IW_SANITIZE=1 in the environment attaches a collecting Iw_sanitizer to
    every client these helpers build, so a whole program or test suite can be
@@ -125,15 +126,39 @@ let demux_client ?arch ?fault ?call_timeout ?flight ~busy_wait dial =
     | None, Some _ -> Some 1.0
     | None, None -> Some 30.0
   in
-  let mk () =
+  (* Each dialed connection negotiates frame CRCs before anything else: the
+     CRC wrapper sits above the fault injector, so injected garbling lands on
+     protected bytes and is detected instead of decoding into garbage.  The
+     two-frame negotiation itself is the only unprotected traffic — an old
+     server rejects the unknown request tag with R_error and the link simply
+     stays plain, which is the whole backward-compatibility story.  A
+     negotiation eaten by the fault plan (timeout, drop, close) re-dials. *)
+  let rec mk_retry k =
     let conn = dial () in
     let conn =
       match injector with
       | None -> conn
       | Some inj -> Iw_fault.wrap ?flight inj conn
     in
-    Iw_proto.demux_link ~on_io ?call_timeout conn ~on_notify
+    let conn, crc = Iw_transport.crc_conn conn in
+    let link = Iw_proto.demux_link ~on_io ?call_timeout conn ~on_notify in
+    let retry e =
+      (try link.Iw_proto.close () with _ -> ());
+      if k < 5 then mk_retry (k + 1) else raise e
+    in
+    match link.Iw_proto.call (Iw_proto.Enable_crc { session = 0 }) with
+    | Iw_proto.R_ok ->
+      Iw_transport.enable_send crc;
+      link
+    | Iw_proto.R_error _ -> link
+    | _ -> retry Iw_transport.Closed
+    | exception
+        ((Iw_transport.Closed | Iw_transport.Timeout | Iw_transport.Corrupt _
+         | End_of_file)
+         as e) ->
+      retry e
   in
+  let mk () = mk_retry 0 in
   (* A fault plan can eat the very first exchange; each retry dials afresh. *)
   let rec handshake k =
     let link = mk () in

@@ -56,6 +56,14 @@ module Fault = Iw_fault
     wrapped around any {!Transport.conn}.  {!loopback_client} and
     {!tcp_client} apply [IW_FAULT] automatically. *)
 
+module Store = Iw_store
+(** Durable segments: per-segment write-ahead logs of committed diffs,
+    crash-consistent checkpoint primitives, and the offline validation
+    behind [iw-check --store].  A server gets one by being created with a
+    [checkpoint_dir] (see {!start_server}); the [IW_FSYNC] environment
+    variable (or {!Iw_server.create}'s [fsync]) picks the log's fsync
+    policy. *)
+
 type server = Iw_server.t
 
 type client = Iw_client.t
@@ -95,11 +103,19 @@ end
 
 (** {1 Deployment} *)
 
-val start_server : ?checkpoint_dir:string -> ?lease_secs:float -> unit -> server
-(** An in-process server.  With [lease_secs], write locks survive dropped
-    connections for a possible {!Proto.Resume_session}, and sessions quiet
-    for longer than the lease lose their locks to the next contender (see
-    {!Iw_server.create}). *)
+val start_server :
+  ?checkpoint_dir:string ->
+  ?lease_secs:float ->
+  ?fsync:Store.fsync ->
+  unit ->
+  server
+(** An in-process server.  With [checkpoint_dir], the server is durable:
+    committed updates are write-ahead logged before being acknowledged and
+    a restart on the same directory recovers every acknowledged version
+    (see {!Iw_server.create}; [fsync] picks the log's fsync policy).  With
+    [lease_secs], write locks survive dropped connections for a possible
+    {!Proto.Resume_session}, and sessions quiet for longer than the lease
+    lose their locks to the next contender. *)
 
 (** The three client constructors below also honour the [IW_SANITIZE]
     environment variable: any value other than empty or ["0"] attaches a

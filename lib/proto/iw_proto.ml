@@ -79,6 +79,7 @@ type request =
       session : int;
       arch : string;
     }
+  | Enable_crc of { session : int }
 
 let request_variant = function
   | Hello _ -> "hello"
@@ -98,9 +99,11 @@ let request_variant = function
   | Segment_stats _ -> "segment_stats"
   | Flight_recorder _ -> "flight_recorder"
   | Resume_session _ -> "resume_session"
+  | Enable_crc _ -> "enable_crc"
 
 let request_session = function
   | Hello _ -> None
+  | Enable_crc _ -> None (* link-level: negotiated before any session exists *)
   | Open_segment { session; _ }
   | Segment_meta { session; _ }
   | Read_lock { session; _ }
@@ -314,6 +317,9 @@ let encode_request buf = function
     Buf.u8 buf 16;
     Buf.u32 buf session;
     Buf.string buf arch
+  | Enable_crc { session } ->
+    Buf.u8 buf 17;
+    Buf.u32 buf session
 
 let decode_request r =
   match Reader.u8 r with
@@ -379,6 +385,7 @@ let decode_request r =
     let session = Reader.u32 r in
     let arch = Reader.string r in
     Resume_session { session; arch }
+  | 17 -> Enable_crc { session = Reader.u32 r }
   | t -> raise (Iw_wire.Malformed (Printf.sprintf "unknown request tag %d" t))
 
 let put_ctx buf ctx =
@@ -631,7 +638,13 @@ let demux_link ?on_io ?call_timeout conn ~on_notify =
       loop ()
     in
     (try loop ()
-     with Iw_transport.Closed | Iw_wire.Malformed _ -> push (Error Iw_transport.Closed));
+     with
+    | Iw_transport.Closed | Iw_wire.Malformed _ -> push (Error Iw_transport.Closed)
+    | Iw_transport.Corrupt _ as e ->
+      (* Surface the corruption to the caller (the client's retry path
+         treats it as transient and re-dials) rather than masking it as a
+         plain close. *)
+      push (Error e));
     Mutex.lock m;
     finished := true;
     Condition.broadcast c;

@@ -100,6 +100,14 @@ type request =
           server runs with an inactivity lease — without one, locks were
           released when the old connection died); an unknown session gets
           [R_error] and the client falls back to a fresh [Hello]. *)
+  | Enable_crc of { session : int }
+      (** negotiate frame-level CRC-32 (see {!Iw_transport.crc_conn}).  Sent
+          first on a fresh connection with [session = 0] — it is link-level,
+          not session-level.  A server that understands it answers [R_ok]
+          and CRC-protects every frame it sends from then on; the client
+          does the same on seeing [R_ok].  An old server rejects the
+          unknown tag with [R_error], and the link stays unprotected —
+          that asymmetry is the whole negotiation. *)
 
 val request_variant : request -> string
 (** Stable lowercase tag for a request ([read_lock], [write_release], ...),

@@ -80,6 +80,10 @@ type t = {
   session_last : (int, float) Hashtbl.t;  (* session -> last request wall time *)
   lock : Mutex.t;
   checkpoint_dir : string option;
+  t_store : Iw_store.t option;
+      (* write-ahead log of committed diffs; present iff checkpoint_dir is.
+         Appended under the server lock inside Write_release, before the
+         reply — a crash can only lose updates no client saw acked. *)
   diff_cache_capacity : int;
   t_stats : stats;
   t_metrics : Iw_metrics.t;
@@ -94,6 +98,8 @@ type t = {
 }
 
 let stats t = t.t_stats
+
+let store t = t.t_store
 
 let metrics t = t.t_metrics
 
@@ -617,23 +623,16 @@ let fresh_seg name =
 
 (* Checkpointing (paper, Sec. 2.2): serialize each segment — metadata,
    version list order, block contents — to a file in the checkpoint
-   directory. *)
-
-let escape_name name =
-  String.concat ""
-    (List.map
-       (fun c ->
-         match c with
-         | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | '.' ->
-           String.make 1 c
-         | c -> Printf.sprintf "%%%02x" (Char.code c))
-       (List.init (String.length name) (String.get name)))
-
-let checkpoint_magic = "IWCKPT01"
+   directory.  Since IWCKPT02 a checkpoint carries a whole-file CRC trailer
+   and is written through the store's atomic-replace barrier (write temp,
+   fsync file, rename, fsync directory), so a crash mid-checkpoint leaves
+   either the old complete file or the new one — and a file that fails
+   validation at load is quarantined, with the write-ahead log as the
+   fallback, instead of aborting startup. *)
 
 let write_checkpoint dir seg =
   let buf = Iw_wire.Buf.create ~capacity:65536 () in
-  Iw_wire.Buf.string buf checkpoint_magic;
+  Iw_wire.Buf.string buf Iw_store.checkpoint_magic;
   Iw_wire.Buf.string buf seg.s_name;
   Iw_wire.Buf.u32 buf seg.s_version;
   let descs = Iw_types.Registry.registered_since seg.s_registry 0 in
@@ -692,20 +691,24 @@ let write_checkpoint dir seg =
     if n.kind <> Tail then walk n.next
   in
   walk seg.s_head.next;
-  let path = Filename.concat dir (escape_name seg.s_name ^ ".ckpt") in
-  let tmp = path ^ ".tmp" in
-  let oc = open_out_bin tmp in
-  output_string oc (Iw_wire.Buf.contents buf);
-  close_out oc;
-  Sys.rename tmp path
+  let path =
+    Filename.concat dir
+      (Iw_store.escape_name seg.s_name ^ Iw_store.checkpoint_suffix)
+  in
+  Iw_store.write_atomically path (Iw_store.seal (Iw_wire.Buf.contents buf))
 
 let read_checkpoint path =
   let ic = open_in_bin path in
   let len = in_channel_length ic in
   let data = really_input_string ic len in
   close_in ic;
-  let r = Iw_wire.Reader.of_string data in
-  if Iw_wire.Reader.string r <> checkpoint_magic then
+  let body =
+    match Iw_store.unseal data with
+    | Some body -> body
+    | None -> raise (Iw_wire.Malformed "checkpoint CRC trailer mismatch")
+  in
+  let r = Iw_wire.Reader.of_string body in
+  if Iw_wire.Reader.string r <> Iw_store.checkpoint_magic then
     raise (Iw_wire.Malformed "bad checkpoint magic");
   let name = Iw_wire.Reader.string r in
   let seg = fresh_seg name in
@@ -764,7 +767,107 @@ let read_checkpoint path =
   done;
   seg
 
-let create ?checkpoint_dir ?(diff_cache_capacity = 64) ?lease_secs () =
+(* Startup recovery: load every checkpoint that validates (quarantining the
+   ones that do not), then replay each segment's write-ahead log past its
+   checkpoint version.  Replay applies exactly the prefix of commit records
+   that continues the checkpoint — stale records (already covered by the
+   checkpoint) are skipped, a version gap or application failure stops the
+   segment's replay at the last consistent state — and rebuilds the
+   release-dedup table from every commit record so a release retried across
+   the restart is still answered with its committed version. *)
+let recover_store t store =
+  let dir = Iw_store.dir store in
+  let files = Sys.readdir dir in
+  Array.sort compare files;
+  Array.iter
+    (fun f ->
+      if Filename.check_suffix f Iw_store.checkpoint_suffix then begin
+        let path = Filename.concat dir f in
+        match read_checkpoint path with
+        | seg -> Hashtbl.replace t.segs seg.s_name seg
+        | exception (Iw_wire.Malformed msg | Sys_error msg) ->
+          let dst = Iw_store.quarantine path in
+          Printf.eprintf
+            "iw-server: checkpoint %s: %s; quarantined as %s, falling back \
+             to log replay\n\
+             %!"
+            path msg dst;
+          if Iw_flight.enabled t.t_flight then
+            Iw_flight.record t.t_flight "ckpt_quarantine"
+      end)
+    files;
+  Array.iter
+    (fun f ->
+      if Filename.check_suffix f Iw_store.log_suffix then begin
+        let t0 = Iw_metrics.now_us () in
+        match Iw_store.recover_log store ~file:f with
+        | None -> ()
+        | Some (name, entries) ->
+          let seg =
+            match Hashtbl.find_opt t.segs name with
+            | Some seg -> seg
+            | None ->
+              let seg = fresh_seg name in
+              Hashtbl.replace t.segs name seg;
+              seg
+          in
+          let base = seg.s_version in
+          let replayed = ref 0 in
+          let stop = ref false in
+          List.iter
+            (fun entry ->
+              if not !stop then
+                match entry with
+                | Iw_store.Desc { serial; version; desc } ->
+                  if Iw_types.Registry.find seg.s_registry serial = None then begin
+                    Iw_types.Registry.adopt seg.s_registry serial desc;
+                    seg.s_desc_versions <- (serial, version) :: seg.s_desc_versions
+                  end
+                | Iw_store.Commit { session; version; diff } ->
+                  Hashtbl.replace seg.s_releases session
+                    (diff.Iw_wire.Diff.from_version, version);
+                  if version <= seg.s_version then ()
+                  else if version = seg.s_version + 1 then begin
+                    match apply_diff t seg diff with
+                    | v when v = version -> incr replayed
+                    | v ->
+                      Printf.eprintf
+                        "iw-server: %s: replaying version %d produced %d; \
+                         stopping replay\n\
+                         %!"
+                        name version v;
+                      stop := true
+                    | exception Reject msg ->
+                      Printf.eprintf
+                        "iw-server: %s: log record for version %d rejected \
+                         (%s); stopping replay at version %d\n\
+                         %!"
+                        name version msg seg.s_version;
+                      stop := true
+                  end
+                  else begin
+                    Printf.eprintf
+                      "iw-server: %s: log jumps from version %d to %d; \
+                       stopping replay\n\
+                       %!"
+                      name seg.s_version version;
+                    stop := true
+                  end)
+            entries;
+          Iw_store.note_recovery_us store (Iw_metrics.now_us () -. t0);
+          if Iw_flight.enabled t.t_flight then
+            Iw_flight.record t.t_flight ~segment:name ~version:seg.s_version
+              "store_replay";
+          if !replayed > 0 then
+            Printf.eprintf
+              "iw-server: %s: recovered to version %d (checkpoint %d + %d \
+               replayed commit(s))\n\
+               %!"
+              name seg.s_version base !replayed
+      end)
+    files
+
+let create ?checkpoint_dir ?(diff_cache_capacity = 64) ?lease_secs ?fsync () =
   (* Server metrics are on by default (IW_METRICS=0 disables): a server is a
      shared, long-lived process, and iw-admin stats should find live data. *)
   let t_metrics =
@@ -802,6 +905,23 @@ let create ?checkpoint_dir ?(diff_cache_capacity = 64) ?lease_secs () =
     (fun () -> t_stats.pred_misses);
   Iw_metrics.probe t_metrics ~help:"Open segments" ~kind:`Gauge "iw_server_segments"
     (fun () -> float_of_int (Hashtbl.length segs));
+  (* The flight recorder stays on even when metrics are off: its hot path is
+     a few stores, and it exists for the crashes that happen when nobody was
+     watching.  IW_FLIGHT=0 disables it. *)
+  let t_flight =
+    Iw_flight.create ~enabled:(Iw_flight.env_enabled ~default:true) ()
+  in
+  let t_store =
+    match checkpoint_dir with
+    | None -> None
+    | Some dir ->
+      let fsync =
+        match fsync with
+        | Some f -> f
+        | None -> Iw_store.env_fsync ~default:(Iw_store.Interval 1.0)
+      in
+      Some (Iw_store.create ~fsync ~metrics:t_metrics ~flight:t_flight dir)
+  in
   let t =
     {
       segs;
@@ -811,16 +931,14 @@ let create ?checkpoint_dir ?(diff_cache_capacity = 64) ?lease_secs () =
       session_last = Hashtbl.create 16;
       lock = Mutex.create ();
       checkpoint_dir;
+      t_store;
       diff_cache_capacity;
       t_scratch = Iw_wire.Buf.create ~capacity:65536 ();
       notifiers = Hashtbl.create 16;
       validate_diffs = false;
       t_stats;
       t_metrics;
-      (* The flight recorder stays on even when metrics are off: its hot
-         path is a few stores, and it exists for the crashes that happen
-         when nobody was watching.  IW_FLIGHT=0 disables it. *)
-      t_flight = Iw_flight.create ~enabled:(Iw_flight.env_enabled ~default:true) ();
+      t_flight;
       t_version_advances =
         Iw_metrics.counter t_metrics ~help:"Segment version advances"
           "iw_server_version_advances_total";
@@ -835,27 +953,31 @@ let create ?checkpoint_dir ?(diff_cache_capacity = 64) ?lease_secs () =
       prediction = true;
     }
   in
-  (match checkpoint_dir with
-  | Some dir when Sys.file_exists dir ->
-    Array.iter
-      (fun f ->
-        if Filename.check_suffix f ".ckpt" then begin
-          let seg = read_checkpoint (Filename.concat dir f) in
-          Hashtbl.replace t.segs seg.s_name seg
-        end)
-      (Sys.readdir dir)
-  | Some dir -> Unix.mkdir dir 0o755
+  (match t_store with
+  | Some store -> recover_store t store
   | None -> ());
   t
 
-let checkpoint t =
+(* One segment checkpoint is also a log barrier: the checkpoint is durably in
+   place (atomic replace, fsynced) before the log resets, so a crash between
+   the two merely leaves stale records that replay skips. *)
+let checkpoint_locked t =
   match t.checkpoint_dir with
   | None -> ()
   | Some dir ->
-    Mutex.lock t.lock;
-    Fun.protect
-      ~finally:(fun () -> Mutex.unlock t.lock)
-      (fun () -> Hashtbl.iter (fun _ seg -> write_checkpoint dir seg) t.segs)
+    Hashtbl.iter
+      (fun _ seg ->
+        write_checkpoint dir seg;
+        match t.t_store with
+        | Some store -> Iw_store.truncate store ~segment:seg.s_name
+        | None -> ())
+      t.segs
+
+let checkpoint t =
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () -> checkpoint_locked t)
 
 let segment_names t =
   Mutex.lock t.lock;
@@ -1055,6 +1177,14 @@ let handle_locked t (req : Iw_proto.request) : Iw_proto.response =
         if Iw_metrics.enabled t.t_metrics then note_diff_saved t seg diff;
         let before = seg.s_version in
         let v = apply_diff t seg diff in
+        (* Log before acking: once R_version goes out, the commit must
+           survive a crash.  An append failure (disk full, EIO) propagates
+           and kills the connection — no ack without a durable record. *)
+        (match t.t_store with
+        | Some store when v > before ->
+          Iw_store.append store ~segment:name
+            (Iw_store.Commit { session; version = v; diff })
+        | _ -> ());
         seg.s_writer <- None;
         Hashtbl.replace seg.s_releases session (diff.Iw_wire.Diff.from_version, v);
         if v > before then
@@ -1083,14 +1213,24 @@ let handle_locked t (req : Iw_proto.request) : Iw_proto.response =
     let seg = seg_of t name in
     let existing = Iw_types.Registry.serial_of seg.s_registry desc in
     let serial = Iw_types.Registry.register seg.s_registry desc in
-    if existing = None then
+    if existing = None then begin
       seg.s_desc_versions <- (serial, seg.s_version) :: seg.s_desc_versions;
+      (* Descriptors registered since the checkpoint must survive too: a
+         replayed Create diff needs its descriptor already adopted. *)
+      match t.t_store with
+      | Some store ->
+        Iw_store.append store ~segment:name
+          (Iw_store.Desc { serial; version = seg.s_version; desc })
+      | None -> ()
+    end;
     R_serial serial
   | Get_version { session = _; name } -> R_version (seg_of t name).s_version
   | Checkpoint _ ->
-    (match t.checkpoint_dir with
-    | Some dir -> Hashtbl.iter (fun _ seg -> write_checkpoint dir seg) t.segs
-    | None -> ());
+    checkpoint_locked t;
+    R_ok
+  | Enable_crc _ ->
+    (* Acking is the negotiation: the reply still travels unprotected, then
+       both sides flip their senders (see serve_conn and the client dial). *)
     R_ok
   | Subscribe { session; name } ->
     Hashtbl.replace (seg_of t name).s_subscribers session ();
@@ -1146,7 +1286,8 @@ let handle_plain t req =
 (* What the flight recorder and span args can say about a request/response
    pair without holding the server lock. *)
 let request_segment : Iw_proto.request -> string = function
-  | Hello _ | Checkpoint _ | Server_stats _ | Flight_recorder _ | Resume_session _ ->
+  | Hello _ | Checkpoint _ | Server_stats _ | Flight_recorder _ | Resume_session _
+  | Enable_crc _ ->
     ""
   | Segment_stats { segment; _ } -> Option.value segment ~default:""
   | Open_segment { name; _ }
@@ -1267,6 +1408,11 @@ let release_session_locks t session =
    change notifications for this connection's sessions as tag-1 frames (the
    client side is [Iw_proto.demux_link]). *)
 let serve_conn t conn =
+  (* Accept CRC-protected frames from the first one onward; start protecting
+     our own frames once an Enable_crc request has been acked.  The wrapper
+     sits above whatever the caller hands us (including a fault-injecting
+     one), so injected garbling lands on protected bytes and is caught. *)
+  let conn, crc = Iw_transport.crc_conn conn in
   let sessions = ref [] in
   (try
      let rec loop () =
@@ -1303,7 +1449,10 @@ let serve_conn t conn =
            | Iw_proto.Resume_session { session; _ } -> attach session
            | _ -> ())
          | _ -> ());
-         conn.Iw_transport.send (Iw_proto.response_frame ?seq resp)
+         conn.Iw_transport.send (Iw_proto.response_frame ?seq resp);
+         (match (req, resp) with
+         | Iw_proto.Enable_crc _, Iw_proto.R_ok -> Iw_transport.enable_send crc
+         | _ -> ())
        | Error msg ->
          if Iw_flight.enabled t.t_flight then begin
            Iw_flight.record t.t_flight ?seq "decode_error";
@@ -1316,6 +1465,12 @@ let serve_conn t conn =
      loop ()
    with
   | Iw_transport.Closed | End_of_file -> ()
+  | Iw_transport.Corrupt msg ->
+    (* A failed frame checksum: drop the connection (the client re-dials)
+       and leave a breadcrumb, but no post-mortem dump — under fault
+       injection this is routine, not a crash. *)
+    if Iw_flight.enabled t.t_flight then
+      Iw_flight.record t.t_flight ("frame_corrupt:" ^ msg)
   | e ->
     (* A connection thread dying of anything else is the crash the ring
        buffer was recording for. *)

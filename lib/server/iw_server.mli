@@ -16,10 +16,28 @@
 type t
 
 val create :
-  ?checkpoint_dir:string -> ?diff_cache_capacity:int -> ?lease_secs:float -> unit -> t
-(** A fresh server.  When [checkpoint_dir] is given, segments previously
-    checkpointed there are reloaded, and {!Iw_proto.Checkpoint} requests
-    persist all segments to it.
+  ?checkpoint_dir:string ->
+  ?diff_cache_capacity:int ->
+  ?lease_secs:float ->
+  ?fsync:Iw_store.fsync ->
+  unit ->
+  t
+(** A fresh server.  When [checkpoint_dir] is given the directory becomes the
+    server's durability directory: every committed [Write_release] diff is
+    appended to a per-segment write-ahead log ({!Iw_store}) {e before} the
+    release is acknowledged, checkpoints (periodic, or via
+    {!Iw_proto.Checkpoint}) are written crash-consistently and reset the
+    log, and startup recovers each segment by loading its newest valid
+    checkpoint and replaying the log past it — so a crashed server restarted
+    on the same directory resumes at the exact last-acknowledged version.
+    Checkpoints or logs that fail validation at startup are quarantined as
+    [<file>.corrupt] with a logged warning, never a startup failure.
+
+    [fsync] picks the log's fsync policy (default: the [IW_FSYNC]
+    environment policy, falling back to [Interval 1.0]).  The policy bounds
+    what a {e power loss} can lose; a plain process crash loses nothing
+    acknowledged regardless, because appends always reach the kernel before
+    the ack.
 
     [lease_secs] enables per-session inactivity leases: write locks survive
     a dropped connection (so a client can reconnect and
@@ -28,6 +46,10 @@ val create :
     contender — lazy reclamation, no reaper thread, counted in
     [iw_server_locks_reclaimed_total].  Without it (the default), a dropped
     connection releases its sessions' locks immediately, as before. *)
+
+val store : t -> Iw_store.t option
+(** The durability store backing [checkpoint_dir], when one is configured:
+    its [iw_store_*] instruments land in {!metrics}. *)
 
 val handle : ?ctx:Iw_proto.trace_ctx -> t -> Iw_proto.request -> Iw_proto.response
 (** Process one request.  Thread-safe: requests are serialized by an internal
@@ -53,7 +75,11 @@ val serve_conn : t -> Iw_transport.conn -> unit
 
 val checkpoint : t -> unit
 (** Persist every segment to the checkpoint directory (no-op without one).
-    Also triggered by the {!Iw_proto.Checkpoint} request. *)
+    Each segment's checkpoint is written atomically (temp + fsync + rename +
+    directory fsync) with a CRC trailer, and doubles as a write-ahead-log
+    barrier: the segment's log is reset once its checkpoint is durable, so
+    recovery cost stays bounded by the checkpoint interval.  Also triggered
+    by the {!Iw_proto.Checkpoint} request. *)
 
 val segment_names : t -> string list
 

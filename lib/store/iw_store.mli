@@ -1,0 +1,163 @@
+(** Durable segments: a per-segment append-only write-ahead log of committed
+    wire-format diffs, plus the crash-consistency primitives checkpoint files
+    are built from.
+
+    The server appends every committed update to the segment's log {e before}
+    acknowledging the release, so a crash can only lose updates the client
+    never saw acknowledged.  On startup the server loads the newest valid
+    checkpoint and replays the log past it; a torn or corrupt log tail — the
+    normal shape of a crash mid-append — is truncated, not fatal.
+    Checkpoints are log barriers: once one is durably renamed into place the
+    log is reset, so recovery cost is bounded by the checkpoint interval.
+
+    On-disk layout (one directory per server): [<name>.ckpt] checkpoints with
+    a whole-file CRC-32 trailer, [<name>.wal] logs of length-prefixed
+    CRC-32-protected records, and [.corrupt]-suffixed quarantined files that
+    failed validation.
+
+    Not thread-safe: the server serializes all calls under its own lock, and
+    recovery runs before any connection is served. *)
+
+(** {1 Fsync policy} *)
+
+(** How eagerly appends reach stable storage.  Every append always reaches
+    the kernel (a [kill -9] cannot lose it); fsync is what guards power loss
+    and kernel crashes. *)
+type fsync =
+  | Always  (** fsync after every append: no acked update survives only in RAM *)
+  | Interval of float  (** fsync at most once per that many seconds *)
+  | Never  (** leave it to the kernel's writeback *)
+
+val fsync_of_string : string -> (fsync, string) result
+(** Parses ["always"], ["never"], ["interval"] (1 s), or
+    ["interval:<seconds>"]. *)
+
+val env_fsync : default:fsync -> fsync
+(** The [IW_FSYNC] environment policy; unset or empty means [default].
+    @raise Invalid_argument on an unparseable value — a bad durability policy
+    is a startup error, not something to discover after the first ack. *)
+
+val pp_fsync : Format.formatter -> fsync -> unit
+
+(** {1 The store} *)
+
+type t
+
+val create : ?fsync:fsync -> ?metrics:Iw_metrics.t -> ?flight:Iw_flight.t -> string -> t
+(** [create dir] opens (creating if needed) a durability directory.  [fsync]
+    defaults to [Interval 1.0].  [metrics] receives the [iw_store_*]
+    instruments; omitted means they are recorded nowhere. *)
+
+val dir : t -> string
+
+val fsync_policy : t -> fsync
+
+(** {1 Logged entries} *)
+
+type entry =
+  | Commit of {
+      session : int;
+          (** the releasing session — replay rebuilds the server's release
+              dedup table from it, so a release retried across a restart is
+              still answered with the committed version *)
+      version : int;  (** the version this commit produced *)
+      diff : Iw_wire.Diff.t;
+    }
+  | Desc of {
+      serial : int;
+      version : int;  (** segment version at registration time *)
+      desc : Iw_types.desc;
+    }
+
+val append : t -> segment:string -> entry -> unit
+(** Append one record ([u32] body length, [u32] CRC-32 of the body, body) and
+    apply the fsync policy.  The first append to a fresh log writes a
+    self-describing header record carrying the segment name and fsyncs file
+    and directory.  Call this {e before} acknowledging the update. *)
+
+val truncate : t -> segment:string -> unit
+(** Checkpoint barrier: reset the segment's log to just its header record.
+    Call {e after} the checkpoint is durably in place — crashing between the
+    two merely leaves stale records that replay skips. *)
+
+val recover_log : t -> file:string -> (string * entry list) option
+(** Parse log [file] (a basename inside the store directory) for recovery:
+    returns the segment name from the header record and the entries of the
+    good prefix, in append order.  A torn or corrupt tail is physically
+    truncated (with a logged warning, metrics, and a flight event); a
+    non-empty log with no readable header is quarantined as
+    [<file>.corrupt] and an empty one removed, both yielding [None]. *)
+
+val log_path : t -> string -> string
+(** The log file path for a segment name. *)
+
+val checkpoint_path : t -> string -> string
+(** The checkpoint file path for a segment name. *)
+
+val note_recovery_us : t -> float -> unit
+(** Record one segment's recovery time (checkpoint load + replay) in the
+    [iw_store_recovery_us] histogram. *)
+
+(** {1 Crash-consistency primitives}
+
+    Used by the server's checkpoint writer and by the offline validator. *)
+
+val checkpoint_magic : string
+(** ["IWCKPT02"] — version 2 adds the CRC trailer; version-1 files fail
+    validation and are quarantined, falling back to log replay. *)
+
+val seal : string -> string
+(** Append a CRC-32 trailer over the whole body. *)
+
+val unseal : string -> string option
+(** Verify and strip the trailer; [None] on mismatch or truncation. *)
+
+val write_atomically : string -> string -> unit
+(** Write to a temporary, fsync it, rename over the destination, fsync the
+    directory: after a crash the destination is either the old or the
+    complete new content, never a prefix. *)
+
+val fsync_dir : string -> unit
+
+val quarantine : string -> string
+(** Rename a file that failed validation to [<path>.corrupt] (keeping the
+    evidence for the operator) and return the new path. *)
+
+val escape_name : string -> string
+(** Percent-escape a segment name into a filename; shared with the server's
+    checkpoint naming so a segment's [.ckpt] and [.wal] sort together. *)
+
+val log_suffix : string
+
+val checkpoint_suffix : string
+
+(** {1 Offline validation}
+
+    Everything [iw-check --store] can say about a durability directory
+    without a server. *)
+
+type tail =
+  | Tail_clean
+  | Tail_torn of string
+      (** truncated length or body: consistent with a crash mid-append *)
+  | Tail_corrupt of string  (** CRC mismatch or undecodable record *)
+
+type log_report = {
+  lr_file : string;
+  lr_segment : string option;  (** [None]: header record missing/unreadable *)
+  lr_records : int;  (** valid records, header included *)
+  lr_commits : int;
+  lr_first_commit : int option;  (** first commit record's version *)
+  lr_last_commit : int option;
+  lr_gap : (int * int) option;
+      (** [(expected, got)] at the first version discontinuity *)
+  lr_tail : tail;
+}
+
+val scan_log : string -> (log_report, string) result
+(** Read-only scan of a log file; never modifies it.  [Error] only when the
+    file cannot be read at all. *)
+
+val verify_checkpoint : string -> (string * int, string) result
+(** Structural validation of a checkpoint file: CRC trailer, magic, and the
+    leading name/version fields.  Returns [(segment_name, version)]. *)

@@ -9,6 +9,7 @@ type conn = {
 exception Closed
 exception Timeout
 exception Connect_failed of string
+exception Corrupt of string
 
 (* Transport-wide metrics: one process-global registry shared by every
    connection in the process, enabled by default (IW_METRICS=0 disables).
@@ -26,6 +27,7 @@ type instruments = {
   i_bytes_received : Iw_metrics.counter;
   i_frame_bytes : Iw_metrics.histogram;
   i_recv_block_us : Iw_metrics.histogram;
+  i_crc_errors : Iw_metrics.counter;
 }
 
 let instruments =
@@ -50,6 +52,9 @@ let instruments =
        i_recv_block_us =
          Iw_metrics.histogram_us t ~help:"Time blocked waiting for a frame"
            "iw_transport_recv_block_us";
+       i_crc_errors =
+         Iw_metrics.counter t ~help:"Frames rejected by the CRC check"
+           "iw_transport_crc_errors_total";
      })
 
 let instrument conn =
@@ -77,6 +82,66 @@ let instrument conn =
     s
   in
   { conn with send; recv }
+
+(* Frame-level CRC-32.
+
+   A protected frame is self-describing: marker byte 0xC3, then the big-endian
+   CRC-32 of the payload, then the payload.  0xC3 cannot start an unprotected
+   frame — request frames begin with a tag (0..17) or the 0xE7 trace envelope,
+   response frames with 0, 1, or 2 — so a receiver can accept both framings on
+   one connection, which is what makes negotiation possible: each side starts
+   sending plain frames and flips to protected ones only after the Enable_crc
+   exchange succeeds, and old peers that never negotiate just keep exchanging
+   plain frames.
+
+   The receive side ratchets: once one protected frame arrives, every later
+   frame must be protected too, so a garbled frame cannot smuggle itself past
+   the check by losing its marker byte. *)
+
+let crc_marker = '\xc3'
+
+type crc_handle = {
+  mutable send_crc : bool;
+  mutable expect_crc : bool;
+}
+
+let enable_send h = h.send_crc <- true
+
+let crc_conn conn =
+  let h = { send_crc = false; expect_crc = false } in
+  let i = Lazy.force instruments in
+  let reject msg =
+    Iw_metrics.incr i.i_crc_errors;
+    raise (Corrupt msg)
+  in
+  let send s =
+    if not h.send_crc then conn.send s
+    else begin
+      let n = String.length s in
+      let buf = Bytes.create (5 + n) in
+      Bytes.set buf 0 crc_marker;
+      Bytes.set_int32_be buf 1 (Int32.of_int (Iw_wire.Crc32.string s));
+      Bytes.blit_string s 0 buf 5 n;
+      conn.send (Bytes.unsafe_to_string buf)
+    end
+  in
+  let recv () =
+    let s = conn.recv () in
+    if String.length s > 0 && s.[0] = crc_marker then begin
+      if String.length s < 5 then reject "short CRC frame";
+      let want =
+        Int32.to_int (Bytes.get_int32_be (Bytes.unsafe_of_string s) 1)
+        land 0xffffffff
+      in
+      let got = Iw_wire.Crc32.update 0 s ~off:5 ~len:(String.length s - 5) in
+      if want <> got then reject "frame CRC mismatch";
+      h.expect_crc <- true;
+      String.sub s 5 (String.length s - 5)
+    end
+    else if h.expect_crc then reject "unprotected frame after CRC negotiation"
+    else s
+  in
+  ({ conn with send; recv }, h)
 
 (* Thread-safe blocking queue of frames. *)
 module Fifo = struct

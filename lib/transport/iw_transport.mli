@@ -30,12 +30,39 @@ exception Connect_failed of string
     failure or a connect error (refused, unreachable, ...).  Distinct from
     {!Closed}, which means an established connection died. *)
 
+exception Corrupt of string
+(** A received frame failed its CRC check (or arrived unprotected after CRC
+    framing was negotiated).  The frame's content cannot be trusted, so the
+    link must be abandoned; clients treat this like {!Closed} and re-dial. *)
+
 val metrics : unit -> Iw_metrics.t
 (** The process-global transport registry: frame and byte counters per
     direction, a frame-size histogram, and a blocked-receive latency
     histogram, accumulated across every connection in the process.  Enabled
     by default; [IW_METRICS=0] (or ["" ]) disables it at startup, and
     {!Iw_metrics.set_enabled} toggles it at runtime. *)
+
+(** {1 Frame checksums}
+
+    An end-to-end CRC-32 over every frame, layered above the byte framing so
+    it works identically over TCP and the loopback.  A protected frame is
+    self-describing (marker byte [0xC3] + big-endian CRC + payload), which
+    lets both framings coexist on one connection: each side sends plain
+    frames until the protocol-level [Enable_crc] exchange succeeds, then
+    flips its sender with {!enable_send}.  Old peers that never negotiate
+    keep speaking plain frames.  Once a protected frame has been received,
+    an unprotected one raises {!Corrupt} — corruption cannot opt back out. *)
+
+type crc_handle
+
+val crc_conn : conn -> conn * crc_handle
+(** Wrap a connection with CRC framing.  The returned connection receives
+    both framings (verifying protected ones) and sends plain frames until
+    {!enable_send}. *)
+
+val enable_send : crc_handle -> unit
+(** Start CRC-protecting sent frames.  Call once the peer has confirmed it
+    verifies them. *)
 
 val loopback : unit -> conn * conn
 (** A connected pair: what one side sends, the other receives.  Both ends are

@@ -2,6 +2,35 @@ exception Malformed of string
 
 let malformed fmt = Format.kasprintf (fun s -> raise (Malformed s)) fmt
 
+(* CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320), the zlib variant:
+   a running value starts at 0 and checksums compose by chaining [update].
+   Used for frame checksums on the transport and record checksums in the
+   durable store — both ends of the wire must agree on this exact variant. *)
+module Crc32 = struct
+  let table =
+    lazy
+      (Array.init 256 (fun n ->
+           let c = ref n in
+           for _ = 0 to 7 do
+             c := if !c land 1 = 1 then 0xedb88320 lxor (!c lsr 1) else !c lsr 1
+           done;
+           !c))
+
+  let update crc s ~off ~len =
+    if off < 0 || len < 0 || off + len > String.length s then
+      invalid_arg "Iw_wire.Crc32.update";
+    let table = Lazy.force table in
+    let c = ref (crc lxor 0xffffffff) in
+    for i = off to off + len - 1 do
+      c :=
+        Array.unsafe_get table ((!c lxor Char.code (String.unsafe_get s i)) land 0xff)
+        lxor (!c lsr 8)
+    done;
+    !c lxor 0xffffffff
+
+  let string s = update 0 s ~off:0 ~len:(String.length s)
+end
+
 module Buf = struct
   type t = {
     mutable data : Bytes.t;

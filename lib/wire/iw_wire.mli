@@ -11,6 +11,18 @@
 exception Malformed of string
 (** Raised by decoders on truncated or corrupt input. *)
 
+(** CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320) in the zlib
+    convention: a running value starts at 0, and [update] chains.  Shared by
+    the transport's frame checksums and the durable store's log records so
+    both sides of the wire agree on the exact variant. *)
+module Crc32 : sig
+  val string : string -> int
+  (** CRC of a whole string. *)
+
+  val update : int -> string -> off:int -> len:int -> int
+  (** Extend a running CRC with [len] bytes of [s] at [off]. *)
+end
+
 (** Growable write buffer. *)
 module Buf : sig
   type t
@@ -38,6 +50,9 @@ module Buf : sig
   val f64 : t -> float -> unit
 
   val raw : t -> Bytes.t -> off:int -> len:int -> unit
+
+  val add_string : t -> string -> unit
+  (** Append the bytes of [s] with no length prefix. *)
 
   val string : t -> string -> unit
   (** [u16] length prefix followed by the bytes. *)

@@ -1,0 +1,428 @@
+(* The durability layer: fsync-policy parsing, write-ahead-log record
+   roundtrips, torn/corrupt tail handling, checkpoint sealing and
+   quarantine, frame CRCs, and the acceptance scenarios — a server killed
+   with SIGKILL mid-stream recovering every acknowledged version, and a
+   checkpoint bounding the log it barriers. *)
+
+module I = Interweave
+
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+let tmpdir () =
+  let d = Filename.temp_file "iwdur" "" in
+  Sys.remove d;
+  Unix.mkdir d 0o755;
+  d
+
+(* Fsync policy *)
+
+let test_fsync_policy () =
+  let ok s p =
+    match Iw_store.fsync_of_string s with
+    | Ok got -> Alcotest.(check bool) (Printf.sprintf "%S parses" s) true (got = p)
+    | Error e -> Alcotest.failf "%S rejected: %s" s e
+  in
+  ok "always" Iw_store.Always;
+  ok "never" Iw_store.Never;
+  ok "interval" (Iw_store.Interval 1.0);
+  ok "interval:0.25" (Iw_store.Interval 0.25);
+  ok "interval:2s" (Iw_store.Interval 2.0);
+  let rejects s =
+    match Iw_store.fsync_of_string s with
+    | Ok _ -> Alcotest.failf "accepted %S" s
+    | Error _ -> ()
+  in
+  rejects "sometimes";
+  rejects "interval:-1";
+  rejects "interval:fast";
+  Unix.putenv "IW_FSYNC" "never";
+  Fun.protect ~finally:(fun () -> Unix.putenv "IW_FSYNC" "")
+  @@ fun () ->
+  Alcotest.(check bool) "IW_FSYNC wins over default" true
+    (Iw_store.env_fsync ~default:Iw_store.Always = Iw_store.Never)
+
+(* Log records *)
+
+let u32s vs =
+  let b = Iw_wire.Buf.create () in
+  List.iter (Iw_wire.Buf.u32 b) vs;
+  Iw_wire.Buf.contents b
+
+let commit ~session ~version =
+  Iw_store.Commit
+    {
+      session;
+      version;
+      diff =
+        {
+          Iw_wire.Diff.from_version = version - 1;
+          to_version = version;
+          new_descs = [];
+          changes =
+            [
+              Iw_wire.Diff.Update
+                {
+                  serial = 1;
+                  runs =
+                    [ { Iw_wire.Diff.start_pu = 0; len_pu = 1; payload = u32s [ version ] } ];
+                };
+            ];
+        };
+    }
+
+let test_wal_roundtrip () =
+  let dir = tmpdir () in
+  let s = Iw_store.create ~fsync:Iw_store.Never dir in
+  let entries =
+    [
+      Iw_store.Desc { serial = 7; version = 0; desc = Iw_types.Prim Iw_arch.Int };
+      commit ~session:3 ~version:1;
+      commit ~session:4 ~version:2;
+    ]
+  in
+  List.iter (Iw_store.append s ~segment:"dur/a b") entries;
+  let file = Filename.basename (Iw_store.log_path s "dur/a b") in
+  (match Iw_store.recover_log s ~file with
+  | None -> Alcotest.fail "log did not recover"
+  | Some (name, got) ->
+    Alcotest.(check string) "header carries the segment name" "dur/a b" name;
+    Alcotest.(check bool) "entries roundtrip" true (got = entries));
+  (* The read-only scan agrees and never modifies. *)
+  match Iw_store.scan_log (Iw_store.log_path s "dur/a b") with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+    Alcotest.(check bool) "tail clean" true (r.Iw_store.lr_tail = Iw_store.Tail_clean);
+    Alcotest.(check int) "records (header included)" 4 r.Iw_store.lr_records;
+    Alcotest.(check int) "commits" 2 r.Iw_store.lr_commits;
+    Alcotest.(check (option int)) "first commit" (Some 1) r.Iw_store.lr_first_commit;
+    Alcotest.(check (option int)) "last commit" (Some 2) r.Iw_store.lr_last_commit;
+    Alcotest.(check bool) "no gap" true (r.Iw_store.lr_gap = None)
+
+let file_size path = (Unix.stat path).Unix.st_size
+
+(* A crash mid-append leaves a physically torn last record; recovery must
+   keep the good prefix and truncate the tear so the log is clean again. *)
+let test_torn_tail_truncated () =
+  let dir = tmpdir () in
+  let s = Iw_store.create ~fsync:Iw_store.Never dir in
+  List.iter
+    (fun v -> Iw_store.append s ~segment:"seg" (commit ~session:1 ~version:v))
+    [ 1; 2; 3 ];
+  let path = Iw_store.log_path s "seg" in
+  let fd = Unix.openfile path [ Unix.O_WRONLY ] 0 in
+  Unix.ftruncate fd (file_size path - 2);
+  Unix.close fd;
+  (match Iw_store.scan_log path with
+  | Ok r ->
+    Alcotest.(check bool) "scan sees a torn tail" true
+      (match r.Iw_store.lr_tail with Iw_store.Tail_torn _ -> true | _ -> false);
+    Alcotest.(check int) "good commits" 2 r.Iw_store.lr_commits
+  | Error e -> Alcotest.fail e);
+  (* A fresh store handle, as after a restart. *)
+  let s2 = Iw_store.create ~fsync:Iw_store.Never dir in
+  (match Iw_store.recover_log s2 ~file:(Filename.basename path) with
+  | None -> Alcotest.fail "log did not recover"
+  | Some (_, entries) -> Alcotest.(check int) "good prefix recovered" 2 (List.length entries));
+  match Iw_store.scan_log path with
+  | Ok r ->
+    Alcotest.(check bool) "tear physically truncated" true
+      (r.Iw_store.lr_tail = Iw_store.Tail_clean);
+    Alcotest.(check int) "records after truncation" 3 r.Iw_store.lr_records
+  | Error e -> Alcotest.fail e
+
+(* A flipped byte is not a tear: the record frames intact but its CRC fails.
+   The scan reports corruption; recovery still cuts back to the good prefix. *)
+let test_corrupt_record () =
+  let dir = tmpdir () in
+  let s = Iw_store.create ~fsync:Iw_store.Never dir in
+  List.iter
+    (fun v -> Iw_store.append s ~segment:"seg" (commit ~session:1 ~version:v))
+    [ 1; 2; 3 ];
+  let path = Iw_store.log_path s "seg" in
+  let size = file_size path in
+  let fd = Unix.openfile path [ Unix.O_RDWR ] 0 in
+  ignore (Unix.lseek fd (size - 3) Unix.SEEK_SET : int);
+  ignore (Unix.write fd (Bytes.of_string "\xff") 0 1 : int);
+  Unix.close fd;
+  (match Iw_store.scan_log path with
+  | Ok r ->
+    Alcotest.(check bool) "scan reports corruption, not a tear" true
+      (match r.Iw_store.lr_tail with Iw_store.Tail_corrupt _ -> true | _ -> false)
+  | Error e -> Alcotest.fail e);
+  let s2 = Iw_store.create ~fsync:Iw_store.Never dir in
+  match Iw_store.recover_log s2 ~file:(Filename.basename path) with
+  | None -> Alcotest.fail "log did not recover"
+  | Some (_, entries) ->
+    Alcotest.(check int) "recovered to the good prefix" 2 (List.length entries)
+
+(* Checkpoint files: CRC trailer detects a flipped byte, and the offline
+   validator says so. *)
+let test_checkpoint_seal () =
+  let dir = tmpdir () in
+  let server = I.start_server ~checkpoint_dir:dir () in
+  let c = I.direct_client server in
+  let g = I.open_segment c "dur/seal" in
+  I.with_write_lock g (fun () ->
+      let a = I.malloc g (I.Desc.array I.Desc.int 4) in
+      I.Client.write_int c a 5);
+  I.Server.checkpoint server;
+  let path =
+    Filename.concat dir (Iw_store.escape_name "dur/seal" ^ Iw_store.checkpoint_suffix)
+  in
+  (match Iw_store.verify_checkpoint path with
+  | Ok (name, version) ->
+    Alcotest.(check string) "name" "dur/seal" name;
+    Alcotest.(check int) "version" 1 version
+  | Error e -> Alcotest.fail e);
+  let fd = Unix.openfile path [ Unix.O_RDWR ] 0 in
+  ignore (Unix.lseek fd (file_size path / 2) Unix.SEEK_SET : int);
+  ignore (Unix.write fd (Bytes.of_string "\xff") 0 1 : int);
+  Unix.close fd;
+  match Iw_store.verify_checkpoint path with
+  | Ok _ -> Alcotest.fail "flipped byte passed validation"
+  | Error _ -> ()
+
+(* Server restart on the log alone (no checkpoint ever taken): every
+   committed version must come back, and recovery must leave evidence in
+   the metrics registry and flight recorder. *)
+let test_wal_replay_equals_direct () =
+  let dir = tmpdir () in
+  let n = 16 in
+  let expected = Array.make n 0 in
+  let server = I.start_server ~checkpoint_dir:dir () in
+  let c = I.direct_client server in
+  let g = I.open_segment c "dur/replay" in
+  let a = I.with_write_lock g (fun () -> I.malloc g (I.Desc.array I.Desc.int n) ~name:"xs") in
+  let rng = Random.State.make [| 42 |] in
+  for _round = 1 to 12 do
+    let idx = Random.State.int rng n in
+    let v = Random.State.int rng 10_000 in
+    I.with_write_lock g (fun () -> I.Client.write_int c (a + (idx * 4)) v);
+    expected.(idx) <- v
+  done;
+  (* No checkpoint: restart recovers purely by log replay. *)
+  let server2 = I.start_server ~checkpoint_dir:dir () in
+  let f = I.direct_client server2 in
+  let gf = I.open_segment ~create:false f "dur/replay" in
+  I.with_read_lock gf (fun () ->
+      Alcotest.(check int) "version recovered exactly" 13 (I.Client.segment_version gf);
+      let af = (Option.get (I.Client.find_named_block gf "xs")).Iw_mem.b_addr in
+      for i = 0 to n - 1 do
+        Alcotest.(check int)
+          (Printf.sprintf "cell %d" i)
+          expected.(i)
+          (I.Client.read_int f (af + (i * 4)))
+      done);
+  let prom = I.Metrics.render_prometheus (I.Metrics.snapshot (I.Server.metrics server2)) in
+  Alcotest.(check bool) "replay counter in registry" true
+    (contains ~needle:"iw_store_records_replayed_total" prom);
+  Alcotest.(check bool) "replay event in flight recorder" true
+    (contains ~needle:"store_replay" (Iw_flight.dump_string (I.Server.flight server2)))
+
+(* A checkpoint is a log barrier: it resets the log, and a restart replays
+   only what came after it. *)
+let test_checkpoint_bounds_log () =
+  let dir = tmpdir () in
+  let server = I.start_server ~checkpoint_dir:dir () in
+  let c = I.direct_client server in
+  let g = I.open_segment c "dur/barrier" in
+  let a = I.with_write_lock g (fun () -> I.malloc g (I.Desc.array I.Desc.int 4) ~name:"xs") in
+  for v = 1 to 6 do
+    I.with_write_lock g (fun () -> I.Client.write_int c a v)
+  done;
+  let log =
+    Filename.concat dir (Iw_store.escape_name "dur/barrier" ^ Iw_store.log_suffix)
+  in
+  let before = file_size log in
+  I.Server.checkpoint server;
+  let after = file_size log in
+  Alcotest.(check bool)
+    (Printf.sprintf "checkpoint reset the log (%d -> %d bytes)" before after)
+    true
+    (after < before);
+  I.with_write_lock g (fun () -> I.Client.write_int c a 99);
+  (* Restart: checkpoint plus one replayed commit. *)
+  let server2 = I.start_server ~checkpoint_dir:dir () in
+  let f = I.direct_client server2 in
+  let gf = I.open_segment ~create:false f "dur/barrier" in
+  I.with_read_lock gf (fun () ->
+      Alcotest.(check int) "version" 8 (I.Client.segment_version gf);
+      let af = (Option.get (I.Client.find_named_block gf "xs")).Iw_mem.b_addr in
+      Alcotest.(check int) "last write survived" 99 (I.Client.read_int f af))
+
+(* A checkpoint that fails validation is quarantined — kept as evidence,
+   never half-loaded — and the segment falls back to log replay. *)
+let test_corrupt_checkpoint_quarantined () =
+  let dir = tmpdir () in
+  let server = I.start_server ~checkpoint_dir:dir () in
+  let c = I.direct_client server in
+  let g = I.open_segment c "dur/quar" in
+  let a = I.with_write_lock g (fun () -> I.malloc g (I.Desc.array I.Desc.int 4) ~name:"xs") in
+  for v = 1 to 3 do
+    I.with_write_lock g (fun () -> I.Client.write_int c a v)
+  done;
+  (* Plant a bogus checkpoint beside the intact log. *)
+  let ckpt =
+    Filename.concat dir (Iw_store.escape_name "dur/quar" ^ Iw_store.checkpoint_suffix)
+  in
+  let oc = open_out_bin ckpt in
+  output_string oc "this is not a checkpoint";
+  close_out oc;
+  let server2 = I.start_server ~checkpoint_dir:dir () in
+  Alcotest.(check bool) "quarantined as .corrupt" true (Sys.file_exists (ckpt ^ ".corrupt"));
+  Alcotest.(check bool) "original removed" false (Sys.file_exists ckpt);
+  let f = I.direct_client server2 in
+  let gf = I.open_segment ~create:false f "dur/quar" in
+  I.with_read_lock gf (fun () ->
+      Alcotest.(check int) "log replay recovered everything" 4
+        (I.Client.segment_version gf);
+      let af = (Option.get (I.Client.find_named_block gf "xs")).Iw_mem.b_addr in
+      Alcotest.(check int) "value" 3 (I.Client.read_int f af));
+  Alcotest.(check bool) "quarantine event in flight recorder" true
+    (contains ~needle:"ckpt_quarantine" (Iw_flight.dump_string (I.Server.flight server2)))
+
+(* Frame checksums: a garbled protected frame surfaces as a typed
+   [Transport.Corrupt], and once a link has seen one protected frame it
+   refuses to fall back to unprotected ones. *)
+let test_frame_crc () =
+  let a, b = Iw_transport.loopback () in
+  let ac, ha = Iw_transport.crc_conn a in
+  let bc, _hb = Iw_transport.crc_conn b in
+  Iw_transport.enable_send ha;
+  ac.Iw_transport.send "hello";
+  Alcotest.(check string) "protected roundtrip" "hello" (bc.Iw_transport.recv ());
+  (* A protected frame with a wrong checksum — what the fault injector's
+     garbling produces. *)
+  a.Iw_transport.send "\xc3\x00\x00\x00\x00payload";
+  (match bc.Iw_transport.recv () with
+  | _ -> Alcotest.fail "corrupt frame was accepted"
+  | exception Iw_transport.Corrupt _ -> ());
+  (* The ratchet: after negotiation, a plain frame is itself suspect (a
+     garbled marker byte must not smuggle bytes past the check). *)
+  a.Iw_transport.send "plain";
+  (match bc.Iw_transport.recv () with
+  | _ -> Alcotest.fail "unprotected frame accepted after negotiation"
+  | exception Iw_transport.Corrupt _ -> ());
+  let prom =
+    I.Metrics.render_prometheus (I.Metrics.snapshot (Iw_transport.metrics ()))
+  in
+  Alcotest.(check bool) "crc errors counted" true
+    (contains ~needle:"iw_transport_crc_errors_total" prom)
+
+(* The Enable_crc codec. *)
+let test_enable_crc_codec () =
+  let buf = Iw_wire.Buf.create () in
+  Iw_proto.encode_request buf (Iw_proto.Enable_crc { session = 0 });
+  match Iw_proto.decode_request (Iw_wire.Reader.of_string (Iw_wire.Buf.contents buf)) with
+  | Iw_proto.Enable_crc { session = 0 } -> ()
+  | _ -> Alcotest.fail "Enable_crc did not roundtrip"
+
+(* The acceptance scenario: a real iw-server process, killed with SIGKILL
+   between acknowledged commits, restarted on the same directory.  The
+   client reconnects by itself, state resumes at exactly the last
+   acknowledged version, and every cell is byte-identical. *)
+
+let server_exe = "../bin/iw_server_main.exe"
+
+let spawn_server ~port ~dir =
+  Unix.create_process server_exe
+    [|
+      server_exe;
+      "--port";
+      string_of_int port;
+      "--checkpoint-dir";
+      dir;
+      "--lease";
+      "30";
+    |]
+    Unix.stdin Unix.stdout Unix.stderr
+
+let free_port () =
+  let s = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt s Unix.SO_REUSEADDR true;
+  Unix.bind s (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  let port =
+    match Unix.getsockname s with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> assert false
+  in
+  Unix.close s;
+  port
+
+let rec wait_ready ?(attempts = 100) port =
+  match I.tcp_client ~host:"127.0.0.1" ~port () with
+  | c -> c
+  | exception Iw_transport.Connect_failed _ when attempts > 0 ->
+    Unix.sleepf 0.05;
+    wait_ready ~attempts:(attempts - 1) port
+
+let test_kill9_recovery () =
+  let dir = tmpdir () in
+  let port = free_port () in
+  let pid = ref (spawn_server ~port ~dir) in
+  Fun.protect ~finally:(fun () ->
+      (try Unix.kill !pid Sys.sigkill with Unix.Unix_error _ -> ());
+      try ignore (Unix.waitpid [] !pid) with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  ignore (wait_ready port : I.client);
+  let n = 8 in
+  let expected = Array.make n 0 in
+  let acked = ref 0 in
+  let c = I.tcp_client ~host:"127.0.0.1" ~port () in
+  let g = I.open_segment c "dur/kill9" in
+  let a = I.with_write_lock g (fun () -> I.malloc g (I.Desc.array I.Desc.int n) ~name:"xs") in
+  incr acked;
+  let write round =
+    let idx = round mod n in
+    I.with_write_lock g (fun () -> I.Client.write_int c (a + (idx * 4)) round);
+    (* with_write_lock returned: the release was acknowledged, so this
+       version must survive anything short of the disk itself dying. *)
+    incr acked;
+    expected.(idx) <- round
+  in
+  for round = 1 to 4 do
+    write round
+  done;
+  (* SIGKILL between commits: no flushing, no handlers, no goodbyes. *)
+  Unix.kill !pid Sys.sigkill;
+  ignore (Unix.waitpid [] !pid);
+  pid := spawn_server ~port ~dir;
+  ignore (wait_ready port : I.client);
+  (* The same client keeps going: its next request reconnects and, the
+     session being gone, falls back to a fresh one — state intact. *)
+  for round = 5 to 7 do
+    write round
+  done;
+  (* A fresh client sees exactly the acknowledged history. *)
+  let f = I.tcp_client ~host:"127.0.0.1" ~port () in
+  let gf = I.open_segment ~create:false f "dur/kill9" in
+  I.with_read_lock gf (fun () ->
+      Alcotest.(check int) "resumed at the exact acked version" !acked
+        (I.Client.segment_version gf);
+      let af = (Option.get (I.Client.find_named_block gf "xs")).Iw_mem.b_addr in
+      for i = 0 to n - 1 do
+        Alcotest.(check int)
+          (Printf.sprintf "cell %d" i)
+          expected.(i)
+          (I.Client.read_int f (af + (i * 4)))
+      done)
+
+let suite =
+  ( "durability",
+    [
+      Alcotest.test_case "fsync policy parsing" `Quick test_fsync_policy;
+      Alcotest.test_case "WAL record roundtrip" `Quick test_wal_roundtrip;
+      Alcotest.test_case "torn tail truncated" `Quick test_torn_tail_truncated;
+      Alcotest.test_case "corrupt record detected" `Quick test_corrupt_record;
+      Alcotest.test_case "checkpoint CRC trailer" `Quick test_checkpoint_seal;
+      Alcotest.test_case "restart replays the log" `Quick test_wal_replay_equals_direct;
+      Alcotest.test_case "checkpoint bounds the log" `Quick test_checkpoint_bounds_log;
+      Alcotest.test_case "corrupt checkpoint quarantined" `Quick
+        test_corrupt_checkpoint_quarantined;
+      Alcotest.test_case "frame CRC detects garbling" `Quick test_frame_crc;
+      Alcotest.test_case "Enable_crc codec" `Quick test_enable_crc_codec;
+      Alcotest.test_case "kill -9 loses nothing acknowledged" `Quick test_kill9_recovery;
+    ] )

@@ -228,13 +228,14 @@ let prop_random_updates_converge_and_survive_checkpoint =
       in
       converged && survived)
 
-(* One pass under a seeded fault plan: drops, delays, and one forced
-   mid-run close must neither hang a client nor silently diverge server
-   state.  Garble is deliberately absent — the wire has no frame checksum,
-   so a flipped byte can decode into a different-but-valid request, which
-   is genuine corruption rather than a transient fault to absorb. *)
+(* One pass under a seeded fault plan: drops, delays, garbled frames, and
+   one forced mid-run close must neither hang a client nor silently diverge
+   server state.  Garbling is fair game now that every frame carries a
+   negotiated CRC32: a flipped byte surfaces as a typed [Transport.Corrupt]
+   and the client re-dials, instead of decoding into a different-but-valid
+   request. *)
 let test_seeded_fault_convergence () =
-  let plan = Fault.parse_exn "seed:9,drop:0.03,delay:200us,close@req=25" in
+  let plan = Fault.parse_exn "seed:9,drop:0.03,delay:200us,garble:0.02,close@req=25" in
   let server = start_server ~lease_secs:2.0 () in
   let w = loopback_client ~fault:plan ~call_timeout:0.5 server in
   let h = open_segment w "fuzz/fault" in

@@ -23,4 +23,5 @@ let () =
       Test_dtrace.suite;
       Test_flight.suite;
       Test_fault.suite;
+      Test_durability.suite;
     ]
