@@ -1,4 +1,4 @@
-.PHONY: all build test check bench-json clean
+.PHONY: all build test check bench-json model race bench-compare clean
 
 all: build
 
@@ -16,6 +16,21 @@ check:
 # BENCH_results.json (the harness re-parses the file before exiting 0).
 bench-json:
 	dune exec bench/main.exe -- --quick --json BENCH_results.json
+
+# Gate a fresh benchmark run against the committed baseline: any figure
+# whose median cell-by-cell ratio regresses by more than 20% fails.
+bench-compare:
+	dune exec bench/main.exe -- --quick --json BENCH_new.json
+	dune exec bin/iw_check.exe -- --bench-compare BENCH_results.json BENCH_new.json
+
+# Exhaustively model-check the coherence protocol with crashes enabled
+# (also part of `make check`, at 2 clients).
+model:
+	dune exec bin/iw_check.exe -- --model --crash
+
+# Lock-discipline lint over lib/ and bin/ (LCK001-LCK004), warnings fatal.
+race:
+	dune exec bin/iw_check.exe -- --race --Werror lib bin
 
 clean:
 	dune clean

@@ -1,7 +1,9 @@
 (* Standalone driver for the analysis tooling: lints IDL files against every
-   (or a chosen set of) machine architecture descriptors.  Exit status: 0
-   when clean (notes never fail a run), 1 when errors — or, under --Werror,
-   warnings — were reported, 2 on usage or parse failures. *)
+   (or a chosen set of) machine architecture descriptors, model-checks the
+   coherence protocol (--model), lints the OCaml tree's lock discipline
+   (--race), and compares benchmark result documents (--bench-compare).
+   Exit status: 0 when clean (notes never fail a run), 1 when errors — or,
+   under --Werror, warnings — were reported, 2 on usage or parse failures. *)
 
 let resolve_arches = function
   | [] -> Ok Iw_arch.all
@@ -182,6 +184,230 @@ let run_store dir =
     else 1
   end
 
+(* --model: exhaustively explore the bounded protocol model.  Exit 0 when
+   every reachable state satisfies the invariants, 1 with a minimized,
+   replayable schedule when one fails, 2 on bad flags. *)
+let run_model ~clients ~depth ~crash ~seed ~broken ~coherence ~replay_sched =
+  let ( let* ) r k =
+    match r with
+    | Ok v -> k v
+    | Error msg ->
+      Printf.eprintf "iw-check: %s\n" msg;
+      2
+  in
+  let* coherences =
+    let rec go acc = function
+      | [] -> Ok (Array.of_list (List.rev acc))
+      | s :: rest -> (
+        match Iw_model.coherence_of_string s with
+        | Ok c -> go (c :: acc) rest
+        | Error e -> Error e)
+    in
+    match String.split_on_char ',' coherence |> List.filter (fun s -> s <> "") with
+    | [] -> Error "empty --coherence list"
+    | parts -> go [] parts
+  in
+  let* broken =
+    match broken with
+    | None -> Ok None
+    | Some s -> Result.map Option.some (Iw_model.broken_of_string s)
+  in
+  let* () = if clients < 1 then Error "--clients must be at least 1" else Ok () in
+  let cfg =
+    {
+      Iw_model.default_config with
+      Iw_model.n_clients = clients;
+      coherences;
+      crash;
+      broken;
+    }
+  in
+  let pp_coh = function
+    | Iw_model.Full -> "full"
+    | Iw_model.Delta n -> Printf.sprintf "delta:%d" n
+    | Iw_model.Temporal -> "temporal"
+    | Iw_model.Diff_bound n -> Printf.sprintf "diff:%d" n
+  in
+  Printf.printf "model: %d client(s), coherence [%s], lease on, crash %s%s\n" clients
+    (String.concat ", "
+       (List.init clients (fun i -> pp_coh cfg.Iw_model.coherences.(i mod Array.length cfg.Iw_model.coherences))))
+    (if crash then "on" else "off")
+    (match cfg.Iw_model.broken with
+    | None -> ""
+    | Some _ -> Printf.sprintf ", broken variant injected");
+  match replay_sched with
+  | Some sched_s -> (
+    let* sched = Iw_explore.schedule_of_string sched_s in
+    match Iw_explore.replay cfg sched with
+    | Error msg ->
+      Printf.eprintf "iw-check: %s\n" msg;
+      2
+    | Ok None ->
+      Printf.printf "replay: %d step(s), no violation\n" (List.length sched);
+      0
+    | Ok (Some viol) ->
+      Printf.printf "replay: violation %s: %s\n" viol.Iw_model.v_code
+        viol.Iw_model.v_message;
+      1)
+  | None -> (
+    let r = Iw_explore.explore ?seed ~max_states:depth cfg in
+    Printf.printf "explored %d state(s), %d transition(s), max depth %d%s\n"
+      r.Iw_explore.r_states r.Iw_explore.r_transitions r.Iw_explore.r_depth
+      (if r.Iw_explore.r_truncated then
+         Printf.sprintf " — TRUNCATED at the %d-state bound (not exhaustive)" depth
+       else if r.Iw_explore.r_violation <> None then " — stopped at first violation"
+       else " — exhaustive");
+    match r.Iw_explore.r_violation with
+    | None ->
+      Printf.printf "invariants hold on every explored state\n";
+      0
+    | Some cx ->
+      Printf.printf "VIOLATION %s: %s\n" cx.Iw_explore.cx_code cx.Iw_explore.cx_message;
+      Printf.printf "minimized schedule (%d step(s), shrunk from %d):\n  %s\n"
+        (List.length cx.Iw_explore.cx_schedule)
+        cx.Iw_explore.cx_shrunk_from
+        (Iw_explore.schedule_to_string cx.Iw_explore.cx_schedule);
+      Printf.printf "replay with: iw-check --model%s --clients %d --coherence %s%s --replay '%s'\n"
+        (if crash then " --crash" else "")
+        clients coherence
+        (match broken with
+        | Some b ->
+          Printf.sprintf " --model-broken %s"
+            (match b with
+            | Iw_model.No_dedup_rebuild -> "no-dedup-rebuild"
+            | Iw_model.Ack_before_log -> "ack-before-log"
+            | Iw_model.No_lock_check -> "no-lock-check"
+            | Iw_model.No_reclaim -> "no-reclaim"
+            | Iw_model.Stale_full_reads -> "stale-full-reads")
+        | None -> "")
+        (Iw_explore.schedule_to_string cx.Iw_explore.cx_schedule);
+      1)
+
+(* --race: the source-level lock-discipline lint over .ml trees. *)
+let run_race paths werror =
+  let paths = if paths = [] then [ "lib"; "bin" ] else paths in
+  match Iw_src_lint.lint_files paths with
+  | Error msg ->
+    Printf.eprintf "iw-check: %s\n" msg;
+    2
+  | Ok ds -> (
+    List.iter (fun d -> Format.printf "%a@." Iw_src_lint.pp_diagnostic d) ds;
+    if ds = [] then Printf.printf "race: %s: clean\n" (String.concat " " paths);
+    match Iw_src_lint.worst ds with
+    | Some Iw_lint.Error -> 1
+    | Some Iw_lint.Warning when werror -> 1
+    | _ -> 0)
+
+(* --bench-compare: regression gate between two benchmark result documents.
+   Per figure, every row of OLD is matched in NEW (by its string/bool
+   fields, or its first numeric field when it has none) and each shared
+   numeric field contributes the ratio new/old; a figure regresses when the
+   median ratio exceeds 1.20 (all benchmark metrics are lower-is-better).
+   Rows or figures missing from NEW fail the comparison outright. *)
+let run_bench_compare old_path new_path =
+  let module J = Iw_obs_json in
+  let parse path =
+    match J.parse (read_file path) with
+    | exception Sys_error msg -> Error msg
+    | Ok doc -> Ok (path, doc)
+    | Error e -> Error (Printf.sprintf "%s: invalid JSON: %s" path e)
+  in
+  match (parse old_path, parse new_path) with
+  | Error e, _ | _, Error e ->
+    Printf.eprintf "iw-check: %s\n" e;
+    2
+  | Ok (_, old_doc), Ok (_, new_doc) -> (
+    let figures doc =
+      match J.member "figures" doc with
+      | Some (J.Obj figs) -> Ok figs
+      | _ -> Error "missing \"figures\" object"
+    in
+    match (figures old_doc, figures new_doc) with
+    | Error e, _ ->
+      Printf.eprintf "iw-check: %s: %s\n" old_path e;
+      2
+    | _, Error e ->
+      Printf.eprintf "iw-check: %s: %s\n" new_path e;
+      2
+    | Ok old_figs, Ok new_figs ->
+      let failures = ref 0 in
+      let fail fmt =
+        incr failures;
+        Printf.ksprintf (fun m -> Printf.eprintf "iw-check: %s\n" m) fmt
+      in
+      let rows = function J.Arr rows -> rows | _ -> [] in
+      let fields = function J.Obj fs -> fs | _ -> [] in
+      (* A row's identity: its scalar non-numeric fields, or its first
+         numeric field (e.g. fig5's leading "ratio") when it has none. *)
+      let row_key row =
+        let fs = fields row in
+        match
+          List.filter (fun (_, v) -> match v with J.Str _ | J.Bool _ -> true | _ -> false) fs
+        with
+        | [] -> (
+          match List.find_opt (fun (_, v) -> match v with J.Num _ -> true | _ -> false) fs with
+          | Some (k, v) -> [ (k, v) ]
+          | None -> [])
+        | keys -> keys
+      in
+      let key_to_string key =
+        String.concat ","
+          (List.map
+             (fun (k, v) ->
+               Printf.sprintf "%s=%s" k
+                 (match v with
+                 | J.Str s -> s
+                 | J.Bool b -> string_of_bool b
+                 | J.Num n -> Printf.sprintf "%g" n
+                 | _ -> "?"))
+             key)
+      in
+      List.iter
+        (fun (fig, old_rows) ->
+          match List.assoc_opt fig new_figs with
+          | None -> fail "figure %s missing from %s" fig new_path
+          | Some new_rows ->
+            let new_rows = rows new_rows in
+            let ratios = ref [] in
+            List.iter
+              (fun old_row ->
+                let key = row_key old_row in
+                match
+                  List.find_opt (fun r -> row_key r = key) new_rows
+                with
+                | None ->
+                  fail "%s: row [%s] missing from %s" fig (key_to_string key) new_path
+                | Some new_row ->
+                  List.iter
+                    (fun (k, ov) ->
+                      match (ov, List.assoc_opt k (fields new_row)) with
+                      | J.Num ov, Some (J.Num nv) when not (List.mem_assoc k key) ->
+                        let eps = 1e-9 in
+                        ratios := ((nv +. eps) /. (ov +. eps)) :: !ratios
+                      | _ -> ())
+                    (fields old_row))
+              (rows old_rows);
+            (match List.sort compare !ratios with
+            | [] -> ()
+            | sorted ->
+              let n = List.length sorted in
+              let median =
+                if n mod 2 = 1 then List.nth sorted (n / 2)
+                else (List.nth sorted ((n / 2) - 1) +. List.nth sorted (n / 2)) /. 2.
+              in
+              if median > 1.20 then
+                fail "%s: median ratio %.3f over %d cell(s) exceeds 1.20 — regression"
+                  fig median n
+              else
+                Printf.printf "%s: median ratio %.3f over %d cell(s) — OK\n" fig median
+                  n))
+        old_figs;
+      if !failures = 0 then begin
+        Printf.printf "bench-compare: %s -> %s: OK\n" old_path new_path;
+        0
+      end
+      else 1)
+
 let run files json werror arch_names =
   match resolve_arches arch_names with
   | Error msg ->
@@ -224,8 +450,15 @@ let run files json werror arch_names =
 
 open Cmdliner
 
+(* plain strings, not Arg.file: each mode reports a missing path itself with
+   the documented exit code 2 instead of cmdliner's generic CLI error *)
 let files =
-  Arg.(value & pos_all file [] & info [] ~docv:"FILE.idl" ~doc:"IDL files to lint.")
+  Arg.(
+    value & pos_all string []
+    & info [] ~docv:"FILE"
+        ~doc:
+          "IDL files to lint; .ml trees for --race; OLD.json NEW.json for \
+           --bench-compare.")
 
 let bench_schema =
   Arg.(
@@ -272,30 +505,130 @@ let arch_names =
     & info [ "arch" ] ~docv:"NAME"
         ~doc:"Architecture(s) to check layouts against (repeatable; default: all).")
 
-(* --lint is the default and only mode today; the flag exists so invocations
-   read naturally and stay stable when further modes are added. *)
+(* --lint is the default mode; the flag exists so invocations read naturally
+   alongside --model / --race / --bench-compare. *)
 let lint_flag =
   Arg.(value & flag & info [ "lint" ] ~doc:"Run the IDL lint pass (the default).")
 
+let model_flag =
+  Arg.(
+    value & flag
+    & info [ "model" ]
+        ~doc:
+          "Exhaustively explore the bounded protocol model (write locks, \
+           leases, release dedup, WAL/checkpoint) and check its invariants \
+           (MDL01-MDL06) on every reachable state.  A violation prints a \
+           minimized, replayable schedule and exits 1.")
+
+let model_depth =
+  Arg.(
+    value
+    & opt int 200_000
+    & info [ "depth" ] ~docv:"N"
+        ~doc:"State bound for --model: stop (and report truncation) after exploring $(docv) states.")
+
+let model_crash =
+  Arg.(
+    value & flag
+    & info [ "crash" ]
+        ~doc:
+          "Enable crash actions in --model: server crash/recover, \
+           checkpoint barriers, and client death (lease reclamation fodder).")
+
+let model_clients =
+  Arg.(
+    value & opt int 2
+    & info [ "clients" ] ~docv:"N" ~doc:"Number of model clients for --model.")
+
+let model_seed =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "seed" ] ~docv:"SEED"
+        ~doc:
+          "Shuffle the per-state action order of --model deterministically; \
+           different seeds walk the same state space in a different order.")
+
+let model_broken =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "model-broken" ] ~docv:"VARIANT"
+        ~doc:
+          "Re-introduce a protocol bug on purpose (no-dedup-rebuild, \
+           ack-before-log, no-lock-check, no-reclaim, stale-full-reads) to \
+           demonstrate the invariant that catches it.")
+
+let model_coherence =
+  Arg.(
+    value
+    & opt string "full,delta:1"
+    & info [ "coherence" ] ~docv:"LIST"
+        ~doc:
+          "Comma-separated per-client coherence models for --model (full, \
+           delta:N, temporal, diff:N), cycled over the clients.")
+
+let model_replay =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "replay" ] ~docv:"SCHEDULE"
+        ~doc:
+          "Replay a space-separated action schedule (as printed by a \
+           --model violation) under the same configuration instead of \
+           exploring.")
+
+let race_flag =
+  Arg.(
+    value & flag
+    & info [ "race" ]
+        ~doc:
+          "Run the source-level lock-discipline lint (LCK001-LCK004) over \
+           the .ml trees given as positional arguments (default: lib bin).")
+
+let bench_compare_flag =
+  Arg.(
+    value & flag
+    & info [ "bench-compare" ]
+        ~doc:
+          "Compare two benchmark result documents (positional: OLD.json \
+           NEW.json); exit 1 when any figure's median new/old ratio exceeds \
+           1.20 or a row disappeared.")
+
 let cmd =
-  let doc = "static checks for InterWeave IDL files and benchmark output" in
+  let doc = "static checks for InterWeave: IDL lint, protocol model checker, lock-discipline lint, benchmark gates" in
   Cmd.v
     (Cmd.info "iw-check" ~doc)
     Term.(
-      const (fun files json werror arches _lint bench_schema fault_plan store ->
-          match (fault_plan, bench_schema, store) with
-          | Some plan, _, _ -> run_fault_plan plan
-          | None, Some path, _ -> run_bench_schema path
-          | None, None, Some dir -> run_store dir
-          | None, None, None ->
-            if files = [] then begin
-              Printf.eprintf
-                "iw-check: no IDL files given (and no --bench-schema, \
-                 --fault-plan, or --store)\n";
+      const
+        (fun files json werror arches _lint bench_schema fault_plan store model depth
+             crash clients seed broken coherence replay race bench_compare ->
+          if race then run_race files werror
+          else if model || replay <> None then
+            run_model ~clients ~depth ~crash ~seed ~broken ~coherence
+              ~replay_sched:replay
+          else if bench_compare then
+            match files with
+            | [ old_path; new_path ] -> run_bench_compare old_path new_path
+            | _ ->
+              Printf.eprintf "iw-check: --bench-compare needs exactly OLD.json NEW.json\n";
               2
-            end
-            else run files json werror arches)
+          else
+            match (fault_plan, bench_schema, store) with
+            | Some plan, _, _ -> run_fault_plan plan
+            | None, Some path, _ -> run_bench_schema path
+            | None, None, Some dir -> run_store dir
+            | None, None, None ->
+              if files = [] then begin
+                Printf.eprintf
+                  "iw-check: no IDL files given (and no --model, --race, \
+                   --bench-compare, --bench-schema, --fault-plan, or --store)\n";
+                2
+              end
+              else run files json werror arches)
       $ files $ json $ werror $ arch_names $ lint_flag $ bench_schema $ fault_plan
-      $ store_dir)
+      $ store_dir $ model_flag $ model_depth $ model_crash $ model_clients
+      $ model_seed $ model_broken $ model_coherence $ model_replay $ race_flag
+      $ bench_compare_flag)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,209 @@
+module M = Iw_model
+
+type counterexample = {
+  cx_code : string;
+  cx_message : string;
+  cx_schedule : M.action list;
+  cx_shrunk_from : int;
+}
+
+type result = {
+  r_states : int;
+  r_transitions : int;
+  r_depth : int;
+  r_truncated : bool;
+  r_violation : counterexample option;
+}
+
+let schedule_to_string sched = String.concat " " (List.map M.action_to_string sched)
+
+let schedule_of_string s =
+  let parts =
+    String.split_on_char ' ' s
+    |> List.concat_map (String.split_on_char '\n')
+    |> List.filter (fun x -> x <> "")
+  in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | p :: rest -> (
+      match M.action_of_string p with
+      | Ok a -> go (a :: acc) rest
+      | Error e -> Error e)
+  in
+  go [] parts
+
+(* {2 Replay} *)
+
+let replay cfg schedule =
+  let rec go s i = function
+    | [] -> Ok None
+    | a :: rest -> (
+      match M.step cfg s a with
+      | None ->
+        Error
+          (Printf.sprintf "schedule does not replay: step %d (%s) is not enabled" i
+             (M.action_to_string a))
+      | Some (s', transition_violations) -> (
+        match transition_violations @ M.check cfg s' with
+        | viol :: _ -> Ok (Some viol)
+        | [] -> go s' (i + 1) rest))
+  in
+  let s0 = M.initial cfg in
+  match M.check cfg s0 with
+  | viol :: _ -> Ok (Some viol)
+  | [] -> go s0 0 schedule
+
+(* {2 Shrinking} *)
+
+let reproduces cfg code sched =
+  match replay cfg sched with
+  | Ok (Some viol) -> viol.M.v_code = code
+  | Ok None | Error _ -> false
+
+let shrink cfg code sched =
+  if not (reproduces cfg code sched) then sched
+  else
+    (* Greedy delta: drop one action at a time until 1-minimal.  Schedules
+       are depth-bounded, so the quadratic pass is cheap. *)
+    let rec pass sched =
+      let n = List.length sched in
+      let rec try_remove i =
+        if i >= n then None
+        else
+          let cand = List.filteri (fun j _ -> j <> i) sched in
+          if reproduces cfg code cand then Some cand else try_remove (i + 1)
+      in
+      match try_remove 0 with
+      | Some cand -> pass cand
+      | None -> sched
+    in
+    pass sched
+
+(* {2 Exploration} *)
+
+exception Limit
+exception Found of string * string * M.action list
+
+(* Deterministic per-seed shuffle (splitmix-style), so a seed names one
+   exploration order reproducibly. *)
+let rng_next st =
+  st := Int64.add (Int64.mul !st 6364136223846793005L) 1442695040888963407L;
+  Int64.to_int (Int64.shift_right_logical !st 33) land max_int
+
+let shuffle rng lst =
+  let a = Array.of_list lst in
+  for i = Array.length a - 1 downto 1 do
+    let j = rng_next rng mod (i + 1) in
+    let t = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- t
+  done;
+  Array.to_list a
+
+(* One DFS pass.  Counts into the caller's refs (so a pass cut short by
+   [Found] still reports how much it searched) and raises [Found] on the
+   first violation. *)
+let search ?seed ~max_states ~max_depth ~states ~transitions ~deepest ~truncated cfg =
+  (* Visited table: state -> (depth, sleep set) pairs it was explored with.
+     A re-visit is skipped only when some stored entry was at least as deep
+     in remaining budget (stored depth <= current) AND its sleep set is a
+     subset of the current one — the stored exploration already covered at
+     least as many transitions to at least the same depth. *)
+  let visited : (M.state, (int * M.action list) list) Hashtbl.t =
+    Hashtbl.create 4096
+  in
+  let rng = Option.map (fun s -> ref (Int64.of_int s)) seed in
+  let order acts = match rng with None -> acts | Some r -> shuffle r acts in
+  let subset xs ys = List.for_all (fun x -> List.mem x ys) xs in
+  let rec go s sleep path depth =
+    let stored = Option.value (Hashtbl.find_opt visited s) ~default:[] in
+    if List.exists (fun (d, sl) -> d <= depth && subset sl sleep) stored then ()
+    else begin
+      if stored = [] then begin
+        incr states;
+        if !states > max_states then begin
+          truncated := true;
+          raise Limit
+        end;
+        match M.check cfg s with
+        | viol :: _ -> raise (Found (viol.M.v_code, viol.M.v_message, List.rev path))
+        | [] -> ()
+      end;
+      Hashtbl.replace visited s ((depth, sleep) :: stored);
+      if depth > !deepest then deepest := depth;
+      if depth >= max_depth then truncated := true
+      else begin
+        let acts =
+          order (List.filter (fun a -> not (List.mem a sleep)) (M.enabled cfg s))
+        in
+        let taken = ref [] in
+        List.iter
+          (fun a ->
+            (match M.step cfg s a with
+            | None -> ()
+            | Some (s', violations) ->
+              incr transitions;
+              (match violations with
+              | viol :: _ ->
+                raise (Found (viol.M.v_code, viol.M.v_message, List.rev (a :: path)))
+              | [] -> ());
+              let sleep' = List.filter (M.independent a) (sleep @ !taken) in
+              go s' sleep' (a :: path) (depth + 1));
+            taken := a :: !taken)
+          acts
+      end
+    end
+  in
+  go (M.initial cfg) [] [] 0
+
+let explore ?seed ?(max_states = 200_000) ?(max_depth = 256) cfg =
+  let states = ref 0 and transitions = ref 0 and deepest = ref 0 in
+  let truncated = ref false in
+  let violation = ref None in
+  (try search ?seed ~max_states ~max_depth ~states ~transitions ~deepest ~truncated cfg
+   with
+  | Limit -> ()
+  | Found (code, message, schedule) ->
+    (* Minimize: greedy single-action removal, then iterative deepening —
+       re-search with the depth bound just below the current witness length
+       and keep any shorter same-code witness.  Ends at a schedule that is
+       both 1-minimal and shortest the bounded search can reach. *)
+    let scratch () = (ref 0, ref 0, ref 0, ref false) in
+    let rec refine sched =
+      let sched = shrink cfg code sched in
+      let len = List.length sched in
+      if len <= 1 then sched
+      else
+        let states, transitions, deepest, truncated = scratch () in
+        match
+          search ?seed ~max_states ~max_depth:(len - 1) ~states ~transitions ~deepest
+            ~truncated cfg
+        with
+        | () -> sched
+        | exception Limit -> sched
+        | exception Found (code', _, sched') when code' = code -> refine sched'
+        | exception Found _ -> sched
+    in
+    let shrunk = refine schedule in
+    let message =
+      (* Prefer the message of the minimized replay — it names the final,
+         simplest witness rather than the first one the DFS stumbled on. *)
+      match replay cfg shrunk with
+      | Ok (Some viol) when viol.M.v_code = code -> viol.M.v_message
+      | _ -> message
+    in
+    violation :=
+      Some
+        {
+          cx_code = code;
+          cx_message = message;
+          cx_schedule = shrunk;
+          cx_shrunk_from = List.length schedule;
+        });
+  {
+    r_states = !states;
+    r_transitions = !transitions;
+    r_depth = !deepest;
+    r_truncated = !truncated;
+    r_violation = !violation;
+  }

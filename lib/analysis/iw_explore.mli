@@ -1,0 +1,57 @@
+(** Bounded depth-first explorer for {!Iw_model} with sleep-set partial-order
+    reduction.
+
+    The explorer enumerates every reachable state of the bounded protocol
+    model, running {!Iw_model.check} on each state at first visit and
+    collecting the transition-level violations {!Iw_model.step} reports.
+    Sleep sets prune commuting {e transitions} (per {!Iw_model.independent})
+    without pruning {e states}, so state-level invariants still see the full
+    reachable set; a visited entry stores the sleep sets it was explored
+    with and is only skipped when a stored set is contained in the current
+    one.
+
+    A violation is reported as a replayable schedule, shrunk to
+    1-minimality: no single action can be removed and still reproduce a
+    violation with the same code.  Replays are deterministic, so a printed
+    schedule is a complete bug report. *)
+
+type counterexample = {
+  cx_code : string;  (** e.g. ["MDL04"] *)
+  cx_message : string;
+  cx_schedule : Iw_model.action list;  (** minimized, replayable *)
+  cx_shrunk_from : int;  (** length of the schedule before shrinking *)
+}
+
+type result = {
+  r_states : int;  (** distinct states visited *)
+  r_transitions : int;  (** transitions executed *)
+  r_depth : int;  (** deepest path reached *)
+  r_truncated : bool;  (** a state or depth bound cut the search short *)
+  r_violation : counterexample option;
+}
+
+val explore :
+  ?seed:int -> ?max_states:int -> ?max_depth:int -> Iw_model.config -> result
+(** Bounded DFS from {!Iw_model.initial}.  [seed] shuffles the per-state
+    action order deterministically (different seeds walk the space in a
+    different order but cover the same states); without it the fixed
+    {!Iw_model.enabled} order is used.  Defaults: [max_states = 200_000],
+    [max_depth = 256].  The search stops at the first violation. *)
+
+val replay :
+  Iw_model.config ->
+  Iw_model.action list ->
+  (Iw_model.violation option, string) Stdlib.result
+(** Run a schedule from the initial state, checking invariants after every
+    step; stops at (and returns) the first violation.  [Error] when an
+    action is not enabled at its position — the schedule does not replay. *)
+
+val shrink : Iw_model.config -> string -> Iw_model.action list -> Iw_model.action list
+(** [shrink cfg code schedule] greedily removes actions while a replay still
+    produces a violation with code [code], to 1-minimality.  Returns the
+    input unchanged if it does not reproduce. *)
+
+val schedule_to_string : Iw_model.action list -> string
+(** Space-joined {!Iw_model.action_to_string}. *)
+
+val schedule_of_string : string -> (Iw_model.action list, string) Stdlib.result

@@ -1,0 +1,579 @@
+(* Small-step model of the coherence protocol.  Everything here is immutable
+   and structurally comparable: states go straight into the explorer's
+   visited table, and [step] is deterministic so a recorded schedule replays
+   exactly (the counterexample-shrinking contract).
+
+   Fidelity notes, tied to the real implementation:
+   - [Release] applies the diff and appends the WAL commit record as one
+     atomic step.  The real server applies, then appends, then acks; a crash
+     between apply and append loses the volatile apply and leaves no record,
+     which is indistinguishable from crashing before the release arrived —
+     so the atomic model covers the same reachable histories.
+   - The ack is a separate [Ack] step, and [Crash] drops in-flight acks:
+     that window (commit durable, ack lost) is exactly where release dedup
+     and WAL-rebuild must cooperate, and where MDL04's counterexamples live.
+   - [Checkpoint] is a log barrier (truncate after durable checkpoint), and
+     the checkpoint snapshots the dedup table — the IWCKPT03 format change
+     this model motivated: with only WAL rebuild, the schedule
+     lock:0 rel:0 crash recover ckpt crash recover retry:0
+     refuses a committed release. *)
+
+type coherence =
+  | Full
+  | Delta of int
+  | Temporal
+  | Diff_bound of int
+
+type broken =
+  | No_dedup_rebuild
+  | Ack_before_log
+  | No_lock_check
+  | No_reclaim
+  | Stale_full_reads
+
+type config = {
+  n_clients : int;
+  writes_per_client : int;
+  reads_per_client : int;
+  coherences : coherence array;
+  lease : bool;
+  crash : bool;
+  broken : broken option;
+}
+
+let default_config =
+  {
+    n_clients = 2;
+    writes_per_client = 2;
+    reads_per_client = 1;
+    coherences = [| Full; Delta 1 |];
+    lease = true;
+    crash = false;
+    broken = None;
+  }
+
+let coherence_of_string s =
+  match String.split_on_char ':' (String.lowercase_ascii s) with
+  | [ "full" ] -> Ok Full
+  | [ "temporal" ] -> Ok Temporal
+  | [ "delta"; n ] -> (
+    match int_of_string_opt n with
+    | Some n when n >= 0 -> Ok (Delta n)
+    | _ -> Error (Printf.sprintf "bad delta bound %S" n))
+  | [ "diff"; n ] -> (
+    match int_of_string_opt n with
+    | Some n when n >= 0 -> Ok (Diff_bound n)
+    | _ -> Error (Printf.sprintf "bad diff bound %S" n))
+  | _ -> Error (Printf.sprintf "unknown coherence %S (full, delta:N, temporal, diff:N)" s)
+
+let broken_of_string = function
+  | "no-dedup-rebuild" -> Ok No_dedup_rebuild
+  | "ack-before-log" -> Ok Ack_before_log
+  | "no-lock-check" -> Ok No_lock_check
+  | "no-reclaim" -> Ok No_reclaim
+  | "stale-full-reads" -> Ok Stale_full_reads
+  | s ->
+    Error
+      (Printf.sprintf
+         "unknown broken variant %S (no-dedup-rebuild, ack-before-log, no-lock-check, \
+          no-reclaim, stale-full-reads)"
+         s)
+
+type action =
+  | Lock of int
+  | Reclaim of int
+  | Release of int
+  | Ack of int
+  | Retry of int
+  | Read of int
+  | Expire of int
+  | Client_crash of int
+  | Crash
+  | Recover
+  | Checkpoint
+
+let action_to_string = function
+  | Lock i -> Printf.sprintf "lock:%d" i
+  | Reclaim i -> Printf.sprintf "reclaim:%d" i
+  | Release i -> Printf.sprintf "rel:%d" i
+  | Ack i -> Printf.sprintf "ack:%d" i
+  | Retry i -> Printf.sprintf "retry:%d" i
+  | Read i -> Printf.sprintf "read:%d" i
+  | Expire i -> Printf.sprintf "expire:%d" i
+  | Client_crash i -> Printf.sprintf "die:%d" i
+  | Crash -> "crash"
+  | Recover -> "recover"
+  | Checkpoint -> "ckpt"
+
+let action_of_string s =
+  let indexed mk rest =
+    match int_of_string_opt rest with
+    | Some i when i >= 0 -> Ok (mk i)
+    | _ -> Error (Printf.sprintf "bad client index in %S" s)
+  in
+  match String.index_opt s ':' with
+  | None -> (
+    match s with
+    | "crash" -> Ok Crash
+    | "recover" -> Ok Recover
+    | "ckpt" -> Ok Checkpoint
+    | _ -> Error (Printf.sprintf "unknown action %S" s))
+  | Some i -> (
+    let name = String.sub s 0 i in
+    let rest = String.sub s (i + 1) (String.length s - i - 1) in
+    match name with
+    | "lock" -> indexed (fun i -> Lock i) rest
+    | "reclaim" -> indexed (fun i -> Reclaim i) rest
+    | "rel" -> indexed (fun i -> Release i) rest
+    | "ack" -> indexed (fun i -> Ack i) rest
+    | "retry" -> indexed (fun i -> Retry i) rest
+    | "read" -> indexed (fun i -> Read i) rest
+    | "expire" -> indexed (fun i -> Expire i) rest
+    | "die" -> indexed (fun i -> Client_crash i) rest
+    | _ -> Error (Printf.sprintf "unknown action %S" s))
+
+(* {2 State} *)
+
+type phase =
+  | Idle
+  | Holding  (* believes it holds the write lock; diff staged from c_base *)
+  | Awaiting  (* release sent and applied; ack outstanding *)
+
+type client = {
+  c_coh : coherence;
+  c_phase : phase;
+  c_version : int;  (* validated cached version *)
+  c_base : int;  (* from_version of the current/last write transaction *)
+  c_inflight : int option;  (* committed version whose ack is in flight *)
+  c_mods : int;  (* commits by others since validation (Diff), saturating *)
+  c_expired : bool;  (* Temporal: the copy's time bound has passed *)
+  c_crashed : bool;
+  c_writes : int;  (* remaining write-transaction budget *)
+  c_reads : int;  (* remaining read budget *)
+}
+
+type state = {
+  sv_up : bool;
+  sv_version : int;
+  sv_writer : int option;  (* volatile lock table *)
+  sv_releases : (int * (int * int)) list;  (* volatile dedup: session -> base, version *)
+  sv_wal : (int * int * int) list;  (* durable commits past the ckpt, newest first *)
+  sv_ckpt : int;  (* checkpoint version *)
+  sv_ckpt_releases : (int * (int * int)) list;  (* dedup snapshot in the checkpoint *)
+  st_observed : int;  (* ghost: highest version any client saw in any reply *)
+  st_ground : (int * int * int) list;  (* ghost: full commit history, never truncated *)
+  clients : client array;
+}
+
+let mods_cap = 3
+
+let coh_of cfg i = cfg.coherences.(i mod Array.length cfg.coherences)
+
+let initial cfg =
+  {
+    sv_up = true;
+    sv_version = 0;
+    sv_writer = None;
+    sv_releases = [];
+    sv_wal = [];
+    sv_ckpt = 0;
+    sv_ckpt_releases = [];
+    st_observed = 0;
+    st_ground = [];
+    clients =
+      Array.init cfg.n_clients (fun i ->
+          {
+            c_coh = coh_of cfg i;
+            c_phase = Idle;
+            c_version = 0;
+            c_base = 0;
+            c_inflight = None;
+            c_mods = 0;
+            c_expired = false;
+            c_crashed = false;
+            c_writes = cfg.writes_per_client;
+            c_reads = cfg.reads_per_client;
+          })
+      ;
+  }
+
+let fingerprint (s : state) = Hashtbl.hash s
+
+let durable_frontier s =
+  List.fold_left (fun acc (_, _, v) -> max acc v) s.sv_ckpt s.sv_wal
+
+let set_client s i c =
+  let clients = Array.copy s.clients in
+  clients.(i) <- c;
+  { s with clients }
+
+let dedup_assoc session base releases =
+  match List.assoc_opt session releases with
+  | Some (b, v) when b = base -> Some v
+  | _ -> None
+
+let dedup_replace session entry releases =
+  (session, entry) :: List.remove_assoc session releases
+
+(* A committed version reached a client (write ack, dup-release answer, or
+   read/lock refresh): record it against the durability ghost. *)
+let observe s v = { s with st_observed = max s.st_observed v }
+
+(* {2 Enabledness} *)
+
+let live c = not c.c_crashed
+
+let wants_lock c = live c && c.c_phase = Idle && c.c_writes > 0
+
+let enabled_one cfg s a =
+  let n = Array.length s.clients in
+  let cl i = s.clients.(i) in
+  let in_range i = i >= 0 && i < n in
+  match a with
+  | Lock i -> s.sv_up && in_range i && wants_lock (cl i) && s.sv_writer = None
+  | Reclaim i ->
+    s.sv_up && cfg.lease
+    && cfg.broken <> Some No_reclaim
+    && in_range i
+    && wants_lock (cl i)
+    && (match s.sv_writer with Some j -> j <> i | None -> false)
+  | Release i -> s.sv_up && in_range i && live (cl i) && (cl i).c_phase = Holding
+  | Ack i -> in_range i && live (cl i) && (cl i).c_phase = Awaiting && (cl i).c_inflight <> None
+  | Retry i ->
+    s.sv_up && in_range i && live (cl i) && (cl i).c_phase = Awaiting
+    && (cl i).c_inflight = None
+  | Read i -> s.sv_up && in_range i && live (cl i) && (cl i).c_phase = Idle && (cl i).c_reads > 0
+  | Expire i ->
+    in_range i && live (cl i) && (cl i).c_coh = Temporal && (cl i).c_version > 0
+    && not (cl i).c_expired
+  | Client_crash i ->
+    cfg.crash && in_range i && live (cl i) && (cl i).c_phase = Holding
+  | Crash -> cfg.crash && s.sv_up
+  | Recover -> not s.sv_up
+  | Checkpoint -> cfg.crash && s.sv_up
+
+let enabled cfg s =
+  let n = Array.length s.clients in
+  let per_client = [ (fun i -> Lock i); (fun i -> Reclaim i); (fun i -> Release i);
+                     (fun i -> Ack i); (fun i -> Retry i); (fun i -> Read i);
+                     (fun i -> Expire i); (fun i -> Client_crash i) ]
+  in
+  let acc =
+    List.concat_map (fun mk -> List.init n mk) per_client @ [ Checkpoint; Crash; Recover ]
+  in
+  List.filter (enabled_one cfg s) acc
+
+(* {2 Invariants} *)
+
+type violation = {
+  v_code : string;
+  v_message : string;
+}
+
+let v code fmt = Printf.ksprintf (fun m -> { v_code = code; v_message = m }) fmt
+
+let check _cfg s =
+  let out = ref [] in
+  let add x = out := x :: !out in
+  let frontier = durable_frontier s in
+  if s.st_observed > frontier then
+    add
+      (v "MDL02"
+         "durability: version %d was acked to a client but the durable frontier \
+          (checkpoint %d, WAL max %d) is %d — a crash here loses an acked version"
+         s.st_observed s.sv_ckpt
+         (List.fold_left (fun a (_, _, vv) -> max a vv) 0 s.sv_wal)
+         frontier);
+  if s.sv_up && s.sv_version < frontier then
+    add
+      (v "MDL06" "monotonicity: server is at version %d but the durable frontier is %d"
+         s.sv_version frontier);
+  Array.iteri
+    (fun i c ->
+      if c.c_version > s.st_observed then
+        add
+          (v "MDL06" "monotonicity: client %d validated version %d beyond anything acked (%d)"
+             i c.c_version s.st_observed))
+    s.clients;
+  (* Strand check: a lock held by a crashed session, with a live contender
+     waiting, must be reclaimable — i.e. some Reclaim is enabled.  Without
+     leases the connection-death cleanup already freed it. *)
+  (match s.sv_writer with
+  | Some holder when s.sv_up && s.clients.(holder).c_crashed ->
+    let contender = Array.exists wants_lock s.clients in
+    let reclaimable =
+      Array.to_list s.clients
+      |> List.mapi (fun i _ -> i)
+      |> List.exists (fun i -> enabled_one _cfg s (Reclaim i))
+    in
+    if contender && not reclaimable then
+      add
+        (v "MDL05"
+           "stranded lock: session %d crashed holding the write lock and a live \
+            contender is waiting, but no reclamation path is enabled"
+           holder)
+  | _ -> ());
+  List.rev !out
+
+(* {2 Transition function} *)
+
+(* Every commit bumps the Diff-coherence modification counter of every other
+   client, the same conservative accounting as the server's s_counters. *)
+let bump_mods except clients =
+  Array.mapi
+    (fun j c -> if j = except then c else { c with c_mods = min mods_cap (c.c_mods + 1) })
+    clients
+
+(* A refresh delivered to client [i] (write-lock grant or read update). *)
+let refreshed s c = { c with c_version = s.sv_version; c_mods = 0; c_expired = false }
+
+let grant s i =
+  let c = refreshed s s.clients.(i) in
+  let c = { c with c_phase = Holding; c_base = s.sv_version; c_writes = c.c_writes - 1 } in
+  let s = set_client s i c in
+  observe { s with sv_writer = Some i } s.sv_version
+
+let up_to_date cfg s c =
+  c.c_version = s.sv_version
+  || c.c_version > 0
+     &&
+     match c.c_coh with
+     | Full -> cfg.broken = Some Stale_full_reads && s.sv_version - c.c_version <= 1
+     | Delta x -> s.sv_version - c.c_version <= x
+     | Temporal -> not c.c_expired
+     | Diff_bound d -> c.c_mods <= d
+
+(* The staleness bound an "up to date" answer must satisfy — deliberately
+   re-derived from the model definition rather than shared with the
+   server-side decision above, so a lax decision rule is caught. *)
+let staleness_violation i c ~server_version =
+  let lag = server_version - c.c_version in
+  if lag = 0 then None
+  else if c.c_version = 0 then
+    Some (v "MDL03" "client %d served 'up to date' with no validated copy" i)
+  else
+    match c.c_coh with
+    | Full ->
+      Some
+        (v "MDL03"
+           "Full coherence: client %d served 'up to date' at version %d while the server \
+            is at %d"
+           i c.c_version (c.c_version + lag))
+    | Delta x when lag > x ->
+      Some
+        (v "MDL03" "Delta %d: client %d served 'up to date' with version lag %d" x i lag)
+    | Temporal when c.c_expired ->
+      Some
+        (v "MDL03"
+           "Temporal: client %d served 'up to date' on an expired copy (version lag %d)" i
+           lag)
+    | Diff_bound d when c.c_mods > d ->
+      Some
+        (v "MDL03"
+           "Diff %d: client %d served 'up to date' with %d modifications outstanding" d i
+           c.c_mods)
+    | Delta _ | Temporal | Diff_bound _ -> None
+
+let step cfg s a =
+  if not (enabled_one cfg s a) then None
+  else
+    let cl i = s.clients.(i) in
+    Some
+      (match a with
+      | Lock i -> (grant s i, [])
+      | Reclaim i ->
+        (* Lease reclamation: the holder has outlived its lease (quiet or
+           crashed); the contender's Write_lock takes the lock over.  The
+           old holder, if alive, still believes it holds it — its eventual
+           release must be refused (MDL01 checks that at Release). *)
+        (grant s i, [])
+      | Release i -> (
+        let c = cl i in
+        let holds = s.sv_writer = Some i in
+        let apply =
+          holds || (cfg.broken = Some No_lock_check && s.sv_up)
+        in
+        if apply then begin
+          let v' = s.sv_version + 1 in
+          let wal =
+            if cfg.broken = Some Ack_before_log then s.sv_wal
+            else (i, c.c_base, v') :: s.sv_wal
+          in
+          let s' =
+            {
+              s with
+              sv_version = v';
+              sv_writer = None;
+              sv_wal = wal;
+              sv_releases = dedup_replace i (c.c_base, v') s.sv_releases;
+              st_ground = (i, c.c_base, v') :: s.st_ground;
+              clients = bump_mods i s.clients;
+            }
+          in
+          let s' = set_client s' i { c with c_phase = Awaiting; c_inflight = Some v' } in
+          let violations =
+            if holds then []
+            else
+              [
+                v "MDL01"
+                  "exclusivity: session %d committed version %d without holding the \
+                   write lock (writer is %s)"
+                  i v'
+                  (match s.sv_writer with
+                  | Some j -> string_of_int j
+                  | None -> "free");
+              ]
+          in
+          (s', violations)
+        end
+        else
+          (* Refused: the lock was reclaimed (or lost to a crash) under the
+             client.  The client rolls the transaction back — Lock_lost. *)
+          let s' = set_client s i { c with c_phase = Idle; c_inflight = None } in
+          (s', []))
+      | Ack i ->
+        let c = cl i in
+        let ver = Option.get c.c_inflight in
+        let c =
+          { c with c_phase = Idle; c_inflight = None; c_version = ver; c_mods = 0;
+            c_expired = false }
+        in
+        (observe (set_client s i c) ver, [])
+      | Retry i -> (
+        let c = cl i in
+        match dedup_assoc i c.c_base s.sv_releases with
+        | Some ver ->
+          (* Duplicate recognized: answered with the committed version. *)
+          let c =
+            { c with c_phase = Idle; c_version = ver; c_mods = 0; c_expired = false }
+          in
+          (observe (set_client s i c) ver, [])
+        | None ->
+          (* Refused.  If the durable history proves the commit happened,
+             idempotence is broken: the client will roll back and re-apply
+             an already-committed transaction. *)
+          let violations =
+            match
+              List.find_opt (fun (j, b, _) -> j = i && b = c.c_base) s.st_ground
+            with
+            | Some (_, _, ver) ->
+              [
+                v "MDL04"
+                  "dedup idempotence: session %d's release from base %d was committed \
+                   as version %d, but the retried release was refused — the client \
+                   will re-apply a committed transaction"
+                  i c.c_base ver;
+              ]
+            | None -> []
+          in
+          (set_client s i { c with c_phase = Idle }, violations))
+      | Read i ->
+        let c = cl i in
+        if up_to_date cfg s c then
+          let violations =
+            match staleness_violation i c ~server_version:s.sv_version with
+            | Some x -> [ x ]
+            | None -> []
+          in
+          let c = { c with c_reads = c.c_reads - 1; c_expired = false } in
+          (set_client s i c, violations)
+        else
+          let c = { (refreshed s c) with c_reads = c.c_reads - 1 } in
+          (observe (set_client s i c) s.sv_version, [])
+      | Expire i -> (set_client s i { (cl i) with c_expired = true }, [])
+      | Client_crash i ->
+        let s = set_client s i { (cl i) with c_crashed = true; c_inflight = None } in
+        (* Without a lease, connection death drops the session's locks at
+           once (the pre-lease serve_conn behavior); with one they survive
+           for Resume_session and are reclaimed lazily. *)
+        let s =
+          if (not cfg.lease) && s.sv_writer = Some i then { s with sv_writer = None }
+          else s
+        in
+        (s, [])
+      | Crash ->
+        (* Volatile state dies; WAL, checkpoint, and ghosts survive.  Every
+           connection dies with the server, so in-flight acks are lost. *)
+        let clients = Array.map (fun c -> { c with c_inflight = None }) s.clients in
+        ({ s with sv_up = false; sv_writer = None; sv_releases = []; clients }, [])
+      | Recover ->
+        let wal_rebuild =
+          List.fold_left
+            (fun acc (i, b, ver) ->
+              match List.assoc_opt i acc with
+              | Some (_, old) when old >= ver -> acc
+              | _ -> dedup_replace i (b, ver) acc)
+            []
+            (List.rev s.sv_wal)
+        in
+        let releases =
+          if cfg.broken = Some No_dedup_rebuild then []
+          else
+            (* checkpoint snapshot first, WAL records override *)
+            List.fold_left
+              (fun acc (i, e) -> if List.mem_assoc i acc then acc else (i, e) :: acc)
+              wal_rebuild s.sv_ckpt_releases
+        in
+        ({ s with sv_up = true; sv_version = durable_frontier s; sv_releases = releases }, [])
+      | Checkpoint ->
+        ( {
+            s with
+            sv_ckpt = s.sv_version;
+            sv_ckpt_releases = s.sv_releases;
+            sv_wal = [];
+          },
+          [] ))
+
+(* {2 Independence} *)
+
+(* Which shared server structures an action reads or writes; two actions are
+   independent when they are actions of different clients and neither writes
+   a structure the other touches.  Global actions conflict with everything. *)
+
+let client_of = function
+  | Lock i | Reclaim i | Release i | Ack i | Retry i | Read i | Expire i | Client_crash i ->
+    Some i
+  | Crash | Recover | Checkpoint -> None
+
+let global a = client_of a = None
+
+(* (reads, writes) over the shared footprint: `L lock table, `V version,
+   `D dedup table.  Ghost fields are monotone max/append and commute. *)
+let footprint = function
+  | Lock _ | Reclaim _ -> ([ `V ], [ `L ])
+  | Release _ -> ([ `L ], [ `L; `V; `D ])
+  | Ack _ | Expire _ -> ([], [])
+  | Retry _ -> ([ `D ], [])
+  | Read _ -> ([ `V ], [])
+  | Client_crash _ -> ([ `L ], [ `L ])
+  | Crash | Recover | Checkpoint -> ([ `L; `V; `D ], [ `L; `V; `D ])
+
+let independent a b =
+  if global a || global b then false
+  else if client_of a = client_of b then false
+  else
+    let ra, wa = footprint a and rb, wb = footprint b in
+    let disjoint xs ys = not (List.exists (fun x -> List.mem x ys) xs) in
+    disjoint wa wb && disjoint wa rb && disjoint wb ra
+
+(* {2 Printing} *)
+
+let pp_phase ppf = function
+  | Idle -> Format.fprintf ppf "idle"
+  | Holding -> Format.fprintf ppf "holding"
+  | Awaiting -> Format.fprintf ppf "awaiting-ack"
+
+let pp_state ppf s =
+  Format.fprintf ppf "server %s v%d writer=%s ckpt=%d wal=[%s]"
+    (if s.sv_up then "up" else "DOWN")
+    s.sv_version
+    (match s.sv_writer with Some i -> string_of_int i | None -> "-")
+    s.sv_ckpt
+    (String.concat ","
+       (List.rev_map (fun (i, b, vv) -> Printf.sprintf "%d:%d->%d" i b vv) s.sv_wal));
+  Array.iteri
+    (fun i c ->
+      Format.fprintf ppf "; c%d %a v%d%s%s" i pp_phase c.c_phase c.c_version
+        (match c.c_inflight with Some vv -> Printf.sprintf " inflight=%d" vv | None -> "")
+        (if c.c_crashed then " dead" else ""))
+    s.clients

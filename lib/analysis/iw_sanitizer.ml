@@ -37,7 +37,10 @@ type t = {
   sz_tainted : (int, unit) Hashtbl.t;  (* suspect pointer values *)
   sz_blessed : (int, unit) Hashtbl.t;  (* addresses produced by mip_to_ptr *)
   mutable sz_held : string list;  (* segment lock order, innermost first *)
-  sz_order : (string * string, unit) Hashtbl.t;  (* observed locked-before edges *)
+  mutable sz_acqs : int;  (* acquisitions seen, for naming witness sites *)
+  sz_order : (string * string, string) Hashtbl.t;
+      (* observed locked-before edges, each carrying a description of the
+         acquisition that first established it — the witness SAN08 cites *)
   mutable sz_active : bool;
 }
 
@@ -121,14 +124,27 @@ let on_lock t g op =
     | Op_rl_acquire | Op_wl_acquire -> (
         match st with
         | `Unlocked ->
+            t.sz_acqs <- t.sz_acqs + 1;
+            let opname =
+              match op with Op_rl_acquire -> "read_lock" | _ -> "write_lock"
+            in
             List.iter
               (fun held ->
-                if Hashtbl.mem t.sz_order (segment, held) then
-                  record t ~segment "SAN08"
-                    "lock-order inversion: '%s' locked while holding '%s', but the \
-                     opposite order was used earlier"
-                    segment held;
-                Hashtbl.replace t.sz_order (held, segment) ())
+                let site =
+                  Printf.sprintf "acquisition #%d (%s '%s' while holding '%s')"
+                    t.sz_acqs opname segment held
+                in
+                (match Hashtbl.find_opt t.sz_order (segment, held) with
+                | Some earlier ->
+                    record t ~segment "SAN08"
+                      "lock-order inversion between '%s' and '%s': %s contradicts the \
+                       earlier %s"
+                      segment held site earlier
+                | None -> ());
+                (* keep the FIRST acquisition that established the edge — the
+                   witness a later inversion will cite *)
+                if not (Hashtbl.mem t.sz_order (held, segment)) then
+                  Hashtbl.replace t.sz_order (held, segment) site)
               t.sz_held;
             t.sz_held <- segment :: t.sz_held
         | `Read _ | `Write _ -> ())
@@ -252,6 +268,7 @@ let attach ?(policy = Collect) ?(strict_reads = true) client =
       sz_tainted = Hashtbl.create 16;
       sz_blessed = Hashtbl.create 16;
       sz_held = [];
+      sz_acqs = 0;
       sz_order = Hashtbl.create 16;
       sz_active = true;
     }

@@ -23,6 +23,9 @@
       lock actually held.
     - [SAN08] — lock-order inversion: two segments locked in opposite orders
       at different times (deadlock potential on a real multi-client run).
+      The message names both segments and both witnesses: the numbered
+      acquisition that performed the inversion and the earlier numbered
+      acquisition that established the opposite order.
     - [SAN09] — dereference of an unswizzled pointer: a pointer value loaded
       from shared memory that designates no live block and never came from
       {!Iw_client.mip_to_ptr}.

@@ -1,0 +1,475 @@
+type severity = Iw_lint.severity
+
+type diagnostic = {
+  l_code : string;
+  l_severity : severity;
+  l_file : string;
+  l_line : int;
+  l_col : int;
+  l_def : string;
+  l_message : string;
+}
+
+(* {2 Tokenizer}
+
+   Comments and literals are stripped but positions are preserved, so a
+   diagnostic points at the real source line.  Dotted access chains come out
+   as one token ([Mutex.lock], [t.lock], [Iw_store.append]) — that is the
+   granularity every check works at. *)
+
+type tok = {
+  t_text : string;
+  t_line : int;
+  t_col : int;
+}
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c =
+  is_ident_start c || (c >= '0' && c <= '9') || c = '\''
+
+(* Tokens plus the suppression table: (code, line) pairs licensed by
+   [(* lck-ok: LCKnnn reason *)] comments — both the comment's first and
+   last line are licensed, and suppression also looks one line down. *)
+let tokenize src =
+  let n = String.length src in
+  let toks = ref [] and allows = Hashtbl.create 8 in
+  let pos = ref 0 and line = ref 1 and col = ref 0 in
+  let advance () =
+    (if src.[!pos] = '\n' then begin
+       incr line;
+       col := 0
+     end
+     else incr col);
+    incr pos
+  in
+  let record_allow comment first_line last_line =
+    match String.index_opt comment 'l' with
+    | _ when not (String.length comment > 0) -> ()
+    | _ ->
+      let has_marker =
+        let marker = "lck-ok" in
+        let lm = String.length marker in
+        let rec find i =
+          i + lm <= String.length comment
+          && (String.sub comment i lm = marker || find (i + 1))
+        in
+        find 0
+      in
+      if has_marker then begin
+        (* every LCKnnn mentioned is licensed on the comment's lines *)
+        let cl = String.length comment in
+        for i = 0 to cl - 6 do
+          if
+            String.sub comment i 3 = "LCK"
+            && (let d c = c >= '0' && c <= '9' in
+                d comment.[i + 3] && d comment.[i + 4] && d comment.[i + 5])
+          then begin
+            let code = String.sub comment i 6 in
+            Hashtbl.replace allows (code, first_line) ();
+            Hashtbl.replace allows (code, last_line) ()
+          end
+        done
+      end
+  in
+  while !pos < n do
+    let c = src.[!pos] in
+    if c = '(' && !pos + 1 < n && src.[!pos + 1] = '*' then begin
+      (* nested comment *)
+      let first_line = !line in
+      let buf = Buffer.create 32 in
+      let depth = ref 0 in
+      let continue = ref true in
+      while !continue && !pos < n do
+        if !pos + 1 < n && src.[!pos] = '(' && src.[!pos + 1] = '*' then begin
+          incr depth;
+          advance ();
+          advance ()
+        end
+        else if !pos + 1 < n && src.[!pos] = '*' && src.[!pos + 1] = ')' then begin
+          decr depth;
+          advance ();
+          advance ();
+          if !depth = 0 then continue := false
+        end
+        else begin
+          Buffer.add_char buf src.[!pos];
+          advance ()
+        end
+      done;
+      record_allow (Buffer.contents buf) first_line !line
+    end
+    else if c = '"' then begin
+      advance ();
+      let continue = ref true in
+      while !continue && !pos < n do
+        if src.[!pos] = '\\' && !pos + 1 < n then begin
+          advance ();
+          advance ()
+        end
+        else if src.[!pos] = '"' then begin
+          advance ();
+          continue := false
+        end
+        else advance ()
+      done
+    end
+    else if
+      c = '{'
+      &&
+      (* quoted string {|...|} or {tag|...|tag} *)
+      let j = ref (!pos + 1) in
+      while !j < n && src.[!j] >= 'a' && src.[!j] <= 'z' do
+        incr j
+      done;
+      !j < n && src.[!j] = '|'
+    then begin
+      let j = ref (!pos + 1) in
+      while !j < n && src.[!j] >= 'a' && src.[!j] <= 'z' do
+        incr j
+      done;
+      let tag = String.sub src (!pos + 1) (!j - !pos - 1) in
+      let closing = "|" ^ tag ^ "}" in
+      let cl = String.length closing in
+      (* skip opening *)
+      while !pos <= !j do
+        advance ()
+      done;
+      let continue = ref true in
+      while !continue && !pos < n do
+        if !pos + cl <= n && String.sub src !pos cl = closing then begin
+          for _ = 1 to cl do
+            advance ()
+          done;
+          continue := false
+        end
+        else advance ()
+      done
+    end
+    else if c = '\'' then begin
+      (* char literal vs type-variable quote *)
+      if !pos + 1 < n && src.[!pos + 1] = '\\' then begin
+        advance ();
+        advance ();
+        advance ();
+        (* escape body, e.g. '\n' '\123' '\x41' *)
+        while !pos < n && src.[!pos] <> '\'' do
+          advance ()
+        done;
+        if !pos < n then advance ()
+      end
+      else if !pos + 2 < n && src.[!pos + 2] = '\'' then begin
+        advance ();
+        advance ();
+        advance ()
+      end
+      else advance ()
+    end
+    else if is_ident_start c then begin
+      let l = !line and cstart = !col in
+      let buf = Buffer.create 16 in
+      let rec part () =
+        while !pos < n && is_ident_char src.[!pos] do
+          Buffer.add_char buf src.[!pos];
+          advance ()
+        done;
+        if
+          !pos + 1 < n
+          && src.[!pos] = '.'
+          && is_ident_start src.[!pos + 1]
+        then begin
+          Buffer.add_char buf '.';
+          advance ();
+          part ()
+        end
+      in
+      part ();
+      toks := { t_text = Buffer.contents buf; t_line = l; t_col = cstart } :: !toks
+    end
+    else if c >= '0' && c <= '9' then begin
+      while
+        !pos < n
+        &&
+        let d = src.[!pos] in
+        is_ident_char d || d = '.'
+      do
+        advance ()
+      done
+    end
+    else advance ()
+  done;
+  (Array.of_list (List.rev !toks), allows)
+
+(* {2 Vocabulary} *)
+
+let raising_tokens =
+  [
+    "raise"; "failwith"; "invalid_arg"; "assert"; "Option.get"; "List.hd"; "List.tl";
+    "List.find"; "Hashtbl.find"; "open_in"; "open_out"; "open_in_bin"; "open_out_bin";
+    "int_of_string"; "Sys.getenv"; "try";
+  ]
+
+let blocking_tokens =
+  [
+    "Unix.fsync"; "Unix.write"; "Unix.read"; "Unix.single_write"; "Unix.select";
+    "Unix.connect"; "Unix.accept"; "Unix.sleep"; "Unix.sleepf"; "Thread.delay";
+    "output_string"; "output_bytes"; "output_char"; "flush"; "input_line";
+    "really_input"; "really_input_string"; "open_in"; "open_out"; "open_in_bin";
+    "open_out_bin"; "Iw_store.append"; "Iw_store.truncate"; "Iw_store.write_atomically";
+  ]
+
+let mutation_tokens =
+  [
+    "Hashtbl.replace"; "Hashtbl.add"; "Hashtbl.remove"; "Hashtbl.reset"; "Hashtbl.clear";
+    "Queue.push"; "Queue.add"; "Queue.pop"; "Queue.take"; "Queue.clear"; "Queue.transfer";
+  ]
+
+(* {2 Per-definition analysis} *)
+
+type region = {
+  rg_start : int;  (** token index of the [Mutex.lock] (or 0 for [_locked]) *)
+  rg_end : int;  (** inclusive token index *)
+  rg_expr : string option;  (** lock expression; [None] for [_locked] bodies *)
+}
+
+let ends_with suffix s =
+  let ls = String.length s and lx = String.length suffix in
+  ls >= lx && String.sub s (ls - lx) lx = suffix
+
+let lock_expr toks i =
+  if i + 1 < Array.length toks && is_ident_start toks.(i + 1).t_text.[0] then
+    Some toks.(i + 1).t_text
+  else None
+
+let analyze_def ~file ~allows ~name (toks : tok array) =
+  let out = ref [] in
+  let emit code sev t fmt =
+    Printf.ksprintf
+      (fun message ->
+        if
+          not
+            (Hashtbl.mem allows (code, t.t_line)
+            || Hashtbl.mem allows (code, t.t_line - 1))
+        then
+          out :=
+            {
+              l_code = code;
+              l_severity = sev;
+              l_file = file;
+              l_line = t.t_line;
+              l_col = t.t_col;
+              l_def = name;
+              l_message = message;
+            }
+            :: !out)
+      fmt
+  in
+  let n = Array.length toks in
+  let find_from i pred =
+    let rec go i = if i >= n then None else if pred i then Some i else go (i + 1) in
+    go i
+  in
+  let is_unlock_of expr i =
+    toks.(i).t_text = "Mutex.unlock"
+    && match (expr, lock_expr toks i) with
+       | Some e, Some e' -> e = e'
+       | _, _ -> true
+  in
+  let regions = ref [] in
+  if ends_with "_locked" name then
+    regions := { rg_start = 0; rg_end = n - 1; rg_expr = None } :: !regions;
+  (* LCK001 + region construction per Mutex.lock site *)
+  Array.iteri
+    (fun i t ->
+      if t.t_text = "Mutex.lock" then begin
+        let expr = lock_expr toks i in
+        let expr_s = Option.value expr ~default:"<computed>" in
+        let protect = find_from (i + 1) (fun j -> toks.(j).t_text = "Fun.protect") in
+        let unlock = find_from (i + 2) (fun j -> is_unlock_of expr j) in
+        match (protect, unlock) with
+        | Some fp, u when u = None || fp < Option.get u ->
+          (* Fun.protect style: the lock is held for the rest of the
+             definition as far as this lint can see. *)
+          if u = None then
+            emit "LCK001" Iw_lint.Error t
+              "Mutex.lock %s followed by Fun.protect, but no Mutex.unlock %s appears in \
+               this definition — the ~finally must release the lock"
+              expr_s expr_s;
+          regions := { rg_start = i; rg_end = n - 1; rg_expr = expr } :: !regions
+        | _, None ->
+          emit "LCK001" Iw_lint.Error t
+            "Mutex.lock %s is never unlocked in this definition and no Fun.protect \
+             guards it — any exception (or fall-through) leaves the mutex held"
+            expr_s;
+          regions := { rg_start = i; rg_end = n - 1; rg_expr = expr } :: !regions
+        | _, Some ju ->
+          (* plain lock/unlock region: safe only if nothing in between can
+             raise *)
+          (let rec scan j =
+             if j < ju then
+               let x = toks.(j).t_text in
+               if List.mem x raising_tokens then
+                 emit "LCK001" Iw_lint.Error toks.(j)
+                   "'%s' can raise while %s is held; unlock at line %d is skipped — use \
+                    Fun.protect ~finally:(fun () -> Mutex.unlock %s)"
+                   x expr_s toks.(ju).t_line expr_s
+               else scan (j + 1)
+           in
+           scan (i + 2));
+          regions := { rg_start = i; rg_end = ju; rg_expr = expr } :: !regions
+      end)
+    toks;
+  let regions = !regions in
+  (* For LCK004 the region of a lock site extends to the LAST matching
+     unlock: an early unlock-then-raise branch must not make the straight
+     path's mutations look unlocked.  (Over-approximating the locked span
+     only weakens LCK004, never misfires it.) *)
+  let in_wide_region j =
+    List.exists
+      (fun r ->
+        j >= r.rg_start
+        &&
+        let last =
+          let rec go k best =
+            if k >= n then best
+            else go (k + 1) (if is_unlock_of r.rg_expr k then k else best)
+          in
+          go r.rg_end r.rg_end
+        in
+        j <= last)
+      regions
+  in
+  (* LCK002: blocking calls inside any region *)
+  List.iter
+    (fun r ->
+      for j = r.rg_start + 1 to r.rg_end - 1 do
+        let x = toks.(j).t_text in
+        if List.mem x blocking_tokens then
+          emit "LCK002" Iw_lint.Warning toks.(j)
+            "blocking call '%s' while holding %s — every other thread contending for \
+             the lock stalls behind it"
+            x
+            (match r.rg_expr with
+            | Some e -> Printf.sprintf "'%s'" e
+            | None -> "the caller's lock (definition is *_locked)")
+      done)
+    regions;
+  (* LCK003: nested acquisition out of canonical order *)
+  List.iter
+    (fun r ->
+      match r.rg_expr with
+      | None -> ()
+      | Some outer ->
+        for j = r.rg_start + 1 to min (r.rg_end - 1) (n - 1) do
+          if toks.(j).t_text = "Mutex.lock" then
+            match lock_expr toks j with
+            | Some inner when inner = outer ->
+              emit "LCK003" Iw_lint.Error toks.(j)
+                "re-acquisition of '%s' while already holding it — self-deadlock" outer
+            | Some inner when String.compare inner outer < 0 ->
+              emit "LCK003" Iw_lint.Error toks.(j)
+                "nested acquisition of '%s' while holding '%s' violates the canonical \
+                 (lexicographic) lock order — the opposite nesting elsewhere deadlocks"
+                inner outer
+            | _ -> ()
+        done)
+    regions;
+  (* LCK004: shared-table mutation outside every lock region, in a
+     definition that uses locks *)
+  if regions <> [] && not (ends_with "_locked" name) then
+    Array.iteri
+      (fun j t ->
+        if List.mem t.t_text mutation_tokens && not (in_wide_region j) then
+          emit "LCK004" Iw_lint.Warning t
+            "'%s' mutates a shared table outside the lock region this definition uses \
+             elsewhere — readers under the lock can observe the mutation mid-flight"
+            t.t_text)
+      toks;
+  List.rev !out
+
+(* {2 Driver} *)
+
+let split_defs (toks : tok array) =
+  (* a toplevel [let]/[and] is one at column 0; everything before the first
+     is scanned as a definition of its own ("<toplevel>") *)
+  let n = Array.length toks in
+  let boundaries = ref [] in
+  Array.iteri
+    (fun i t -> if t.t_col = 0 && (t.t_text = "let" || t.t_text = "and") then
+        boundaries := i :: !boundaries)
+    toks;
+  let boundaries = List.rev !boundaries in
+  let name_at i =
+    (* let [rec] <name> ... *)
+    let j = if i + 1 < n && toks.(i + 1).t_text = "rec" then i + 2 else i + 1 in
+    if j < n && is_ident_start toks.(j).t_text.[0] then toks.(j).t_text else "_"
+  in
+  let rec go acc = function
+    | [] -> List.rev acc
+    | [ b ] -> List.rev (((name_at b, b, n - 1)) :: acc)
+    | b :: (b' :: _ as rest) -> go ((name_at b, b, b' - 1) :: acc) rest
+  in
+  let defs = go [] boundaries in
+  match boundaries with
+  | [] when n > 0 -> [ ("<toplevel>", 0, n - 1) ]
+  | 0 :: _ | [] -> defs
+  | b :: _ -> ("<toplevel>", 0, b - 1) :: defs
+
+let lint_string ~file src =
+  let toks, allows = tokenize src in
+  split_defs toks
+  |> List.concat_map (fun (name, s, e) ->
+         analyze_def ~file ~allows ~name (Array.sub toks s (e - s + 1)))
+
+let rec ml_files path =
+  if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list |> List.sort String.compare
+    |> List.filter (fun e ->
+           e <> "_build" && String.length e > 0 && e.[0] <> '.')
+    |> List.concat_map (fun e -> ml_files (Filename.concat path e))
+  else if ends_with ".ml" path then [ path ]
+  else []
+
+let lint_files paths =
+  try
+    let files =
+      List.concat_map
+        (fun p ->
+          if not (Sys.file_exists p) then
+            failwith (Printf.sprintf "%s: no such file or directory" p)
+          else ml_files p)
+        paths
+    in
+    Ok
+      (List.concat_map
+         (fun f ->
+           let ic = open_in_bin f in
+           let src =
+             Fun.protect
+               ~finally:(fun () -> close_in_noerr ic)
+               (fun () -> really_input_string ic (in_channel_length ic))
+           in
+           lint_string ~file:f src)
+         files)
+  with
+  | Failure m -> Error m
+  | Sys_error m -> Error m
+
+let rank = function Iw_lint.Error -> 2 | Iw_lint.Warning -> 1 | Iw_lint.Note -> 0
+
+let worst ds =
+  List.fold_left
+    (fun acc d ->
+      match acc with
+      | Some s when rank s >= rank d.l_severity -> acc
+      | _ -> Some d.l_severity)
+    None ds
+
+let severity_name = function
+  | Iw_lint.Error -> "error"
+  | Iw_lint.Warning -> "warning"
+  | Iw_lint.Note -> "note"
+
+let pp_diagnostic ppf d =
+  Format.fprintf ppf "%s:%d:%d: %s %s (%s): %s" d.l_file d.l_line d.l_col d.l_code
+    (severity_name d.l_severity) d.l_def d.l_message

@@ -1,0 +1,65 @@
+(** Source-level lock-discipline lint over the OCaml tree.
+
+    A token-level scan (comments and string literals stripped, positions
+    kept) of [.ml] files for the mutex-handling hazards that make the
+    one-big-lock server dangerous to shard — the static companion to the
+    runtime sanitizer (SAN01–09) and the protocol model ({!Iw_model}).  It
+    is a lint, not a type system: heuristic by design, tuned to this
+    repository's idioms.
+
+    Codes:
+    - [LCK001] {e error} — [Mutex.lock] without a [Fun.protect ~finally]
+      unlock on all paths: the lock region (up to the first matching
+      [Mutex.unlock]) contains a construct that can raise — [raise],
+      [failwith], [assert], a partial accessor such as [Option.get] /
+      [List.hd] / [Hashtbl.find], channel opens, or a [try] — or the
+      definition never unlocks at all.  An exception there leaves the mutex
+      held forever.
+    - [LCK002] {e warning} — blocking call while holding a lock: file or
+      socket I/O, [fsync], sleeps, or a durability-layer append/truncate
+      inside a lock region.  Under the global server lock this serializes
+      every client behind the disk (ROADMAP item 1); flag it now so the
+      sharded server never inherits it silently.  [Condition.wait] is
+      exempt (it releases the mutex).
+    - [LCK003] {e error} — nested acquisition violating the canonical lock
+      order: taking mutex [B] while holding [A] when the normalized
+      expression texts order [B < A] (or re-acquiring the same mutex).
+      Keeping every nesting in one lexicographic order makes deadlock
+      impossible by construction.
+    - [LCK004] {e warning} — shared-table mutation outside any lock region
+      in a definition that also uses the table under a lock elsewhere:
+      a [Hashtbl]/[Queue] mutation reachable without the mutex the rest of
+      the definition relies on.
+
+    Conventions the lint understands:
+    - A definition whose name ends in [_locked] is treated as executing
+      entirely under its caller's lock: its body is scanned for LCK002/003
+      and its mutations count as locked, and it is exempt from LCK001.
+    - An [(* lck-ok: LCK002 reason *)] comment on the same or the preceding
+      line suppresses that code there; the reason is mandatory by
+      convention and reviewed like any other code. *)
+
+type severity = Iw_lint.severity
+
+type diagnostic = {
+  l_code : string;  (** stable, e.g. ["LCK002"] *)
+  l_severity : severity;
+  l_file : string;
+  l_line : int;
+  l_col : int;
+  l_def : string;  (** enclosing toplevel definition *)
+  l_message : string;
+}
+
+val lint_string : file:string -> string -> diagnostic list
+(** Lint one compilation unit's source text.  Diagnostics in source order. *)
+
+val lint_files : string list -> (diagnostic list, string) result
+(** Lint every [.ml] file under the given files/directories (recursive,
+    [_build] and dot-directories skipped), in path order.  [Error] when a
+    path does not exist or reading fails. *)
+
+val worst : diagnostic list -> severity option
+
+val pp_diagnostic : Format.formatter -> diagnostic -> unit
+(** [file:line:col: code severity (def): message]. *)

@@ -628,7 +628,9 @@ let fresh_seg name =
    fsync file, rename, fsync directory), so a crash mid-checkpoint leaves
    either the old complete file or the new one — and a file that fails
    validation at load is quarantined, with the write-ahead log as the
-   fallback, instead of aborting startup. *)
+   fallback, instead of aborting startup.  IWCKPT03 appends the segment's
+   release-dedup table, which must survive the log truncation the
+   checkpoint performs. *)
 
 let write_checkpoint dir seg =
   let buf = Iw_wire.Buf.create ~capacity:65536 () in
@@ -691,6 +693,20 @@ let write_checkpoint dir seg =
     if n.kind <> Tail then walk n.next
   in
   walk seg.s_head.next;
+  (* Since IWCKPT03 the release-dedup table rides in the checkpoint.  The
+     checkpoint truncates the write-ahead log — whose commit records are the
+     only other place the table can be rebuilt from — so without this
+     section, commit -> crash -> recover -> checkpoint -> crash -> recover
+     refuses a client's retried release and forces a duplicate re-apply
+     (Iw_model invariant MDL04; `iw-check --model --crash --model-broken
+     no-dedup-rebuild` prints the five-step schedule). *)
+  Iw_wire.Buf.u32 buf (Hashtbl.length seg.s_releases);
+  Hashtbl.iter
+    (fun session (from_v, v) ->
+      Iw_wire.Buf.u32 buf session;
+      Iw_wire.Buf.u32 buf from_v;
+      Iw_wire.Buf.u32 buf v)
+    seg.s_releases;
   let path =
     Filename.concat dir
       (Iw_store.escape_name seg.s_name ^ Iw_store.checkpoint_suffix)
@@ -764,6 +780,13 @@ let read_checkpoint path =
       seg.s_total_units <- seg.s_total_units + sb.sb_pcount;
       seg.s_data_bytes <- seg.s_data_bytes + Bytes.length sb.sb_data
     | t -> raise (Iw_wire.Malformed (Printf.sprintf "bad checkpoint node tag %d" t))
+  done;
+  let nreleases = Iw_wire.Reader.u32 r in
+  for _ = 1 to nreleases do
+    let session = Iw_wire.Reader.u32 r in
+    let from_v = Iw_wire.Reader.u32 r in
+    let v = Iw_wire.Reader.u32 r in
+    Hashtbl.replace seg.s_releases session (from_v, v)
   done;
   seg
 
@@ -969,6 +992,10 @@ let checkpoint_locked t =
       (fun _ seg ->
         write_checkpoint dir seg;
         match t.t_store with
+        (* lck-ok: LCK002 the checkpoint is a log barrier: truncating under
+           the lock is what makes "checkpoint then truncate" atomic with
+           respect to concurrent commits.  ROADMAP item 1 moves this to a
+           per-shard group commit off the hot path. *)
         | Some store -> Iw_store.truncate store ~segment:seg.s_name
         | None -> ())
       t.segs
@@ -1182,6 +1209,10 @@ let handle_locked t (req : Iw_proto.request) : Iw_proto.response =
            and kills the connection — no ack without a durable record. *)
         (match t.t_store with
         | Some store when v > before ->
+          (* lck-ok: LCK002 log-before-ack requires the append inside the
+             commit's critical section; Iw_model invariant MDL02 is the
+             spec.  ROADMAP item 1 replaces this with per-shard group
+             commit rather than moving the append outside the lock. *)
           Iw_store.append store ~segment:name
             (Iw_store.Commit { session; version = v; diff })
         | _ -> ());
@@ -1219,6 +1250,9 @@ let handle_locked t (req : Iw_proto.request) : Iw_proto.response =
          replayed Create diff needs its descriptor already adopted. *)
       match t.t_store with
       | Some store ->
+        (* lck-ok: LCK002 descriptor registration must be durable before
+           R_serial goes out, same log-before-ack discipline as commits
+           (ROADMAP item 1 for the group-commit plan). *)
         Iw_store.append store ~segment:name
           (Iw_store.Desc { serial; version = seg.s_version; desc })
       | None -> ()

@@ -102,7 +102,7 @@ let log_suffix = ".wal"
 
 let checkpoint_suffix = ".ckpt"
 
-let checkpoint_magic = "IWCKPT02"
+let checkpoint_magic = "IWCKPT03"
 
 (* Low-level durability primitives. *)
 

@@ -103,8 +103,11 @@ val note_recovery_us : t -> float -> unit
     Used by the server's checkpoint writer and by the offline validator. *)
 
 val checkpoint_magic : string
-(** ["IWCKPT02"] — version 2 adds the CRC trailer; version-1 files fail
-    validation and are quarantined, falling back to log replay. *)
+(** ["IWCKPT03"] — version 2 adds the CRC trailer, version 3 the
+    release-dedup table (the checkpoint is a log barrier, so without it a
+    release retried across checkpoint-then-crash is refused — Iw_model
+    invariant MDL04).  Older files fail validation and are quarantined,
+    falling back to log replay. *)
 
 val seal : string -> string
 (** Append a CRC-32 trailer over the whole body. *)

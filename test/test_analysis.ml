@@ -229,7 +229,27 @@ let test_san08_lock_order_inversion () =
   rl_acquire h1;
   rl_release h1;
   rl_release h2;
-  Alcotest.(check (list string)) "SAN08" [ "SAN08" ] (san_codes s)
+  Alcotest.(check (list string)) "SAN08" [ "SAN08" ] (san_codes s);
+  (* the report must carry its witnesses: both segment names and the two
+     acquisition sites (the inverting one and the earlier one it
+     contradicts) *)
+  let msg =
+    match
+      List.find_opt (fun r -> r.Iw_sanitizer.r_code = "SAN08") (Iw_sanitizer.reports s)
+    with
+    | Some r -> r.Iw_sanitizer.r_message
+    | None -> Alcotest.fail "no SAN08 report"
+  in
+  Alcotest.(check bool) ("names ord1: " ^ msg) true (contains_sub msg "'san/ord1'");
+  Alcotest.(check bool) ("names ord2: " ^ msg) true (contains_sub msg "'san/ord2'");
+  Alcotest.(check bool)
+    ("names the inverting acquisition: " ^ msg)
+    true
+    (contains_sub msg "acquisition #4 (read_lock 'san/ord1' while holding 'san/ord2')");
+  Alcotest.(check bool)
+    ("names the earlier witness: " ^ msg)
+    true
+    (contains_sub msg "acquisition #2 (read_lock 'san/ord2' while holding 'san/ord1')")
 
 let test_san09_unswizzled_deref () =
   let _server, c, s = fresh () in
@@ -440,6 +460,108 @@ let test_server_rejects_corrupt_diff () =
   | Proto.R_granted _ -> ()
   | _ -> Alcotest.fail "segment wedged after rejected diff"
 
+(* {1 Lock-discipline source lint} *)
+
+let lck_codes src =
+  Iw_src_lint.lint_string ~file:"fixture.ml" src
+  |> List.map (fun d -> d.Iw_src_lint.l_code)
+
+let test_lck001_raise_in_region () =
+  Alcotest.(check (list string)) "failwith under plain lock" [ "LCK001" ]
+    (lck_codes "let bad m =\n  Mutex.lock m;\n  failwith \"boom\";\n  Mutex.unlock m\n");
+  Alcotest.(check (list string)) "never unlocked" [ "LCK001" ]
+    (lck_codes "let worse m =\n  Mutex.lock m;\n  ignore m\n");
+  Alcotest.(check (list string)) "straight-line region is fine" []
+    (lck_codes "let ok m q x =\n  Mutex.lock m;\n  Queue.push x q;\n  Mutex.unlock m\n");
+  Alcotest.(check (list string)) "Fun.protect is fine" []
+    (lck_codes
+       "let ok m f =\n\
+       \  Mutex.lock m;\n\
+       \  Fun.protect ~finally:(fun () -> Mutex.unlock m) f\n");
+  (* an early unlock on the raising branch ends the region first *)
+  Alcotest.(check (list string)) "unlock-then-raise is fine" []
+    (lck_codes
+       "let ok m =\n\
+       \  Mutex.lock m;\n\
+       \  if closed then begin Mutex.unlock m; raise Exit end;\n\
+       \  Mutex.unlock m\n")
+
+let test_lck002_blocking_under_lock () =
+  Alcotest.(check (list string)) "fsync in protect region" [ "LCK002" ]
+    (lck_codes
+       "let slow m fd =\n\
+       \  Mutex.lock m;\n\
+       \  Fun.protect ~finally:(fun () -> Mutex.unlock m) (fun () -> Unix.fsync fd)\n");
+  Alcotest.(check (list string)) "store append in a *_locked body" [ "LCK002" ]
+    (lck_codes "let commit_locked store seg =\n  Iw_store.append store seg\n");
+  Alcotest.(check (list string)) "I/O after unlock is fine" []
+    (lck_codes "let ok m oc =\n  Mutex.lock m;\n  Mutex.unlock m;\n  flush oc\n")
+
+let test_lck003_lock_order () =
+  Alcotest.(check (list string)) "out-of-order nesting" [ "LCK003" ]
+    (lck_codes
+       "let bad b_mu a_mu =\n\
+       \  Mutex.lock b_mu;\n\
+       \  Mutex.lock a_mu;\n\
+       \  Mutex.unlock a_mu;\n\
+       \  Mutex.unlock b_mu\n");
+  Alcotest.(check (list string)) "canonical nesting is fine" []
+    (lck_codes
+       "let ok a_mu b_mu =\n\
+       \  Mutex.lock a_mu;\n\
+       \  Mutex.lock b_mu;\n\
+       \  Mutex.unlock b_mu;\n\
+       \  Mutex.unlock a_mu\n");
+  Alcotest.(check (list string)) "re-acquisition" [ "LCK003" ]
+    (lck_codes "let bad m =\n  Mutex.lock m;\n  Mutex.lock m;\n  Mutex.unlock m\n")
+
+let test_lck004_unlocked_mutation () =
+  Alcotest.(check (list string)) "mutation outside the region" [ "LCK004" ]
+    (lck_codes
+       "let bad m tbl k v =\n\
+       \  Hashtbl.replace tbl k v;\n\
+       \  Mutex.lock m;\n\
+       \  ignore (Hashtbl.find_opt tbl k);\n\
+       \  Mutex.unlock m\n");
+  Alcotest.(check (list string)) "mutation under the region is fine" []
+    (lck_codes
+       "let ok m tbl k v =\n\
+       \  Mutex.lock m;\n\
+       \  Hashtbl.replace tbl k v;\n\
+       \  Mutex.unlock m\n")
+
+let test_lck_allow_comment () =
+  Alcotest.(check (list string)) "lck-ok on the preceding line suppresses" []
+    (lck_codes
+       "let slow m fd =\n\
+       \  Mutex.lock m;\n\
+       \  Fun.protect ~finally:(fun () -> Mutex.unlock m) (fun () ->\n\
+       \    (* lck-ok: LCK002 log-before-ack needs the append in the critical section *)\n\
+       \    Unix.fsync fd)\n");
+  (* the wrong code does not suppress *)
+  Alcotest.(check (list string)) "other codes unaffected" [ "LCK002" ]
+    (lck_codes
+       "let slow m fd =\n\
+       \  Mutex.lock m;\n\
+       \  Fun.protect ~finally:(fun () -> Mutex.unlock m) (fun () ->\n\
+       \    (* lck-ok: LCK001 wrong code *)\n\
+       \    Unix.fsync fd)\n")
+
+let test_lck_diagnostic_shape () =
+  match Iw_src_lint.lint_string ~file:"fixture.ml"
+          "let bad m =\n  Mutex.lock m;\n  failwith \"boom\";\n  Mutex.unlock m\n"
+  with
+  | [ d ] ->
+    Alcotest.(check string) "file" "fixture.ml" d.Iw_src_lint.l_file;
+    Alcotest.(check string) "def" "bad" d.Iw_src_lint.l_def;
+    Alcotest.(check int) "line of the raising call" 3 d.Iw_src_lint.l_line;
+    Alcotest.(check bool) "is an error" true
+      (d.Iw_src_lint.l_severity = Iw_lint.Error);
+    let rendered = Format.asprintf "%a" Iw_src_lint.pp_diagnostic d in
+    Alcotest.(check bool) ("renders position: " ^ rendered) true
+      (contains_sub rendered "fixture.ml:3:")
+  | ds -> Alcotest.failf "expected exactly one diagnostic, got %d" (List.length ds)
+
 let suite =
   ( "analysis",
     [
@@ -470,4 +592,13 @@ let suite =
       Alcotest.test_case "wire: corrupted diffs rejected" `Quick test_wire_rejects_corrupted;
       Alcotest.test_case "wire: server rejects and releases lock" `Quick
         test_server_rejects_corrupt_diff;
+      Alcotest.test_case "lck: LCK001 unprotected unlock paths" `Quick
+        test_lck001_raise_in_region;
+      Alcotest.test_case "lck: LCK002 blocking under lock" `Quick
+        test_lck002_blocking_under_lock;
+      Alcotest.test_case "lck: LCK003 lock order" `Quick test_lck003_lock_order;
+      Alcotest.test_case "lck: LCK004 unlocked mutation" `Quick
+        test_lck004_unlocked_mutation;
+      Alcotest.test_case "lck: lck-ok suppression" `Quick test_lck_allow_comment;
+      Alcotest.test_case "lck: diagnostic shape" `Quick test_lck_diagnostic_shape;
     ] )

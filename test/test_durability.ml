@@ -253,6 +253,67 @@ let test_checkpoint_bounds_log () =
       let af = (Option.get (I.Client.find_named_block gf "xs")).Iw_mem.b_addr in
       Alcotest.(check int) "last write survived" 99 (I.Client.read_int f af))
 
+(* IWCKPT03: the release-dedup table rides in the checkpoint.  This is the
+   model checker's MDL04 schedule (lock, release, crash, recover, retry)
+   with a checkpoint wedged between the commit and the crash: the
+   checkpoint truncates the log, so if the dedup table lived only in WAL
+   commit records the retried release would be refused after restart.  It
+   must instead be answered with the already-committed version. *)
+let test_dedup_survives_checkpoint () =
+  let dir = tmpdir () in
+  let name = "dur/dedup" in
+  let t = Iw_server.create ~checkpoint_dir:dir () in
+  let session =
+    match Iw_server.handle t (Iw_proto.Hello { arch = "x86_32" }) with
+    | Iw_proto.R_hello { session } -> session
+    | _ -> Alcotest.fail "hello failed"
+  in
+  (match Iw_server.handle t (Iw_proto.Open_segment { session; name; create = true }) with
+  | Iw_proto.R_segment _ -> ()
+  | _ -> Alcotest.fail "open failed");
+  let desc_serial =
+    match
+      Iw_server.handle t
+        (Iw_proto.Register_desc
+           { session; name; desc = Iw_types.Array (Prim Iw_arch.Int, 4) })
+    with
+    | Iw_proto.R_serial s -> s
+    | _ -> Alcotest.fail "register failed"
+  in
+  let payload =
+    let buf = Iw_wire.Buf.create () in
+    for i = 1 to 4 do
+      Iw_wire.Buf.u32 buf i
+    done;
+    Iw_wire.Buf.contents buf
+  in
+  let diff =
+    {
+      Iw_wire.Diff.from_version = 0;
+      to_version = 1;
+      new_descs = [];
+      changes = [ Iw_wire.Diff.Create { serial = 1; name = Some "xs"; desc_serial; payload } ];
+    }
+  in
+  (match Iw_server.handle t (Iw_proto.Write_lock { session; name; version = 0 }) with
+  | Iw_proto.R_granted _ -> ()
+  | _ -> Alcotest.fail "lock refused");
+  let v =
+    match Iw_server.handle t (Iw_proto.Write_release { session; name; diff }) with
+    | Iw_proto.R_version v -> v
+    | _ -> Alcotest.fail "release failed"
+  in
+  Alcotest.(check int) "committed" 1 v;
+  (* The log barrier: after this the WAL holds no commit records, so only
+     the checkpoint can carry the dedup entry across the restart. *)
+  Iw_server.checkpoint t;
+  let t2 = Iw_server.create ~checkpoint_dir:dir () in
+  match Iw_server.handle t2 (Iw_proto.Write_release { session; name; diff }) with
+  | Iw_proto.R_version v' ->
+    Alcotest.(check int) "retry answered with the committed version" v v'
+  | Iw_proto.R_error e -> Alcotest.failf "retried release refused: %s" e
+  | _ -> Alcotest.fail "unexpected response to retried release"
+
 (* A checkpoint that fails validation is quarantined — kept as evidence,
    never half-loaded — and the segment falls back to log replay. *)
 let test_corrupt_checkpoint_quarantined () =
@@ -420,6 +481,8 @@ let suite =
       Alcotest.test_case "checkpoint CRC trailer" `Quick test_checkpoint_seal;
       Alcotest.test_case "restart replays the log" `Quick test_wal_replay_equals_direct;
       Alcotest.test_case "checkpoint bounds the log" `Quick test_checkpoint_bounds_log;
+      Alcotest.test_case "release dedup survives checkpoint" `Quick
+        test_dedup_survives_checkpoint;
       Alcotest.test_case "corrupt checkpoint quarantined" `Quick
         test_corrupt_checkpoint_quarantined;
       Alcotest.test_case "frame CRC detects garbling" `Quick test_frame_crc;
