@@ -1,0 +1,213 @@
+(* Standalone driver for the open-loop YCSB-style macro-benchmark
+   (Ycsb_core).  `bench/ycsb.exe --clients 500 --json` runs the workload
+   and writes the results as the "ycsb" figure of the standard BENCH JSON
+   document.  Runs cleanly under IW_FAULT plans (workers retry and
+   reconnect) and with a durable server (--store/--fsync). *)
+
+module C = Ycsb_core
+
+open Cmdliner
+
+let clients =
+  Arg.(
+    value
+    & opt int C.default.C.clients
+    & info [ "clients" ] ~docv:"N" ~doc:"Simulated clients (one thread each).")
+
+let rate =
+  Arg.(
+    value
+    & opt float C.default.C.rate
+    & info [ "rate" ] ~docv:"OPS"
+        ~doc:"Offered load in operations per second, across all clients (open loop).")
+
+let duration =
+  Arg.(
+    value
+    & opt float C.default.C.duration
+    & info [ "duration" ] ~docv:"SECS" ~doc:"Scheduled load window, seconds.")
+
+let read_pct =
+  Arg.(
+    value
+    & opt float C.default.C.read_pct
+    & info [ "read-pct" ] ~docv:"PCT" ~doc:"Percentage of operations that are reads.")
+
+let segments =
+  Arg.(
+    value
+    & opt int C.default.C.segments
+    & info [ "segments" ] ~docv:"N" ~doc:"Segment count (zipfian popularity).")
+
+let zipf =
+  Arg.(
+    value
+    & opt float C.default.C.zipf_theta
+    & info [ "zipf" ] ~docv:"THETA"
+        ~doc:"Zipfian skew of segment popularity; $(b,0) is uniform.")
+
+let mix_conv =
+  let parse s =
+    try
+      let parts = String.split_on_char ',' s in
+      Ok
+        (List.map
+           (fun p ->
+             match String.split_on_char '=' (String.trim p) with
+             | [ m; w ] ->
+               if not (List.mem m C.model_names) then
+                 failwith ("unknown coherence model " ^ m);
+               (m, float_of_string w)
+             | _ -> failwith "expected model=weight")
+           (List.filter (fun p -> String.trim p <> "") parts))
+    with Failure e -> Error (`Msg e)
+  in
+  let print ppf mix =
+    Format.fprintf ppf "%s"
+      (String.concat "," (List.map (fun (m, w) -> Printf.sprintf "%s=%g" m w) mix))
+  in
+  Arg.conv (parse, print)
+
+let mix =
+  Arg.(
+    value
+    & opt mix_conv C.default.C.mix
+    & info [ "mix" ] ~docv:"MODEL=W,..."
+        ~doc:
+          "Per-client coherence-model mix, e.g. \
+           $(b,full=1,delta=1,temporal=2,diff=0); clients are split \
+           proportionally.")
+
+let delta_k =
+  Arg.(
+    value
+    & opt int C.default.C.delta_k
+    & info [ "delta" ] ~docv:"K" ~doc:"Delta coherence tolerance, versions.")
+
+let temporal_s =
+  Arg.(
+    value
+    & opt float C.default.C.temporal_s
+    & info [ "temporal" ] ~docv:"SECS" ~doc:"Temporal coherence tolerance, seconds.")
+
+let diff_pct =
+  Arg.(
+    value
+    & opt float C.default.C.diff_pct
+    & info [ "diff-pct" ] ~docv:"PCT" ~doc:"Diff coherence tolerance, percent.")
+
+let payload =
+  Arg.(
+    value
+    & opt int C.default.C.payload
+    & info [ "payload" ] ~docv:"DOUBLES" ~doc:"Doubles per segment block.")
+
+let transport_conv =
+  Arg.enum [ ("loopback", C.Loopback); ("tcp", C.Tcp) ]
+
+let transport =
+  Arg.(
+    value
+    & opt transport_conv C.default.C.transport
+    & info [ "transport" ] ~docv:"KIND"
+        ~doc:
+          "$(b,loopback) (in-process framed channel) or $(b,tcp) (an embedded \
+           server on a real socket).")
+
+let host =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "host" ] ~docv:"HOST"
+        ~doc:"Drive an external iw-server at $(docv) (requires $(b,--port)).")
+
+let port =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "port" ] ~docv:"PORT" ~doc:"External server port.")
+
+let store =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "store" ] ~docv:"DIR"
+        ~doc:
+          "Make the embedded server durable (write-ahead log + checkpoint \
+           under $(docv); validatable with $(b,iw-check --store)).")
+
+let fsync_conv =
+  let parse s =
+    match Iw_store.fsync_of_string s with Ok f -> Ok f | Error e -> Error (`Msg e)
+  in
+  Arg.conv (parse, Iw_store.pp_fsync)
+
+let fsync =
+  Arg.(
+    value
+    & opt (some fsync_conv) None
+    & info [ "fsync" ] ~docv:"POLICY"
+        ~doc:"WAL fsync policy for $(b,--store): $(b,always), $(b,never), \
+              or $(b,interval:SECS).")
+
+let seed =
+  Arg.(
+    value
+    & opt int C.default.C.seed
+    & info [ "seed" ] ~docv:"N" ~doc:"PRNG seed (schedules and key picks).")
+
+let json =
+  Arg.(
+    value
+    & opt ~vopt:(Some "BENCH_results.json") (some string) None
+    & info [ "json" ] ~docv:"PATH"
+        ~doc:
+          "Write results as the $(b,ycsb) figure of a BENCH JSON document to \
+           $(docv) (just $(b,--json) writes $(b,BENCH_results.json)); the file \
+           is written atomically.")
+
+let quiet = Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress the summary table.")
+
+let run clients rate duration read_pct segments zipf mix delta_k temporal_s
+    diff_pct payload transport host port store fsync seed json quiet =
+  let cfg =
+    {
+      C.clients;
+      rate;
+      duration;
+      read_pct;
+      segments;
+      zipf_theta = zipf;
+      mix;
+      delta_k;
+      temporal_s;
+      diff_pct;
+      payload;
+      transport;
+      host;
+      port;
+      store;
+      fsync;
+      seed;
+      quiet;
+    }
+  in
+  let r = C.run cfg in
+  (match json with
+  | None -> ()
+  | Some path -> C.write_doc ~quick:(duration <= 3.) path [ ("ycsb", r.C.rows) ]);
+  if r.C.ops = 0 then 1 else 0
+
+let cmd =
+  Cmd.v
+    (Cmd.info "iw-ycsb"
+       ~doc:
+         "Open-loop YCSB-style macro-benchmark: read/write mix, zipfian \
+          segment popularity, per-client coherence-model mix, \
+          coordinated-omission-safe latency and observed staleness.")
+    Term.(
+      const run $ clients $ rate $ duration $ read_pct $ segments $ zipf $ mix
+      $ delta_k $ temporal_s $ diff_pct $ payload $ transport $ host $ port
+      $ store $ fsync $ seed $ json $ quiet)
+
+let () = exit (Cmd.eval' cmd)

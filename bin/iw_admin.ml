@@ -142,6 +142,294 @@ let checkpoint host port =
   link.Iw_proto.close ();
   0
 
+let pp_hex_id id = if id = 0 then "-" else Iw_trace.pp_id id
+
+(* The server's sampled slow-request log: the K slowest requests of the
+   recent windows, slowest first.  Trace/span ids are the ones the client's
+   request envelope carried, so an entry can be looked up directly in the
+   matching Perfetto trace. *)
+let slowlog host port limit json =
+  let link, session = connect host port in
+  (match call_observability link "slowlog" (Iw_proto.Slow_log { session; limit }) with
+  | Iw_proto.R_slow_log entries ->
+    if json then begin
+      let open Iw_obs_json in
+      print_endline
+        (to_string
+           (Arr
+              (List.map
+                 (fun (e : Iw_slowlog.entry) ->
+                   Obj
+                     [
+                       ("t", Num e.Iw_slowlog.e_t);
+                       ("latency_us", Num e.e_latency_us);
+                       ("variant", Str e.e_variant);
+                       ("segment", Str e.e_segment);
+                       ("session", num_int e.e_session);
+                       ("seq", num_int e.e_seq);
+                       ("trace_id", Str (Iw_trace.pp_id e.e_trace_id));
+                       ("span_id", Str (Iw_trace.pp_id e.e_span_id));
+                     ])
+                 entries)))
+    end
+    else if entries = [] then
+      print_endline "slow log is empty (no sampled requests in the recent windows)"
+    else begin
+      Printf.printf "%-12s %11s  %-14s %-24s %7s %6s  %-16s %-16s\n" "TIME" "LAT_US"
+        "VARIANT" "SEGMENT" "SESSION" "SEQ" "TRACE_ID" "SPAN_ID";
+      List.iter
+        (fun (e : Iw_slowlog.entry) ->
+          let tm = Unix.localtime e.Iw_slowlog.e_t in
+          Printf.printf "%02d:%02d:%02d.%03d %11.0f  %-14s %-24s %7d %6d  %-16s %-16s\n"
+            tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec
+            (int_of_float (Float.rem e.Iw_slowlog.e_t 1. *. 1000.))
+            e.e_latency_us e.e_variant
+            (if e.e_segment = "" then "-" else e.e_segment)
+            e.e_session e.e_seq (pp_hex_id e.e_trace_id) (pp_hex_id e.e_span_id))
+        entries
+    end
+  | Iw_proto.R_error _ -> unsupported link "slowlog"
+  | r -> fail_response link "slowlog" r);
+  link.Iw_proto.close ();
+  0
+
+(* ---- iw-admin top: a refreshing terminal dashboard ----
+
+   Polls Server_stats and Segment_stats every interval and renders the
+   WINDOW between consecutive snapshots: counter deltas become rates,
+   histogram bucket-count deltas become a window histogram whose
+   conservative p50/p99 come from Iw_metrics.hist_quantile.  'q' (or
+   ctrl-c) quits; --once renders a single frame and exits, which is also
+   the testable non-tty path. *)
+
+let value_of snap name =
+  match Iw_metrics.find snap name with
+  | Some (Iw_metrics.V_counter v) | Some (Iw_metrics.V_gauge v) -> Some v
+  | _ -> None
+
+let hist_of snap name =
+  match Iw_metrics.find snap name with
+  | Some (Iw_metrics.V_hist hv) -> Some hv
+  | _ -> None
+
+(* "base{segment=\"x\"}" -> Some (base, x); label values in these series
+   come from segment URLs, printed as-is (escapes undone for the common
+   case is not worth it here). *)
+let seg_series name =
+  match String.index_opt name '{' with
+  | Some i when String.length name > i + 10 && String.sub name (i + 1) 9 = "segment=\"" ->
+    let base = String.sub name 0 i in
+    let v_start = i + 10 in
+    (match String.rindex_opt name '"' with
+    | Some j when j > v_start - 1 ->
+      Some (base, String.sub name v_start (j - v_start))
+    | _ -> None)
+  | _ -> None
+
+let hist_delta (old_ : Iw_metrics.hist_view option) (nw : Iw_metrics.hist_view) =
+  match old_ with
+  | None -> nw
+  | Some o when Array.length o.Iw_metrics.hv_counts = Array.length nw.Iw_metrics.hv_counts
+    ->
+    {
+      nw with
+      Iw_metrics.hv_counts =
+        Array.mapi (fun i c -> c - o.Iw_metrics.hv_counts.(i)) nw.Iw_metrics.hv_counts;
+      hv_count = nw.Iw_metrics.hv_count - o.Iw_metrics.hv_count;
+      hv_sum = nw.Iw_metrics.hv_sum -. o.Iw_metrics.hv_sum;
+    }
+  | Some _ -> nw
+
+let fmt_q v =
+  if Float.is_nan v then "-"
+  else if v = infinity then "inf"
+  else if v >= 1e6 then Printf.sprintf "%.1fs" (v /. 1e6)
+  else if v >= 1e4 then Printf.sprintf "%.0fms" (v /. 1e3)
+  else Printf.sprintf "%.0f" v
+
+let fmt_rate v =
+  if Float.abs v >= 1e6 then Printf.sprintf "%.1fM" (v /. 1e6)
+  else if Float.abs v >= 1e4 then Printf.sprintf "%.0fk" (v /. 1e3)
+  else Printf.sprintf "%.0f" v
+
+type top_frame = {
+  f_t : float;
+  f_server : Iw_metrics.snapshot;
+  f_segs : Iw_metrics.snapshot;
+}
+
+let top_fetch link session =
+  let server =
+    match
+      call_observability link "top" (Iw_proto.Server_stats { session })
+    with
+    | Iw_proto.R_server_stats snap -> snap
+    | Iw_proto.R_error _ -> unsupported link "top"
+    | r -> fail_response link "top" r
+  in
+  let segs =
+    match
+      call_observability link "top" (Iw_proto.Segment_stats { session; segment = None })
+    with
+    | Iw_proto.R_segment_stats snap -> snap
+    | Iw_proto.R_error _ -> unsupported link "top"
+    | r -> fail_response link "top" r
+  in
+  { f_t = Unix.gettimeofday (); f_server = server; f_segs = segs }
+
+let render_top ~clear host port prev cur =
+  let dt = Float.max 0.001 (cur.f_t -. prev.f_t) in
+  let buf = Buffer.create 4096 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n') fmt in
+  let rate name =
+    match (value_of prev.f_server name, value_of cur.f_server name) with
+    | Some a, Some b -> (b -. a) /. dt
+    | None, Some b -> b /. dt
+    | _ -> 0.
+  in
+  let total name = Option.value (value_of cur.f_server name) ~default:0. in
+  let tm = Unix.localtime cur.f_t in
+  line "iw-admin top — %s:%d — %02d:%02d:%02d — window %.1fs — q quits" host port
+    tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec dt;
+  line "";
+  line "req/s %-8s bytes in/s %-8s out/s %-8s locks reclaimed %.0f  sessions resumed %.0f  crc errors %.0f"
+    (fmt_rate (rate "iw_server_requests_total"))
+    (fmt_rate (rate "iw_transport_bytes_received_total"))
+    (fmt_rate (rate "iw_transport_bytes_sent_total"))
+    (total "iw_server_locks_reclaimed_total")
+    (total "iw_server_sessions_resumed_total")
+    (total "iw_transport_crc_errors_total");
+  (match hist_of cur.f_server "iw_store_fsync_us" with
+  | Some nw ->
+    let d = hist_delta (hist_of prev.f_server "iw_store_fsync_us") nw in
+    line "wal: fsync/s %s  fsync p99 %sus  appended/s %s"
+      (fmt_rate (float_of_int d.Iw_metrics.hv_count /. dt))
+      (fmt_q (Iw_metrics.hist_quantile d 0.99))
+      (fmt_rate (rate "iw_store_append_bytes_total"))
+  | None -> ());
+  line "";
+  (* Per-variant request latency over the window. *)
+  let prefix = "iw_server_request_us{variant=\"" in
+  let variants =
+    List.filter_map
+      (fun (s : Iw_metrics.sample) ->
+        if String.length s.Iw_metrics.s_name > String.length prefix
+           && String.sub s.Iw_metrics.s_name 0 (String.length prefix) = prefix
+        then
+          match s.Iw_metrics.s_value with
+          | Iw_metrics.V_hist hv ->
+            let v_start = String.length prefix in
+            let v_len = String.length s.Iw_metrics.s_name - v_start - 2 in
+            Some (String.sub s.Iw_metrics.s_name v_start v_len, s.Iw_metrics.s_name, hv)
+          | _ -> None
+        else None)
+      cur.f_server
+  in
+  line "%-16s %8s %9s %9s %9s %9s" "VARIANT" "OPS/S" "P50_US" "P99_US" "P999_US" "TOTAL";
+  List.iter
+    (fun (variant, name, hv) ->
+      let d = hist_delta (hist_of prev.f_server name) hv in
+      if d.Iw_metrics.hv_count > 0 || hv.Iw_metrics.hv_count > 0 then
+        line "%-16s %8s %9s %9s %9s %9d" variant
+          (fmt_rate (float_of_int d.Iw_metrics.hv_count /. dt))
+          (fmt_q (Iw_metrics.hist_quantile d 0.5))
+          (fmt_q (Iw_metrics.hist_quantile d 0.99))
+          (fmt_q (Iw_metrics.hist_quantile d 0.999))
+          hv.Iw_metrics.hv_count)
+    variants;
+  line "";
+  (* Per-segment coherence health over the window. *)
+  let seg_tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (s : Iw_metrics.sample) ->
+      match seg_series s.Iw_metrics.s_name with
+      | Some (_, seg) -> if not (Hashtbl.mem seg_tbl seg) then Hashtbl.add seg_tbl seg ()
+      | None -> ())
+    cur.f_segs;
+  let segs = List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) seg_tbl []) in
+  if segs <> [] then begin
+    line "%-28s %8s %8s %10s %10s %9s" "SEGMENT" "VERSION" "LAG_P99" "STALE_P99" "WLWAIT_P99" "SAVED_B/S";
+    List.iter
+      (fun seg ->
+        let named base = Iw_metrics.with_label base "segment" seg in
+        let q99 base =
+          match hist_of cur.f_segs (named base) with
+          | Some nw -> fmt_q (Iw_metrics.hist_quantile (hist_delta (hist_of prev.f_segs (named base)) nw) 0.99)
+          | None -> "-"
+        in
+        let version =
+          match value_of cur.f_segs (named "iw_server_segment_version") with
+          | Some v -> Printf.sprintf "%.0f" v
+          | None -> "-"
+        in
+        let saved =
+          match
+            ( value_of prev.f_segs (named "iw_seg_diff_bytes_saved_total"),
+              value_of cur.f_segs (named "iw_seg_diff_bytes_saved_total") )
+          with
+          | Some a, Some b -> fmt_rate ((b -. a) /. dt)
+          | None, Some b -> fmt_rate (b /. dt)
+          | _ -> "-"
+        in
+        line "%-28s %8s %8s %10s %10s %9s" seg version (q99 "iw_seg_version_lag")
+          (q99 "iw_seg_staleness_us") (q99 "iw_seg_wl_wait_us") saved)
+      segs
+  end
+  else line "(no per-segment samples yet)";
+  if clear then print_string "\027[2J\027[H";
+  print_string (Buffer.contents buf);
+  flush stdout
+
+(* Raw-ish terminal so a single 'q' (no Enter) quits; restored on exit. *)
+let with_keyboard f =
+  let is_tty = try Unix.isatty Unix.stdin with _ -> false in
+  if not is_tty then f (fun timeout -> Thread.delay timeout; false)
+  else begin
+    let saved = Unix.tcgetattr Unix.stdin in
+    let raw = { saved with Unix.c_icanon = false; c_echo = false; c_vmin = 0; c_vtime = 0 } in
+    Unix.tcsetattr Unix.stdin Unix.TCSADRAIN raw;
+    Fun.protect
+      ~finally:(fun () -> try Unix.tcsetattr Unix.stdin Unix.TCSADRAIN saved with _ -> ())
+      (fun () ->
+        f (fun timeout ->
+            match Unix.select [ Unix.stdin ] [] [] timeout with
+            | [], _, _ -> false
+            | _ ->
+              let b = Bytes.create 1 in
+              (match Unix.read Unix.stdin b 0 1 with
+              | 1 -> Bytes.get b 0 = 'q' || Bytes.get b 0 = 'Q'
+              | _ -> false)
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> false))
+  end
+
+let top host port interval once =
+  let interval = Float.max 0.2 interval in
+  let link, session = connect host port in
+  let first = top_fetch link session in
+  if once then begin
+    (* One window, rendered without clearing the screen: the scriptable
+       (and testable) path. *)
+    Thread.delay (Float.min interval 1.0);
+    let second = top_fetch link session in
+    render_top ~clear:false host port first second;
+    link.Iw_proto.close ();
+    0
+  end
+  else
+    with_keyboard (fun wait_key ->
+        let prev = ref first in
+        let quit = ref false in
+        while not !quit do
+          if wait_key interval then quit := true
+          else begin
+            let cur = top_fetch link session in
+            render_top ~clear:true host port !prev cur;
+            prev := cur
+          end
+        done;
+        link.Iw_proto.close ();
+        0)
+
 let watch host port name =
   (* Subscribe and print a line per version change — a tiny liveness probe
      built on the notification protocol. *)
@@ -211,6 +499,38 @@ let cmds =
       Term.(const checkpoint $ host $ port);
     Cmd.v (Cmd.info "watch" ~doc:"Stream a segment's version changes")
       Term.(const watch $ host $ port $ seg_name);
+    Cmd.v
+      (Cmd.info "slowlog"
+         ~doc:
+           "Dump the server's sampled slow-request log (the K slowest requests \
+            of the recent windows, slowest first, with trace/span ids)")
+      Term.(
+        const slowlog $ host $ port
+        $ Arg.(
+            value
+            & opt int 20
+            & info [ "limit" ] ~docv:"N"
+                ~doc:"Maximum entries to fetch; $(b,0) fetches every retained entry.")
+        $ json_flag);
+    Cmd.v
+      (Cmd.info "top"
+         ~doc:
+           "Refreshing dashboard: windowed request rates and per-variant p50/p99, \
+            WAL fsync latency, and per-segment version lag, staleness, write-lock \
+            wait and diff savings.  Press $(b,q) to quit.")
+      Term.(
+        const top $ host $ port
+        $ Arg.(
+            value
+            & opt float 2.0
+            & info [ "interval" ] ~docv:"SECS" ~doc:"Refresh interval.")
+        $ Arg.(
+            value
+            & flag
+            & info [ "once" ]
+                ~doc:
+                  "Render one frame (a single ~1s window) without clearing the \
+                   screen and exit; for scripts and tests."));
   ]
 
 let () = exit (Cmd.eval' (Cmd.group (Cmd.info "iw-admin" ~doc:"InterWeave server admin") cmds))

@@ -66,7 +66,29 @@ let bench_schema_errors doc =
                 | _ -> err "%s[%d]: expected an object" fig i)
               rows
           | _ -> err "figure %S must be an array of rows" fig)
-        figs
+        figs;
+      (* The ycsb macro-benchmark section, when present, must carry the
+         fields the regression gate and the README's worked example rely
+         on: an "overall" row with throughput and tail percentiles. *)
+      (match List.assoc_opt "ycsb" figs with
+      | None | Some (J.Arr []) -> ()
+      | Some (J.Arr rows) -> (
+        let series row =
+          match row with
+          | J.Obj fs -> List.assoc_opt "series" fs
+          | _ -> None
+        in
+        match List.find_opt (fun r -> series r = Some (J.Str "overall")) rows with
+        | None -> err "ycsb: missing the \"overall\" series row"
+        | Some (J.Obj fs) ->
+          List.iter
+            (fun k ->
+              match List.assoc_opt k fs with
+              | Some (J.Num _) -> ()
+              | _ -> err "ycsb overall row: missing numeric field %S" k)
+            [ "throughput_ops_per_s"; "p50_us"; "p99_us"; "p999_us" ]
+        | Some _ -> ())
+      | Some _ -> ())
     | _ -> err "\"figures\" must be an object");
   List.rev !errs
 
@@ -303,7 +325,23 @@ let run_race paths werror =
    fields, or its first numeric field when it has none) and each shared
    numeric field contributes the ratio new/old; a figure regresses when the
    median ratio exceeds 1.20 (all benchmark metrics are lower-is-better).
-   Rows or figures missing from NEW fail the comparison outright. *)
+   Rows or figures missing from NEW fail the comparison outright.
+
+   The ycsb macro-benchmark section is noisier than the micro-benchmarks
+   (it measures an open-loop distributed workload, not a kernel), so only
+   its load-bearing cells are compared at all — throughput and the latency
+   percentiles — and of those, the "overall" row's throughput/p50/p90/p99
+   are additionally gated individually: a regression there must fail even
+   when the figure's median stays flat.  The p999 and per-coherence-model
+   cells come from too few tail samples in a quick run to gate one by one;
+   they feed only the median.  Throughput is higher-is-better; its ratio
+   is inverted (old/new) so the same >1.20 threshold still means
+   "regression". *)
+
+let ycsb_compared_fields =
+  [ "throughput_ops_per_s"; "p50_us"; "p90_us"; "p99_us"; "p999_us" ]
+
+let ycsb_gated_fields = [ "throughput_ops_per_s"; "p50_us"; "p90_us"; "p99_us" ]
 let run_bench_compare old_path new_path =
   let module J = Iw_obs_json in
   let parse path =
@@ -382,8 +420,20 @@ let run_bench_compare old_path new_path =
                     (fun (k, ov) ->
                       match (ov, List.assoc_opt k (fields new_row)) with
                       | J.Num ov, Some (J.Num nv) when not (List.mem_assoc k key) ->
-                        let eps = 1e-9 in
-                        ratios := ((nv +. eps) /. (ov +. eps)) :: !ratios
+                        if fig <> "ycsb" || List.mem k ycsb_compared_fields then begin
+                          let eps = 1e-9 in
+                          let r = (nv +. eps) /. (ov +. eps) in
+                          let r = if k = "throughput_ops_per_s" then 1. /. r else r in
+                          if
+                            fig = "ycsb"
+                            && List.assoc_opt "series" key = Some (J.Str "overall")
+                            && List.mem k ycsb_gated_fields
+                            && r > 1.20
+                          then
+                            fail "ycsb: [%s] %s ratio %.3f exceeds 1.20 — regression"
+                              (key_to_string key) k r;
+                          ratios := r :: !ratios
+                        end
                       | _ -> ())
                     (fields old_row))
               (rows old_rows);

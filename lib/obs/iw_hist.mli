@@ -1,0 +1,77 @@
+(** HDR-style histogram with bounded relative error.
+
+    The fixed log2 buckets in {!Iw_metrics} are fine for dashboards but far
+    too coarse for tail latency: between 32 ms and 67 s they have a handful
+    of buckets, so a reported p999 can be off by 2x.  This histogram keeps
+    [n_sub] linear sub-buckets inside every power of two (log-linear, the
+    HdrHistogram layout), which bounds the relative error of any reported
+    quantile by the [error] the histogram was created with, at any
+    magnitude.
+
+    Values are non-negative floats — microseconds by convention, but the
+    structure is unit-agnostic.  Recording is two array reads, a [frexp],
+    and an increment; no allocation, no locking.  Instances are {e not}
+    thread-safe: give each worker thread its own and {!merge} them at the
+    end, which is both faster and exact. *)
+
+type t
+
+val create : ?error:float -> unit -> t
+(** A fresh histogram.  [error] (default [0.01]) bounds the relative error
+    of every reported quantile: the sub-bucket count per power of two is the
+    smallest power of two [>= 1. /. error].  Memory is proportional to
+    [1 /. error] (about 41 KiB of counters at the default). *)
+
+val error : t -> float
+(** The relative-error bound actually in force (from the rounded-up
+    sub-bucket count, so [<=] the requested [error]). *)
+
+val record : t -> float -> unit
+(** Record one value.  Negative and sub-unit values land in the first
+    bucket; values beyond ~2^40 clamp into the top bucket (count and max
+    stay exact either way). *)
+
+val record_n : t -> float -> int -> unit
+(** Record the same value [n] times (one bucket increment). *)
+
+val count : t -> int
+
+val sum : t -> float
+
+val mean : t -> float
+(** Exact mean of everything recorded ([nan] when empty). *)
+
+val min_value : t -> float
+(** Exact minimum recorded value ([nan] when empty). *)
+
+val max_value : t -> float
+(** Exact maximum recorded value ([nan] when empty). *)
+
+val quantile : t -> float -> float
+(** [quantile t q] for [q] in [[0, 1]]: a value within the error bound of
+    the true q-quantile of everything recorded.  [q = 1.] returns the exact
+    maximum; empty histograms return [nan]. *)
+
+val merge : into:t -> t -> unit
+(** [merge ~into src] adds every recorded value of [src] into [into].
+    Exact (bucket counts add), associative, and commutative.  Both
+    histograms must have been created with the same [error];
+    [Invalid_argument] otherwise. *)
+
+val copy : t -> t
+
+val clear : t -> unit
+
+type summary = {
+  sm_count : int;
+  sm_mean : float;
+  sm_p50 : float;
+  sm_p90 : float;
+  sm_p99 : float;
+  sm_p999 : float;
+  sm_max : float;
+}
+
+val summary : t -> summary
+(** The standard percentile ladder in one call (each field [nan] when
+    empty). *)

@@ -265,13 +265,28 @@ let fmt_float v =
   if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
   else Printf.sprintf "%.9g" v
 
+(* The exposition format escapes backslash and newline in HELP text (label
+   values additionally escape double quotes, handled in [with_label] at
+   registration time — segment names are URLs and can contain anything). *)
+let escape_help help =
+  let buf = Buffer.create (String.length help) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    help;
+  Buffer.contents buf
+
 let render_prometheus snap =
   let buf = Buffer.create 1024 in
   let described = Hashtbl.create 16 in
   let describe base help typ =
     if not (Hashtbl.mem described base) then begin
       Hashtbl.replace described base ();
-      if help <> "" then Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" base help);
+      if help <> "" then
+        Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" base (escape_help help));
       Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" base typ)
     end
   in

@@ -1,0 +1,121 @@
+type entry = {
+  e_t : float;
+  e_variant : string;
+  e_segment : string;
+  e_session : int;
+  e_seq : int;
+  e_trace_id : int;
+  e_span_id : int;
+  e_latency_us : float;
+}
+
+(* The current window's entries are a sorted-ascending list of length <= k:
+   admission is "is it slower than the current fastest survivor", insertion
+   keeps the order.  K is small (tens), so list surgery beats a heap on
+   simplicity and is just as fast. *)
+type t = {
+  mutex : Mutex.t;
+  k : int;
+  window_s : float;
+  min_us : float;
+  mutable cur_start : float;
+  mutable cur : entry list;  (* ascending by latency, length <= k *)
+  mutable prev : entry list;
+}
+
+let create ?(k = 32) ?(window_s = 10.) ?(min_us = 0.) () =
+  {
+    mutex = Mutex.create ();
+    k = max 0 k;
+    window_s = (if window_s > 0. then window_s else 10.);
+    min_us = max 0. min_us;
+    cur_start = Unix.gettimeofday ();
+    cur = [];
+    prev = [];
+  }
+
+let of_env () =
+  let int_env name d =
+    match Sys.getenv_opt name with
+    | Some s -> ( match int_of_string_opt (String.trim s) with Some v -> v | None -> d)
+    | None -> d
+  in
+  let float_env name d =
+    match Sys.getenv_opt name with
+    | Some s -> (
+      match float_of_string_opt (String.trim s) with Some v -> v | None -> d)
+    | None -> d
+  in
+  create ~k:(int_env "IW_SLOWLOG_K" 32)
+    ~window_s:(float_env "IW_SLOWLOG_WINDOW_S" 10.)
+    ~min_us:(float_env "IW_SLOWLOG_MIN_US" 0.) ()
+
+(* Call with the mutex held. *)
+let roll_locked t now =
+  if now -. t.cur_start >= t.window_s then begin
+    (* More than two whole windows of silence means even the previous
+       window is stale — drop both rather than promoting ancient entries. *)
+    if now -. t.cur_start >= 2. *. t.window_s then t.prev <- []
+    else t.prev <- t.cur;
+    t.cur <- [];
+    t.cur_start <- now
+  end
+
+let rec insert_sorted e = function
+  | [] -> [ e ]
+  | x :: rest when x.e_latency_us <= e.e_latency_us -> x :: insert_sorted e rest
+  | l -> e :: l
+
+let observe t ~variant ~segment ~session ~seq ~trace_id ~span_id latency_us =
+  if t.k > 0 && latency_us >= t.min_us then begin
+    let now = Unix.gettimeofday () in
+    Mutex.lock t.mutex;
+    roll_locked t now;
+    (match t.cur with
+    | fastest :: rest when List.length t.cur >= t.k ->
+      if latency_us > fastest.e_latency_us then
+        t.cur <-
+          insert_sorted
+            {
+              e_t = now;
+              e_variant = variant;
+              e_segment = segment;
+              e_session = session;
+              e_seq = seq;
+              e_trace_id = trace_id;
+              e_span_id = span_id;
+              e_latency_us = latency_us;
+            }
+            rest
+    | _ ->
+      t.cur <-
+        insert_sorted
+          {
+            e_t = now;
+            e_variant = variant;
+            e_segment = segment;
+            e_session = session;
+            e_seq = seq;
+            e_trace_id = trace_id;
+            e_span_id = span_id;
+            e_latency_us = latency_us;
+          }
+          t.cur);
+    Mutex.unlock t.mutex
+  end
+
+let snapshot ?limit t =
+  let now = Unix.gettimeofday () in
+  Mutex.lock t.mutex;
+  roll_locked t now;
+  let cur = t.cur and prev = t.prev in
+  Mutex.unlock t.mutex;
+  let all =
+    List.sort
+      (fun a b -> compare b.e_latency_us a.e_latency_us)
+      (List.rev_append cur prev)
+  in
+  match limit with
+  | Some n when n >= 0 ->
+    List.filteri (fun i _ -> i < n) all
+  | _ -> all

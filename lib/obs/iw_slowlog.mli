@@ -1,0 +1,56 @@
+(** Sampled slow-request log: the K slowest requests per time window.
+
+    The flight recorder answers "what happened just before the crash"; the
+    slow log answers "what is slow right now".  The server records every
+    dispatched request's latency here; only the K slowest of the current
+    window survive, so memory is O(K) no matter the request rate.  Two
+    windows (current + previous) are kept so a snapshot taken right after a
+    window rolls still shows the recent tail instead of an empty table.
+
+    Entries carry the request's trace id and span id when the client sent a
+    trace-context envelope, so a slow entry can be looked up directly in
+    the matching Perfetto trace.
+
+    Thread-safe: [observe] and [snapshot] take an internal mutex (never the
+    server lock — observation happens after dispatch, outside it). *)
+
+type entry = {
+  e_t : float;  (** completion wall-clock time, seconds since epoch *)
+  e_variant : string;
+  e_segment : string;  (** [""] when the request names no segment *)
+  e_session : int;
+  e_seq : int;  (** envelope seq; [0] without an envelope *)
+  e_trace_id : int;  (** [0] without a trace-context envelope *)
+  e_span_id : int;
+  e_latency_us : float;
+}
+
+type t
+
+val create : ?k:int -> ?window_s:float -> ?min_us:float -> unit -> t
+(** [k] slowest entries kept per window (default [32]); [window_s] window
+    length in seconds (default [10.]); requests faster than [min_us]
+    (default [0.]) are not considered at all — a cheap pre-filter for very
+    hot servers. *)
+
+val of_env : unit -> t
+(** {!create} with [IW_SLOWLOG_K], [IW_SLOWLOG_WINDOW_S], and
+    [IW_SLOWLOG_MIN_US] overriding the defaults; [IW_SLOWLOG_K=0] keeps
+    nothing (the observe hook stays, snapshots are empty). *)
+
+val observe :
+  t ->
+  variant:string ->
+  segment:string ->
+  session:int ->
+  seq:int ->
+  trace_id:int ->
+  span_id:int ->
+  float ->
+  unit
+(** Consider one completed request (latency in microseconds) for the
+    current window's top K. *)
+
+val snapshot : ?limit:int -> t -> entry list
+(** Slowest first, previous and current window merged; at most [limit]
+    entries (default: everything retained, at most [2 * k]). *)

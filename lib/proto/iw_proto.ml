@@ -80,6 +80,10 @@ type request =
       arch : string;
     }
   | Enable_crc of { session : int }
+  | Slow_log of {
+      session : int;
+      limit : int;
+    }
 
 let request_variant = function
   | Hello _ -> "hello"
@@ -100,6 +104,7 @@ let request_variant = function
   | Flight_recorder _ -> "flight_recorder"
   | Resume_session _ -> "resume_session"
   | Enable_crc _ -> "enable_crc"
+  | Slow_log _ -> "slow_log"
 
 let request_session = function
   | Hello _ -> None
@@ -119,7 +124,8 @@ let request_session = function
   | Server_stats { session }
   | Segment_stats { session; _ }
   | Flight_recorder { session }
-  | Resume_session { session; _ } -> Some session
+  | Resume_session { session; _ }
+  | Slow_log { session; _ } -> Some session
 
 type stat = {
   st_version : int;
@@ -150,6 +156,7 @@ type response =
   | R_segment_stats of Iw_metrics.snapshot
   | R_flight of string
   | R_resumed of { held : string list }
+  | R_slow_log of Iw_slowlog.entry list
 
 module Buf = Iw_wire.Buf
 module Reader = Iw_wire.Reader
@@ -320,6 +327,10 @@ let encode_request buf = function
   | Enable_crc { session } ->
     Buf.u8 buf 17;
     Buf.u32 buf session
+  | Slow_log { session; limit } ->
+    Buf.u8 buf 18;
+    Buf.u32 buf session;
+    Buf.u32 buf limit
 
 let decode_request r =
   match Reader.u8 r with
@@ -386,6 +397,10 @@ let decode_request r =
     let arch = Reader.string r in
     Resume_session { session; arch }
   | 17 -> Enable_crc { session = Reader.u32 r }
+  | 18 ->
+    let session = Reader.u32 r in
+    let limit = Reader.u32 r in
+    Slow_log { session; limit }
   | t -> raise (Iw_wire.Malformed (Printf.sprintf "unknown request tag %d" t))
 
 let put_ctx buf ctx =
@@ -496,6 +511,20 @@ let encode_response buf = function
     Buf.u8 buf 16;
     Buf.u32 buf (List.length held);
     List.iter (Buf.string buf) held
+  | R_slow_log entries ->
+    Buf.u8 buf 17;
+    Buf.u32 buf (List.length entries);
+    List.iter
+      (fun (e : Iw_slowlog.entry) ->
+        Buf.f64 buf e.e_t;
+        Buf.string buf e.e_variant;
+        Buf.string buf e.e_segment;
+        Buf.u32 buf e.e_session;
+        Buf.u32 buf e.e_seq;
+        Buf.u64 buf e.e_trace_id;
+        Buf.u64 buf e.e_span_id;
+        Buf.f64 buf e.e_latency_us)
+      entries
 
 let decode_response r =
   match Reader.u8 r with
@@ -540,6 +569,28 @@ let decode_response r =
   | 16 ->
     let n = Reader.u32 r in
     R_resumed { held = List.init n (fun _ -> Reader.string r) }
+  | 17 ->
+    let n = Reader.u32 r in
+    R_slow_log
+      (List.init n (fun _ ->
+           let e_t = Reader.f64 r in
+           let e_variant = Reader.string r in
+           let e_segment = Reader.string r in
+           let e_session = Reader.u32 r in
+           let e_seq = Reader.u32 r in
+           let e_trace_id = Reader.u64 r in
+           let e_span_id = Reader.u64 r in
+           let e_latency_us = Reader.f64 r in
+           {
+             Iw_slowlog.e_t;
+             e_variant;
+             e_segment;
+             e_session;
+             e_seq;
+             e_trace_id;
+             e_span_id;
+             e_latency_us;
+           }))
   | t -> raise (Iw_wire.Malformed (Printf.sprintf "unknown response tag %d" t))
 
 type link = {

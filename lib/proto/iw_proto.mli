@@ -108,6 +108,13 @@ type request =
           does the same on seeing [R_ok].  An old server rejects the
           unknown tag with [R_error], and the link stays unprotected —
           that asymmetry is the whole negotiation. *)
+  | Slow_log of {
+      session : int;
+      limit : int;
+    }
+      (** fetch the server's sampled slow-request log (the K slowest
+          requests of the recent windows, slowest first, at most [limit]
+          entries) — backs [iw-admin slowlog].  See {!Iw_slowlog}. *)
 
 val request_variant : request -> string
 (** Stable lowercase tag for a request ([read_lock], [write_release], ...),
@@ -148,6 +155,9 @@ type response =
   | R_resumed of { held : string list }
       (** session re-attached; [held] lists segments whose write lock the
           session still holds *)
+  | R_slow_log of Iw_slowlog.entry list
+      (** slow-request log entries, slowest first; trace/span ids are [0]
+          when the recorded request carried no trace-context envelope *)
 
 val encode_request : Iw_wire.Buf.t -> request -> unit
 

@@ -88,6 +88,7 @@ type t = {
   t_stats : stats;
   t_metrics : Iw_metrics.t;
   t_flight : Iw_flight.t;
+  t_slowlog : Iw_slowlog.t;
   t_version_advances : Iw_metrics.counter;
   t_locks_reclaimed : Iw_metrics.counter;
   t_sessions_resumed : Iw_metrics.counter;
@@ -104,6 +105,8 @@ let store t = t.t_store
 let metrics t = t.t_metrics
 
 let flight t = t.t_flight
+
+let slowlog t = t.t_slowlog
 
 let set_prediction t b = t.prediction <- b
 
@@ -934,6 +937,10 @@ let create ?checkpoint_dir ?(diff_cache_capacity = 64) ?lease_secs ?fsync () =
   let t_flight =
     Iw_flight.create ~enabled:(Iw_flight.env_enabled ~default:true) ()
   in
+  (* Slow-request sampling is always armed (IW_SLOWLOG_K=0 disables): it is
+     O(K) memory and a comparison per request, and like the flight recorder
+     it exists for the slowness nobody was watching for. *)
+  let t_slowlog = Iw_slowlog.of_env () in
   let t_store =
     match checkpoint_dir with
     | None -> None
@@ -962,6 +969,7 @@ let create ?checkpoint_dir ?(diff_cache_capacity = 64) ?lease_secs ?fsync () =
       t_stats;
       t_metrics;
       t_flight;
+      t_slowlog;
       t_version_advances =
         Iw_metrics.counter t_metrics ~help:"Segment version advances"
           "iw_server_version_advances_total";
@@ -1307,6 +1315,11 @@ let handle_locked t (req : Iw_proto.request) : Iw_proto.response =
     in
     R_segment_stats (List.filter keep (Iw_metrics.snapshot t.t_metrics))
   | Flight_recorder _ -> R_flight (Iw_flight.dump_string t.t_flight)
+  | Slow_log { session = _; limit } ->
+    (* limit = 0 means "everything retained". *)
+    R_slow_log
+      (if limit > 0 then Iw_slowlog.snapshot ~limit t.t_slowlog
+       else Iw_slowlog.snapshot t.t_slowlog)
 
 let handle_plain t req =
   Mutex.lock t.lock;
@@ -1321,7 +1334,7 @@ let handle_plain t req =
    pair without holding the server lock. *)
 let request_segment : Iw_proto.request -> string = function
   | Hello _ | Checkpoint _ | Server_stats _ | Flight_recorder _ | Resume_session _
-  | Enable_crc _ ->
+  | Enable_crc _ | Slow_log _ ->
     ""
   | Segment_stats { segment; _ } -> Option.value segment ~default:""
   | Open_segment { name; _ }
@@ -1341,7 +1354,8 @@ let response_version : Iw_proto.response -> int = function
   | R_update diff | R_granted (Some diff) -> diff.Iw_wire.Diff.to_version
   | R_stat st -> st.Iw_proto.st_version
   | R_hello _ | R_up_to_date | R_granted None | R_busy | R_serial _ | R_ok
-  | R_error _ | R_server_stats _ | R_segment_stats _ | R_flight _ | R_resumed _ -> 0
+  | R_error _ | R_server_stats _ | R_segment_stats _ | R_flight _ | R_resumed _
+  | R_slow_log _ -> 0
 
 (* Per-variant dispatch latency, span adoption, and flight recording.  The
    registry's own registration lock makes the histogram lookup safe from
@@ -1394,6 +1408,20 @@ let handle ?ctx t req =
            ~help:"Request dispatch latency by request variant"
            (Iw_metrics.with_label "iw_server_request_us" "variant" variant))
         dt;
+    (* The slow log takes its own short mutex, never the server lock — the
+       dispatch is already over.  Trace ids come straight from the envelope,
+       so a slow entry can be found in the matching Perfetto trace. *)
+    (match req with
+    | Iw_proto.Slow_log _ -> () (* reading the log must not pollute it *)
+    | _ ->
+      let trace_id, span_id =
+        match ctx with
+        | Some c -> (c.Iw_proto.tc_trace_id, c.Iw_proto.tc_span_id)
+        | None -> (0, 0)
+      in
+      Iw_slowlog.observe t.t_slowlog ~variant ~segment:(request_segment req)
+        ~session:(Option.value (Iw_proto.request_session req) ~default:0)
+        ~seq ~trace_id ~span_id dt);
     if flight_on then
       Iw_flight.record t.t_flight ~seq ~segment:(request_segment req)
         ~version:(response_version resp) ~latency_us:dt variant;

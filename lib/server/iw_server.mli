@@ -134,6 +134,14 @@ val flight : t -> Iw_flight.t
     uncaught handler exceptions, [SIGUSR1] (installed by [iw-server]), or
     the [Flight_recorder] request. *)
 
+val slowlog : t -> Iw_slowlog.t
+(** This server's sampled slow-request log: the K slowest requests per
+    window, with segment, session, and the trace/span ids from the request
+    envelope when one was present.  Armed by default
+    ([IW_SLOWLOG_K]/[IW_SLOWLOG_WINDOW_S]/[IW_SLOWLOG_MIN_US] tune it,
+    [IW_SLOWLOG_K=0] disables); served remotely by the
+    {!Iw_proto.Slow_log} request and rendered by [iw-admin slowlog]. *)
+
 val set_prediction : t -> bool -> unit
 (** Enable/disable last-block prediction (ablation; default on). *)
 

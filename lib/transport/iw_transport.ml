@@ -278,7 +278,20 @@ let conn_of_fd fd peer =
   in
   instrument { send; recv; shutdown; close; peer }
 
+(* A peer that disappears mid-write must surface as [Closed] (the send
+   path maps EPIPE/ECONNRESET), not kill the process: the default SIGPIPE
+   disposition would terminate us before the Unix_error is ever raised.
+   Ignored lazily by both TCP entry points so pure-loopback users keep
+   their process signal state untouched. *)
+let ignore_sigpipe =
+  lazy
+    (match Sys.os_type with
+    | "Unix" | "Cygwin" -> (
+      try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ())
+    | _ -> ())
+
 let tcp_connect ~host ~port =
+  Lazy.force ignore_sigpipe;
   let addr =
     match Unix.getaddrinfo host (string_of_int port) [ Unix.AI_SOCKTYPE SOCK_STREAM ] with
     | { ai_addr; _ } :: _ -> ai_addr
@@ -298,7 +311,8 @@ let tcp_connect ~host ~port =
   Unix.setsockopt fd TCP_NODELAY true;
   conn_of_fd fd (Printf.sprintf "%s:%d" host port)
 
-let tcp_server ~port ?(backlog = 16) ~stop handler =
+let tcp_server ~port ?(backlog = 128) ~stop handler =
+  Lazy.force ignore_sigpipe;
   let fd = Unix.socket PF_INET SOCK_STREAM 0 in
   Unix.setsockopt fd SO_REUSEADDR true;
   Unix.bind fd (ADDR_INET (Unix.inet_addr_any, port));
