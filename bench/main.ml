@@ -112,7 +112,7 @@ let run_ycsb ~quick ~size:_ () =
     }
   in
   let r = Ycsb_core.run cfg in
-  [ ("ycsb", r.Ycsb_core.rows) ]
+  [ ("ycsb", r.Ycsb_core.rows); ("phase", r.Ycsb_core.phase_rows) ]
 
 let run_all ~quick ~size () =
   print_endline "InterWeave benchmark suite (paper: Tang et al., ICDCS 2003)";
@@ -140,7 +140,21 @@ let contains hay needle =
   nn = 0 || go 0
 
 let coherence_gauges =
-  [ "iw_seg_version_lag"; "iw_seg_staleness_us"; "iw_seg_wasted_acquire_total" ]
+  [
+    "iw_seg_version_lag";
+    "iw_seg_staleness_us";
+    "iw_seg_wasted_acquire_total";
+    (* Request-lifecycle and contention series (Iw_phase / Iw_locked): the
+       phase histograms land on every handled request, the lock-section
+       histograms on every dispatch, and the two gauges are collect-time
+       probes — all must survive in the Prometheus rendering. *)
+    "iw_server_phase_us";
+    "iw_server_request_total_us";
+    "iw_server_lock_wait_us";
+    "iw_server_lock_hold_us";
+    "iw_server_lock_queue_depth";
+    "iw_server_inflight";
+  ]
 
 let check_prom_gauges ?store () =
   let module I = Interweave in

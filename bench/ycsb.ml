@@ -195,7 +195,9 @@ let run clients rate duration read_pct segments zipf mix delta_k temporal_s
   let r = C.run cfg in
   (match json with
   | None -> ()
-  | Some path -> C.write_doc ~quick:(duration <= 3.) path [ ("ycsb", r.C.rows) ]);
+  | Some path ->
+    C.write_doc ~quick:(duration <= 3.) path
+      [ ("ycsb", r.C.rows); ("phase", r.C.phase_rows) ]);
   if r.C.ops = 0 then 1 else 0
 
 let cmd =

@@ -319,8 +319,139 @@ let hist_fields prefix h =
     (prefix ^ "max_us", num s.Iw_hist.sm_max);
   ]
 
+(* ---- The "phase" figure: server-side request-lifecycle decomposition ----
+
+   Where did the latency go?  The server times every request through the
+   Iw_phase pipeline (decode / lock_wait / service / wal / reply); this
+   section reports each phase's request count, exact summed exclusive
+   microseconds, share of the end-to-end total, and p50/p99 — plus a
+   "phase:total" row whose coverage_pct says how much of the measured total
+   the phases explain (the one-big-lock server should sit near 100: at
+   saturation the lock wait IS the queueing).
+
+   On embedded runs the server object is in hand and Iw_phase.stats gives
+   exact Iw_hist quantiles; against an external server (--host/--port) the
+   same decomposition is derived from a Server_stats snapshot, whose
+   iw_server_phase_us{phase=...} histograms carry exact sums but bucketed
+   (conservative) quantiles. *)
+
+type phase_cell = {
+  pc_name : string;
+  pc_count : int;
+  pc_sum_us : float;  (* exact accumulated exclusive us *)
+  pc_p50_us : float;
+  pc_p99_us : float;
+}
+
+let finite v = if Float.is_nan v || not (Float.is_finite v) then 0. else v
+
+let phase_cells_embedded server =
+  let st = I.Server.phase_stats server in
+  let cell_of name count sum_us (s : Iw_hist.summary) =
+    {
+      pc_name = name;
+      pc_count = count;
+      pc_sum_us = sum_us;
+      pc_p50_us = finite s.Iw_hist.sm_p50;
+      pc_p99_us = finite s.Iw_hist.sm_p99;
+    }
+  in
+  let cells =
+    List.map
+      (fun p ->
+        let s = Iw_phase.phase_summary st p in
+        cell_of (Iw_phase.name p) s.Iw_hist.sm_count (Iw_phase.phase_sum_us st p) s)
+      Iw_phase.phases
+  in
+  let t = Iw_phase.total_summary st in
+  (cells, cell_of "total" t.Iw_hist.sm_count (Iw_phase.total_sum_us st) t)
+
+let phase_cells_of_snapshot snap =
+  let cell name hist =
+    match hist with
+    | Some hv ->
+      {
+        pc_name = name;
+        pc_count = hv.Iw_metrics.hv_count;
+        pc_sum_us = hv.Iw_metrics.hv_sum;
+        pc_p50_us = finite (Iw_metrics.hist_quantile hv 0.5);
+        pc_p99_us = finite (Iw_metrics.hist_quantile hv 0.99);
+      }
+    | None ->
+      { pc_name = name; pc_count = 0; pc_sum_us = 0.; pc_p50_us = 0.; pc_p99_us = 0. }
+  in
+  let hist name =
+    match Iw_metrics.find snap name with
+    | Some (Iw_metrics.V_hist hv) -> Some hv
+    | _ -> None
+  in
+  let cells =
+    List.map
+      (fun p ->
+        let n = Iw_phase.name p in
+        cell n (hist (Iw_metrics.with_label "iw_server_phase_us" "phase" n)))
+      Iw_phase.phases
+  in
+  (cells, cell "total" (hist "iw_server_request_total_us"))
+
+(* One Hello + Server_stats round trip against an external server.  An old
+   server that answers R_error (or drops the connection on the unknown tag)
+   yields None — the phase section then reports zeros rather than failing
+   the benchmark run. *)
+let fetch_server_snapshot host port =
+  match
+    let conn = Iw_transport.tcp_connect ~host ~port in
+    let link = Iw_proto.demux_link conn ~on_notify:(fun _ -> ()) in
+    Fun.protect
+      ~finally:(fun () -> try link.Iw_proto.close () with _ -> ())
+      (fun () ->
+        match link.Iw_proto.call (Iw_proto.Hello { arch = "bench" }) with
+        | Iw_proto.R_hello { session } -> (
+          match link.Iw_proto.call (Iw_proto.Server_stats { session }) with
+          | Iw_proto.R_server_stats snap -> Some snap
+          | _ -> None)
+        | _ -> None)
+  with
+  | snap -> snap
+  | exception _ -> None
+
+let phase_json (cells, total) =
+  let share sum_us =
+    if total.pc_sum_us > 0. then 100. *. sum_us /. total.pc_sum_us else 0.
+  in
+  let phase_sum = List.fold_left (fun a c -> a +. c.pc_sum_us) 0. cells in
+  let row c extra =
+    J.Obj
+      ([
+         ("series", J.Str ("phase:" ^ c.pc_name));
+         ("count", J.num_int c.pc_count);
+         ("sum_us", num c.pc_sum_us);
+         ("share_pct", num (share c.pc_sum_us));
+         ("p50_us", num c.pc_p50_us);
+         ("p99_us", num c.pc_p99_us);
+       ]
+      @ extra)
+  in
+  J.Arr
+    (List.map (fun c -> row c []) cells
+    @ [
+        row total
+          [ ("phase_sum_us", num phase_sum); ("coverage_pct", num (share phase_sum)) ];
+      ])
+
+let print_phases (cells, total) =
+  if total.pc_count > 0 && total.pc_sum_us > 0. then begin
+    Printf.printf "  server phases (%d requests):" total.pc_count;
+    List.iter
+      (fun c ->
+        Printf.printf " %s %.0f%%" c.pc_name (100. *. c.pc_sum_us /. total.pc_sum_us))
+      cells;
+    Printf.printf "\n%!"
+  end
+
 type result = {
   rows : J.t;  (* the "ycsb" figure section: an array of flat rows *)
+  phase_rows : J.t;  (* the "phase" figure section: one row per phase + total *)
   throughput : float;
   ops : int;
   errors : int;
@@ -490,6 +621,21 @@ let run cfg =
           @ hist_fields "stale_" sh))
   in
   let rows = J.Arr ((overall_row :: rw_rows) @ coh_rows @ seg_rows) in
+  let phase_cells =
+    match server with
+    | Some s -> phase_cells_embedded s
+    | None -> (
+      match (cfg.host, cfg.port) with
+      | Some h, Some p -> (
+        match fetch_server_snapshot h p with
+        | Some snap -> phase_cells_of_snapshot snap
+        | None ->
+          Printf.eprintf
+            "note: external server answered no Server_stats (too old?); phase \
+             section reports zeros\n%!";
+          phase_cells_of_snapshot [])
+      | _ -> phase_cells_of_snapshot [])
+  in
   let sm = Iw_hist.summary lat in
   if not cfg.quiet then begin
     Printf.printf
@@ -518,11 +664,13 @@ let run cfg =
             (Iw_hist.count gstale)
         end)
       model_names;
+    print_phases phase_cells;
     Printf.printf "  bytes on wire: %d sent, %d received\n%!" bytes_sent
       bytes_received
   end;
   {
     rows;
+    phase_rows = phase_json phase_cells;
     throughput;
     ops;
     errors;

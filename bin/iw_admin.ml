@@ -163,6 +163,9 @@ let slowlog host port limit json =
                      [
                        ("t", Num e.Iw_slowlog.e_t);
                        ("latency_us", Num e.e_latency_us);
+                       ("wait_us", Num e.e_wait_us);
+                       ("service_us", Num e.e_service_us);
+                       ("wal_us", Num e.e_wal_us);
                        ("variant", Str e.e_variant);
                        ("segment", Str e.e_segment);
                        ("session", num_int e.e_session);
@@ -175,15 +178,24 @@ let slowlog host port limit json =
     else if entries = [] then
       print_endline "slow log is empty (no sampled requests in the recent windows)"
     else begin
-      Printf.printf "%-12s %11s  %-14s %-24s %7s %6s  %-16s %-16s\n" "TIME" "LAT_US"
-        "VARIANT" "SEGMENT" "SESSION" "SEQ" "TRACE_ID" "SPAN_ID";
+      Printf.printf "%-12s %11s %9s %9s %9s  %-14s %-24s %7s %6s  %-16s %-16s\n"
+        "TIME" "LAT_US" "WAIT_US" "SVC_US" "WAL_US" "VARIANT" "SEGMENT" "SESSION"
+        "SEQ" "TRACE_ID" "SPAN_ID";
+      (* The wait/service/wal columns are the server-side phase shares of
+         the latency (see Iw_phase) — "-" on entries recorded without a
+         phase timer (an older server, or a direct in-process link). *)
+      let phase_col v = if v <= 0. then "-" else Printf.sprintf "%.0f" v in
       List.iter
         (fun (e : Iw_slowlog.entry) ->
           let tm = Unix.localtime e.Iw_slowlog.e_t in
-          Printf.printf "%02d:%02d:%02d.%03d %11.0f  %-14s %-24s %7d %6d  %-16s %-16s\n"
+          Printf.printf "%02d:%02d:%02d.%03d %11.0f %9s %9s %9s  %-14s %-24s %7d %6d  %-16s %-16s\n"
             tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec
             (int_of_float (Float.rem e.Iw_slowlog.e_t 1. *. 1000.))
-            e.e_latency_us e.e_variant
+            e.e_latency_us
+            (phase_col e.e_wait_us)
+            (phase_col e.e_service_us)
+            (phase_col e.e_wal_us)
+            e.e_variant
             (if e.e_segment = "" then "-" else e.e_segment)
             e.e_session e.e_seq (pp_hex_id e.e_trace_id) (pp_hex_id e.e_span_id))
         entries
@@ -226,6 +238,10 @@ let seg_series name =
     | _ -> None)
   | _ -> None
 
+(* Deltas are clamped at zero: across a server restart the new snapshot's
+   counts are below the old one's, and a negative rate or a quantile over
+   negative bucket counts is nonsense.  The restart itself is announced once
+   per frame (see [restarted]) instead of leaking into every cell. *)
 let hist_delta (old_ : Iw_metrics.hist_view option) (nw : Iw_metrics.hist_view) =
   match old_ with
   | None -> nw
@@ -234,11 +250,26 @@ let hist_delta (old_ : Iw_metrics.hist_view option) (nw : Iw_metrics.hist_view) 
     {
       nw with
       Iw_metrics.hv_counts =
-        Array.mapi (fun i c -> c - o.Iw_metrics.hv_counts.(i)) nw.Iw_metrics.hv_counts;
-      hv_count = nw.Iw_metrics.hv_count - o.Iw_metrics.hv_count;
-      hv_sum = nw.Iw_metrics.hv_sum -. o.Iw_metrics.hv_sum;
+        Array.mapi
+          (fun i c -> max 0 (c - o.Iw_metrics.hv_counts.(i)))
+          nw.Iw_metrics.hv_counts;
+      hv_count = max 0 (nw.Iw_metrics.hv_count - o.Iw_metrics.hv_count);
+      hv_sum = Float.max 0. (nw.Iw_metrics.hv_sum -. o.Iw_metrics.hv_sum);
     }
   | Some _ -> nw
+
+(* A counter that went backwards means the server restarted (a fresh
+   registry) between the two snapshots. *)
+let restarted prev cur =
+  List.exists
+    (fun (s : Iw_metrics.sample) ->
+      match s.Iw_metrics.s_value with
+      | Iw_metrics.V_counter nv -> (
+        match value_of prev s.Iw_metrics.s_name with
+        | Some ov -> nv < ov
+        | None -> false)
+      | _ -> false)
+    cur
 
 let fmt_q v =
   if Float.is_nan v then "-"
@@ -252,10 +283,44 @@ let fmt_rate v =
   else if Float.abs v >= 1e4 then Printf.sprintf "%.0fk" (v /. 1e3)
   else Printf.sprintf "%.0f" v
 
+(* ---- sparkline trends from the server's metric history ring ----
+
+   [Metrics_history] returns the last N windowed points of derived scalar
+   series; a ring longer than the column is merged duration-weighted
+   (Iw_ring.merge_adjacent), so a 64-window ring still renders honestly in
+   16 cells.  Fetched with soft failure: an old server answers [R_error]
+   (or nothing useful) and the views simply render without trend columns. *)
+
+let spark_levels = [| "▁"; "▂"; "▃"; "▄"; "▅"; "▆"; "▇"; "█" |]
+
+let sparkline ?(width = 16) points series =
+  let points = Iw_ring.merge_adjacent ~target:width points in
+  let vals =
+    List.filter_map (fun p -> List.assoc_opt series p.Iw_ring.p_values) points
+  in
+  if vals = [] then ""
+  else begin
+    let hi = List.fold_left Float.max 0. vals in
+    String.concat ""
+      (List.map
+         (fun v ->
+           if hi <= 0. then spark_levels.(0)
+           else spark_levels.(max 0 (min 7 (int_of_float (v /. hi *. 7.999))))
+         )
+         vals)
+  end
+
+let fetch_history link session =
+  match link.Iw_proto.call (Iw_proto.Metrics_history { session; limit = 0 }) with
+  | Iw_proto.R_metrics_history pts -> pts
+  | _ -> []
+  | exception _ -> []
+
 type top_frame = {
   f_t : float;
   f_server : Iw_metrics.snapshot;
   f_segs : Iw_metrics.snapshot;
+  f_hist : Iw_ring.point list;  (* [] when the server has no history ring *)
 }
 
 let top_fetch link session =
@@ -275,7 +340,12 @@ let top_fetch link session =
     | Iw_proto.R_error _ -> unsupported link "top"
     | r -> fail_response link "top" r
   in
-  { f_t = Unix.gettimeofday (); f_server = server; f_segs = segs }
+  {
+    f_t = Unix.gettimeofday ();
+    f_server = server;
+    f_segs = segs;
+    f_hist = fetch_history link session;
+  }
 
 let render_top ~clear host port prev cur =
   let dt = Float.max 0.001 (cur.f_t -. prev.f_t) in
@@ -283,7 +353,7 @@ let render_top ~clear host port prev cur =
   let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n') fmt in
   let rate name =
     match (value_of prev.f_server name, value_of cur.f_server name) with
-    | Some a, Some b -> (b -. a) /. dt
+    | Some a, Some b -> Float.max 0. (b -. a) /. dt
     | None, Some b -> b /. dt
     | _ -> 0.
   in
@@ -291,6 +361,8 @@ let render_top ~clear host port prev cur =
   let tm = Unix.localtime cur.f_t in
   line "iw-admin top — %s:%d — %02d:%02d:%02d — window %.1fs — q quits" host port
     tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec dt;
+  if restarted prev.f_server cur.f_server then
+    line "── server restarted: counters reset; this window starts over ──";
   line "";
   line "req/s %-8s bytes in/s %-8s out/s %-8s locks reclaimed %.0f  sessions resumed %.0f  crc errors %.0f"
     (fmt_rate (rate "iw_server_requests_total"))
@@ -325,18 +397,29 @@ let render_top ~clear host port prev cur =
         else None)
       cur.f_server
   in
-  line "%-16s %8s %9s %9s %9s %9s" "VARIANT" "OPS/S" "P50_US" "P99_US" "P999_US" "TOTAL";
+  let has_trend = cur.f_hist <> [] in
+  line "%-16s %8s %9s %9s %9s %9s%s" "VARIANT" "OPS/S" "P50_US" "P99_US" "P999_US"
+    "TOTAL"
+    (if has_trend then "  TREND_P99" else "");
   List.iter
     (fun (variant, name, hv) ->
       let d = hist_delta (hist_of prev.f_server name) hv in
       if d.Iw_metrics.hv_count > 0 || hv.Iw_metrics.hv_count > 0 then
-        line "%-16s %8s %9s %9s %9s %9d" variant
+        line "%-16s %8s %9s %9s %9s %9d%s" variant
           (fmt_rate (float_of_int d.Iw_metrics.hv_count /. dt))
           (fmt_q (Iw_metrics.hist_quantile d 0.5))
           (fmt_q (Iw_metrics.hist_quantile d 0.99))
           (fmt_q (Iw_metrics.hist_quantile d 0.999))
-          hv.Iw_metrics.hv_count)
+          hv.Iw_metrics.hv_count
+          (if has_trend then "  " ^ sparkline cur.f_hist (name ^ ":p99") else ""))
     variants;
+  if has_trend then
+    line "trend: req/s %s  lock_wait p99 %s  (%d windows of ~%.0fs)"
+      (sparkline cur.f_hist "iw_server_requests_total:rate")
+      (sparkline cur.f_hist
+         (Iw_metrics.with_label "iw_server_phase_us" "phase" "lock_wait" ^ ":p99"))
+      (List.length cur.f_hist)
+      (match cur.f_hist with [] -> 0. | p :: _ -> Float.max 1. p.Iw_ring.p_dur);
   line "";
   (* Per-segment coherence health over the window. *)
   let seg_tbl = Hashtbl.create 16 in
@@ -402,7 +485,8 @@ let with_keyboard f =
             | exception Unix.Unix_error (Unix.EINTR, _, _) -> false))
   end
 
-let top host port interval once =
+(* Shared refresh loop for the dashboard views (top, contention). *)
+let dashboard render host port interval once =
   let interval = Float.max 0.2 interval in
   let link, session = connect host port in
   let first = top_fetch link session in
@@ -411,7 +495,7 @@ let top host port interval once =
        (and testable) path. *)
     Thread.delay (Float.min interval 1.0);
     let second = top_fetch link session in
-    render_top ~clear:false host port first second;
+    render ~clear:false host port first second;
     link.Iw_proto.close ();
     0
   end
@@ -423,12 +507,95 @@ let top host port interval once =
           if wait_key interval then quit := true
           else begin
             let cur = top_fetch link session in
-            render_top ~clear:true host port !prev cur;
+            render ~clear:true host port !prev cur;
             prev := cur
           end
         done;
         link.Iw_proto.close ();
         0)
+
+let top = dashboard render_top
+
+(* ---- iw-admin contention: where is the wall time going? ----
+
+   The saturation question for the one-big-lock server: of the time requests
+   spent end-to-end over the last window, how much was blocked on the server
+   lock versus decoding, servicing under the lock, appending to the WAL, or
+   writing replies?  Renders the window between two Server_stats snapshots
+   as per-phase share of the measured request total
+   (iw_server_phase_us{phase=...} sums over iw_server_request_total_us — the
+   sums are exact, so shares are too), the lock-section wait/hold
+   histograms, and the live inflight and lock-queue gauges. *)
+
+let render_contention ~clear host port prev cur =
+  let dt = Float.max 0.001 (cur.f_t -. prev.f_t) in
+  let buf = Buffer.create 2048 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n') fmt in
+  let tm = Unix.localtime cur.f_t in
+  line "iw-admin contention — %s:%d — %02d:%02d:%02d — window %.1fs — q quits" host
+    port tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec dt;
+  if restarted prev.f_server cur.f_server then
+    line "── server restarted: counters reset; this window starts over ──";
+  let dhist name =
+    match hist_of cur.f_server name with
+    | Some nw -> Some (hist_delta (hist_of prev.f_server name) nw)
+    | None -> None
+  in
+  let total = dhist "iw_server_request_total_us" in
+  let total_sum = match total with Some d -> d.Iw_metrics.hv_sum | None -> 0. in
+  let total_count = match total with Some d -> d.Iw_metrics.hv_count | None -> 0 in
+  let gauge name = Option.value (value_of cur.f_server name) ~default:0. in
+  line "";
+  line "requests %s/s   inflight %.0f   lock queue %.0f"
+    (fmt_rate (float_of_int total_count /. dt))
+    (gauge "iw_server_inflight")
+    (gauge "iw_server_lock_queue_depth");
+  line "";
+  line "%-10s %7s %9s %9s %9s" "PHASE" "SHARE" "TIME/S" "P50_US" "P99_US";
+  let phase_sum = ref 0. in
+  List.iter
+    (fun p ->
+      let n = Iw_phase.name p in
+      match dhist (Iw_metrics.with_label "iw_server_phase_us" "phase" n) with
+      | None -> line "%-10s %7s %9s %9s %9s" n "-" "-" "-" "-"
+      | Some d ->
+        phase_sum := !phase_sum +. d.Iw_metrics.hv_sum;
+        line "%-10s %6.1f%% %8.3fs %9s %9s" n
+          (if total_sum > 0. then 100. *. d.Iw_metrics.hv_sum /. total_sum else 0.)
+          (d.Iw_metrics.hv_sum /. 1e6 /. dt)
+          (fmt_q (Iw_metrics.hist_quantile d 0.5))
+          (fmt_q (Iw_metrics.hist_quantile d 0.99)))
+    Iw_phase.phases;
+  (match total with
+  | None -> line "(no iw_server_request_total_us series: server too old, or IW_METRICS=0)"
+  | Some d ->
+    line "%-10s %6.1f%% %8.3fs %9s %9s" "total"
+      (if total_sum > 0. then 100. else 0.)
+      (total_sum /. 1e6 /. dt)
+      (fmt_q (Iw_metrics.hist_quantile d 0.5))
+      (fmt_q (Iw_metrics.hist_quantile d 0.99));
+    line "coverage: phases explain %.1f%% of the measured request total"
+      (if total_sum > 0. then 100. *. !phase_sum /. total_sum else 0.));
+  line "";
+  (match (dhist "iw_server_lock_wait_us", dhist "iw_server_lock_hold_us") with
+  | Some w, Some h when w.Iw_metrics.hv_count > 0 ->
+    line "lock: %s acquires/s  wait p50 %s p99 %s  hold p50 %s p99 %s"
+      (fmt_rate (float_of_int w.Iw_metrics.hv_count /. dt))
+      (fmt_q (Iw_metrics.hist_quantile w 0.5))
+      (fmt_q (Iw_metrics.hist_quantile w 0.99))
+      (fmt_q (Iw_metrics.hist_quantile h 0.5))
+      (fmt_q (Iw_metrics.hist_quantile h 0.99))
+  | _ -> ());
+  if cur.f_hist <> [] then
+    line "trend: req/s %s  lock_wait p99 %s"
+      (sparkline cur.f_hist "iw_server_requests_total:rate")
+      (sparkline cur.f_hist
+         (Iw_metrics.with_label "iw_server_phase_us" "phase" "lock_wait" ^ ":p99"));
+  if clear then print_string "\027[2J\027[H";
+  print_string (Buffer.contents buf);
+  flush stdout
+
+let contention = dashboard render_contention
 
 let watch host port name =
   (* Subscribe and print a line per version change — a tiny liveness probe
@@ -520,6 +687,27 @@ let cmds =
             wait and diff savings.  Press $(b,q) to quit.")
       Term.(
         const top $ host $ port
+        $ Arg.(
+            value
+            & opt float 2.0
+            & info [ "interval" ] ~docv:"SECS" ~doc:"Refresh interval.")
+        $ Arg.(
+            value
+            & flag
+            & info [ "once" ]
+                ~doc:
+                  "Render one frame (a single ~1s window) without clearing the \
+                   screen and exit; for scripts and tests."));
+    Cmd.v
+      (Cmd.info "contention"
+         ~doc:
+           "Saturation dashboard: per-phase share of request wall time over \
+            the window (decode / lock-wait / service / WAL / reply), the \
+            server-lock wait and hold percentiles, live inflight and \
+            lock-queue gauges, and sparkline trends from the server's metric \
+            history ring.  Press $(b,q) to quit.")
+      Term.(
+        const contention $ host $ port
         $ Arg.(
             value
             & opt float 2.0

@@ -70,14 +70,14 @@ let bench_schema_errors doc =
       (* The ycsb macro-benchmark section, when present, must carry the
          fields the regression gate and the README's worked example rely
          on: an "overall" row with throughput and tail percentiles. *)
+      let series row =
+        match row with
+        | J.Obj fs -> List.assoc_opt "series" fs
+        | _ -> None
+      in
       (match List.assoc_opt "ycsb" figs with
       | None | Some (J.Arr []) -> ()
       | Some (J.Arr rows) -> (
-        let series row =
-          match row with
-          | J.Obj fs -> List.assoc_opt "series" fs
-          | _ -> None
-        in
         match List.find_opt (fun r -> series r = Some (J.Str "overall")) rows with
         | None -> err "ycsb: missing the \"overall\" series row"
         | Some (J.Obj fs) ->
@@ -88,7 +88,36 @@ let bench_schema_errors doc =
               | _ -> err "ycsb overall row: missing numeric field %S" k)
             [ "throughput_ops_per_s"; "p50_us"; "p99_us"; "p999_us" ]
         | Some _ -> ())
-      | Some _ -> ())
+      | Some _ -> ());
+      (* The phase figure rides with ycsb: the server-side decomposition of
+         the latency the run measured.  A document carrying a ycsb section
+         must also say where that time went — one row per pipeline phase
+         with its share of the total, plus a "phase:total" row whose
+         coverage_pct says how much of the measured total the phases
+         explain. *)
+      (match (List.assoc_opt "ycsb" figs, List.assoc_opt "phase" figs) with
+      | (None | Some (J.Arr [])), _ -> ()
+      | Some _, None -> err "phase: figure missing (required alongside ycsb)"
+      | Some _, Some (J.Arr rows) ->
+        let require name keys =
+          match List.find_opt (fun r -> series r = Some (J.Str name)) rows with
+          | None -> err "phase: missing the %S series row" name
+          | Some (J.Obj fs) ->
+            List.iter
+              (fun k ->
+                match List.assoc_opt k fs with
+                | Some (J.Num _) -> ()
+                | _ -> err "phase %s row: missing numeric field %S" name k)
+              keys
+          | Some _ -> ()
+        in
+        List.iter
+          (fun ph ->
+            require ("phase:" ^ ph)
+              [ "count"; "sum_us"; "share_pct"; "p50_us"; "p99_us" ])
+          [ "decode"; "lock_wait"; "service"; "wal"; "reply" ];
+        require "phase:total" [ "count"; "sum_us"; "phase_sum_us"; "coverage_pct" ]
+      | Some _, Some _ -> err "figure \"phase\" must be an array of rows")
     | _ -> err "\"figures\" must be an object");
   List.rev !errs
 
@@ -342,6 +371,13 @@ let ycsb_compared_fields =
   [ "throughput_ops_per_s"; "p50_us"; "p90_us"; "p99_us"; "p999_us" ]
 
 let ycsb_gated_fields = [ "throughput_ops_per_s"; "p50_us"; "p90_us"; "p99_us" ]
+
+(* The phase figure's absolute cells (sums, percentiles, counts) scale with
+   the run length and offered load, so comparing them across documents is
+   noise; only each phase's share of the total is shape-stable, and even
+   that feeds the figure median only (a share shifting between phases is a
+   diagnosis, not automatically a regression). *)
+let phase_compared_fields = [ "share_pct" ]
 let run_bench_compare old_path new_path =
   let module J = Iw_obs_json in
   let parse path =
@@ -420,7 +456,10 @@ let run_bench_compare old_path new_path =
                     (fun (k, ov) ->
                       match (ov, List.assoc_opt k (fields new_row)) with
                       | J.Num ov, Some (J.Num nv) when not (List.mem_assoc k key) ->
-                        if fig <> "ycsb" || List.mem k ycsb_compared_fields then begin
+                        if
+                          (fig <> "ycsb" || List.mem k ycsb_compared_fields)
+                          && (fig <> "phase" || List.mem k phase_compared_fields)
+                        then begin
                           let eps = 1e-9 in
                           let r = (nv +. eps) /. (ov +. eps) in
                           let r = if k = "throughput_ops_per_s" then 1. /. r else r in

@@ -1,0 +1,130 @@
+type phase = Decode | Lock_wait | Service | Wal | Reply
+
+let phases = [ Decode; Lock_wait; Service; Wal; Reply ]
+
+let n_phases = 5
+
+let index = function
+  | Decode -> 0
+  | Lock_wait -> 1
+  | Service -> 2
+  | Wal -> 3
+  | Reply -> 4
+
+let name = function
+  | Decode -> "decode"
+  | Lock_wait -> "lock_wait"
+  | Service -> "service"
+  | Wal -> "wal"
+  | Reply -> "reply"
+
+(* Exclusive attribution: [stack] holds the open phases, innermost first;
+   [last] is the instant attribution last changed hands.  Every transition
+   charges [now - last] to the phase that owned the interval. *)
+type timer = {
+  clock : unit -> float;
+  t_start : float;
+  mutable stack : phase list;
+  mutable last : float;
+  acc : float array;  (* exclusive seconds per phase *)
+}
+
+let start ?(clock = Unix.gettimeofday) () =
+  let now = clock () in
+  { clock; t_start = now; stack = []; last = now; acc = Array.make n_phases 0. }
+
+let charge_open t now =
+  match t.stack with
+  | [] -> ()
+  | p :: _ -> t.acc.(index p) <- t.acc.(index p) +. (now -. t.last)
+
+let enter t p =
+  let now = t.clock () in
+  charge_open t now;
+  t.stack <- p :: t.stack;
+  t.last <- now
+
+let rec leave t p =
+  match t.stack with
+  | [] -> ()
+  | top :: rest ->
+    let now = t.clock () in
+    t.acc.(index top) <- t.acc.(index top) +. (now -. t.last);
+    t.stack <- rest;
+    t.last <- now;
+    (* Close abandoned inner phases (a handler raised between enter and
+       leave) until the named one has been closed. *)
+    if top <> p then leave t p
+
+let elapsed_us t p =
+  let base = t.acc.(index p) *. 1e6 in
+  match t.stack with
+  | top :: _ when top = p -> base +. ((t.clock () -. t.last) *. 1e6)
+  | _ -> base
+
+let total_us t = (t.clock () -. t.t_start) *. 1e6
+
+type stats = {
+  mutex : Mutex.t;
+  error : float;
+  by_phase : Iw_hist.t array;  (* all variants merged *)
+  total : Iw_hist.t;
+  by_variant : (string, Iw_hist.t array) Hashtbl.t;
+  mutable sums : float array;  (* exact exclusive us per phase *)
+  mutable total_sum : float;
+}
+
+let create_stats ?(error = 0.01) () =
+  {
+    mutex = Mutex.create ();
+    error;
+    by_phase = Array.init n_phases (fun _ -> Iw_hist.create ~error ());
+    total = Iw_hist.create ~error ();
+    by_variant = Hashtbl.create 16;
+    sums = Array.make n_phases 0.;
+    total_sum = 0.;
+  }
+
+let locked s f =
+  Mutex.lock s.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock s.mutex) f
+
+let record s ~variant ~total_us t =
+  locked s (fun () ->
+      let per_var =
+        match Hashtbl.find_opt s.by_variant variant with
+        | Some a -> a
+        | None ->
+          let a = Array.init n_phases (fun _ -> Iw_hist.create ~error:s.error ()) in
+          Hashtbl.add s.by_variant variant a;
+          a
+      in
+      List.iter
+        (fun p ->
+          let i = index p in
+          let us = t.acc.(i) *. 1e6 in
+          Iw_hist.record s.by_phase.(i) us;
+          Iw_hist.record per_var.(i) us;
+          s.sums.(i) <- s.sums.(i) +. us)
+        phases;
+      Iw_hist.record s.total total_us;
+      s.total_sum <- s.total_sum +. total_us)
+
+let phase_summary s p = locked s (fun () -> Iw_hist.summary s.by_phase.(index p))
+
+let total_summary s = locked s (fun () -> Iw_hist.summary s.total)
+
+let phase_sum_us s p = locked s (fun () -> s.sums.(index p))
+
+let total_sum_us s = locked s (fun () -> s.total_sum)
+
+let variant_summary s variant p =
+  locked s (fun () ->
+      match Hashtbl.find_opt s.by_variant variant with
+      | None -> None
+      | Some a -> Some (Iw_hist.summary a.(index p)))
+
+let variants s =
+  locked s (fun () ->
+      Hashtbl.fold (fun k _ acc -> k :: acc) s.by_variant []
+      |> List.sort compare)

@@ -1,0 +1,83 @@
+(** Request-lifecycle phase timing.
+
+    A request entering the server passes through a fixed pipeline of
+    phases — decode the frame, wait for the (today: global) server lock,
+    service the request with the lock held, append to the write-ahead log,
+    write the reply — and a slow request is only diagnosable when the time
+    can be attributed to one of them.  A {!timer} is started at arrival and
+    carried through the pipeline; each phase brackets itself with
+    {!enter}/{!leave} and the timer accumulates {e exclusive} time per
+    phase: entering a nested phase (the WAL append happens inside the
+    service phase) suspends the enclosing one, so the per-phase times sum
+    to the bracketed wall time with nothing counted twice.
+
+    Timers are single-threaded values owned by the connection thread —
+    cheap (a float array, no allocation per transition) and not
+    thread-safe.  Finished timers are folded into a {!stats} accumulator
+    (internally locked) holding per-phase and per-(variant, phase)
+    {!Iw_hist} histograms, which is what the ycsb bench's [phase] section
+    and the acceptance check ("phases sum to within 10% of total") read. *)
+
+type phase =
+  | Decode  (** envelope + request body parsing *)
+  | Lock_wait  (** blocked acquiring the server lock *)
+  | Service  (** request dispatch with the lock held *)
+  | Wal  (** write-ahead-log append (+ any synchronous fsync) *)
+  | Reply  (** response encode + frame write *)
+
+val phases : phase list
+(** Pipeline order; also the canonical iteration order for reports. *)
+
+val name : phase -> string
+(** Stable lowercase label ([decode], [lock_wait], [service], [wal],
+    [reply]) used for metric labels, BENCH JSON series, and admin views. *)
+
+type timer
+
+val start : ?clock:(unit -> float) -> unit -> timer
+(** A timer whose arrival instant is now.  [clock] (seconds, monotonic
+    enough) defaults to [Unix.gettimeofday]; tests inject a fake. *)
+
+val enter : timer -> phase -> unit
+(** Begin attributing elapsed time to [phase].  If another phase is open it
+    is suspended (its exclusive time keeps everything up to this instant)
+    until the nested phase {!leave}s. *)
+
+val leave : timer -> phase -> unit
+(** Stop attributing to [phase] and resume the enclosing phase, if any.
+    Leaving a phase that is not the innermost open one is forgiving: inner
+    phases still open are closed first, so a handler that raises between
+    [enter] and [leave] cannot corrupt attribution. *)
+
+val elapsed_us : timer -> phase -> float
+(** Exclusive microseconds accumulated so far for [phase]. *)
+
+val total_us : timer -> float
+(** Microseconds since {!start} — the request's wall time so far. *)
+
+type stats
+
+val create_stats : ?error:float -> unit -> stats
+(** An accumulator of finished timers.  [error] is the {!Iw_hist} relative
+    error bound (default [0.01]).  Thread-safe. *)
+
+val record : stats -> variant:string -> total_us:float -> timer -> unit
+(** Fold one finished request in: each phase's exclusive time lands in the
+    per-phase and per-(variant, phase) histograms, [total_us] in the total
+    histogram.  Phases with zero accumulated time are recorded too — their
+    zeros keep per-phase counts comparable to the total count. *)
+
+val phase_summary : stats -> phase -> Iw_hist.summary
+(** All variants merged. *)
+
+val total_summary : stats -> Iw_hist.summary
+
+val phase_sum_us : stats -> phase -> float
+(** Exact accumulated exclusive microseconds for [phase] (all variants). *)
+
+val total_sum_us : stats -> float
+
+val variant_summary : stats -> string -> phase -> Iw_hist.summary option
+(** Per-variant breakdown; [None] if the variant was never recorded. *)
+
+val variants : stats -> string list

@@ -7,6 +7,9 @@ type entry = {
   e_trace_id : int;
   e_span_id : int;
   e_latency_us : float;
+  e_wait_us : float;
+  e_service_us : float;
+  e_wal_us : float;
 }
 
 (* The current window's entries are a sorted-ascending list of length <= k:
@@ -66,41 +69,32 @@ let rec insert_sorted e = function
   | x :: rest when x.e_latency_us <= e.e_latency_us -> x :: insert_sorted e rest
   | l -> e :: l
 
-let observe t ~variant ~segment ~session ~seq ~trace_id ~span_id latency_us =
+let observe t ~variant ~segment ~session ~seq ~trace_id ~span_id
+    ?(wait_us = 0.) ?(service_us = 0.) ?(wal_us = 0.) latency_us =
   if t.k > 0 && latency_us >= t.min_us then begin
     let now = Unix.gettimeofday () in
+    let entry =
+      {
+        e_t = now;
+        e_variant = variant;
+        e_segment = segment;
+        e_session = session;
+        e_seq = seq;
+        e_trace_id = trace_id;
+        e_span_id = span_id;
+        e_latency_us = latency_us;
+        e_wait_us = wait_us;
+        e_service_us = service_us;
+        e_wal_us = wal_us;
+      }
+    in
     Mutex.lock t.mutex;
     roll_locked t now;
     (match t.cur with
     | fastest :: rest when List.length t.cur >= t.k ->
       if latency_us > fastest.e_latency_us then
-        t.cur <-
-          insert_sorted
-            {
-              e_t = now;
-              e_variant = variant;
-              e_segment = segment;
-              e_session = session;
-              e_seq = seq;
-              e_trace_id = trace_id;
-              e_span_id = span_id;
-              e_latency_us = latency_us;
-            }
-            rest
-    | _ ->
-      t.cur <-
-        insert_sorted
-          {
-            e_t = now;
-            e_variant = variant;
-            e_segment = segment;
-            e_session = session;
-            e_seq = seq;
-            e_trace_id = trace_id;
-            e_span_id = span_id;
-            e_latency_us = latency_us;
-          }
-          t.cur);
+        t.cur <- insert_sorted entry rest
+    | _ -> t.cur <- insert_sorted entry t.cur);
     Mutex.unlock t.mutex
   end
 

@@ -23,6 +23,9 @@ type entry = {
   e_trace_id : int;  (** [0] without a trace-context envelope *)
   e_span_id : int;
   e_latency_us : float;
+  e_wait_us : float;  (** lock-wait share of the latency; [0.] if unknown *)
+  e_service_us : float;  (** lock-held share (WAL time excluded) *)
+  e_wal_us : float;  (** write-ahead-log append (+fsync) share *)
 }
 
 type t
@@ -46,10 +49,15 @@ val observe :
   seq:int ->
   trace_id:int ->
   span_id:int ->
+  ?wait_us:float ->
+  ?service_us:float ->
+  ?wal_us:float ->
   float ->
   unit
 (** Consider one completed request (latency in microseconds) for the
-    current window's top K. *)
+    current window's top K.  The optional phase shares (see {!Iw_phase})
+    let [iw-admin slowlog] explain an outlier without a trace file; they
+    default to [0.] for callers without a phase timer. *)
 
 val snapshot : ?limit:int -> t -> entry list
 (** Slowest first, previous and current window merged; at most [limit]

@@ -84,6 +84,10 @@ type request =
       session : int;
       limit : int;
     }
+  | Metrics_history of {
+      session : int;
+      limit : int;
+    }
 
 let request_variant = function
   | Hello _ -> "hello"
@@ -105,6 +109,7 @@ let request_variant = function
   | Resume_session _ -> "resume_session"
   | Enable_crc _ -> "enable_crc"
   | Slow_log _ -> "slow_log"
+  | Metrics_history _ -> "metrics_history"
 
 let request_session = function
   | Hello _ -> None
@@ -125,7 +130,8 @@ let request_session = function
   | Segment_stats { session; _ }
   | Flight_recorder { session }
   | Resume_session { session; _ }
-  | Slow_log { session; _ } -> Some session
+  | Slow_log { session; _ }
+  | Metrics_history { session; _ } -> Some session
 
 type stat = {
   st_version : int;
@@ -157,6 +163,7 @@ type response =
   | R_flight of string
   | R_resumed of { held : string list }
   | R_slow_log of Iw_slowlog.entry list
+  | R_metrics_history of Iw_ring.point list
 
 module Buf = Iw_wire.Buf
 module Reader = Iw_wire.Reader
@@ -331,6 +338,10 @@ let encode_request buf = function
     Buf.u8 buf 18;
     Buf.u32 buf session;
     Buf.u32 buf limit
+  | Metrics_history { session; limit } ->
+    Buf.u8 buf 19;
+    Buf.u32 buf session;
+    Buf.u32 buf limit
 
 let decode_request r =
   match Reader.u8 r with
@@ -401,6 +412,10 @@ let decode_request r =
     let session = Reader.u32 r in
     let limit = Reader.u32 r in
     Slow_log { session; limit }
+  | 19 ->
+    let session = Reader.u32 r in
+    let limit = Reader.u32 r in
+    Metrics_history { session; limit }
   | t -> raise (Iw_wire.Malformed (Printf.sprintf "unknown request tag %d" t))
 
 let put_ctx buf ctx =
@@ -523,8 +538,25 @@ let encode_response buf = function
         Buf.u32 buf e.e_seq;
         Buf.u64 buf e.e_trace_id;
         Buf.u64 buf e.e_span_id;
-        Buf.f64 buf e.e_latency_us)
+        Buf.f64 buf e.e_latency_us;
+        Buf.f64 buf e.e_wait_us;
+        Buf.f64 buf e.e_service_us;
+        Buf.f64 buf e.e_wal_us)
       entries
+  | R_metrics_history points ->
+    Buf.u8 buf 18;
+    Buf.u32 buf (List.length points);
+    List.iter
+      (fun (p : Iw_ring.point) ->
+        Buf.f64 buf p.p_t;
+        Buf.f64 buf p.p_dur;
+        Buf.u32 buf (List.length p.p_values);
+        List.iter
+          (fun (k, v) ->
+            Buf.string buf k;
+            Buf.f64 buf v)
+          p.p_values)
+      points
 
 let decode_response r =
   match Reader.u8 r with
@@ -581,6 +613,9 @@ let decode_response r =
            let e_trace_id = Reader.u64 r in
            let e_span_id = Reader.u64 r in
            let e_latency_us = Reader.f64 r in
+           let e_wait_us = Reader.f64 r in
+           let e_service_us = Reader.f64 r in
+           let e_wal_us = Reader.f64 r in
            {
              Iw_slowlog.e_t;
              e_variant;
@@ -590,7 +625,24 @@ let decode_response r =
              e_trace_id;
              e_span_id;
              e_latency_us;
+             e_wait_us;
+             e_service_us;
+             e_wal_us;
            }))
+  | 18 ->
+    let n = Reader.u32 r in
+    R_metrics_history
+      (List.init n (fun _ ->
+           let p_t = Reader.f64 r in
+           let p_dur = Reader.f64 r in
+           let nv = Reader.u32 r in
+           let p_values =
+             List.init nv (fun _ ->
+                 let k = Reader.string r in
+                 let v = Reader.f64 r in
+                 (k, v))
+           in
+           { Iw_ring.p_t; p_dur; p_values }))
   | t -> raise (Iw_wire.Malformed (Printf.sprintf "unknown response tag %d" t))
 
 type link = {

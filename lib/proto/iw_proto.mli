@@ -115,6 +115,14 @@ type request =
       (** fetch the server's sampled slow-request log (the K slowest
           requests of the recent windows, slowest first, at most [limit]
           entries) — backs [iw-admin slowlog].  See {!Iw_slowlog}. *)
+  | Metrics_history of {
+      session : int;
+      limit : int;  (** newest [limit] points; [0] = everything retained *)
+    }
+      (** fetch the server's metric history ring (windowed snapshots of
+          derived scalar series, oldest first) — backs the sparkline trend
+          columns of [iw-admin top] and [iw-admin contention].  See
+          {!Iw_ring}. *)
 
 val request_variant : request -> string
 (** Stable lowercase tag for a request ([read_lock], [write_release], ...),
@@ -158,6 +166,8 @@ type response =
   | R_slow_log of Iw_slowlog.entry list
       (** slow-request log entries, slowest first; trace/span ids are [0]
           when the recorded request carried no trace-context envelope *)
+  | R_metrics_history of Iw_ring.point list
+      (** metric history ring points, oldest first *)
 
 val encode_request : Iw_wire.Buf.t -> request -> unit
 

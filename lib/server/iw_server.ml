@@ -79,6 +79,10 @@ type t = {
          contender *)
   session_last : (int, float) Hashtbl.t;  (* session -> last request wall time *)
   lock : Mutex.t;
+  t_locked : Iw_locked.t;
+      (* instrumented wrapper around [lock]: every request dispatch goes
+         through it so wait/hold time, queue depth, and contention events
+         are measured at the exact seam ROADMAP item 1 will shard *)
   checkpoint_dir : string option;
   t_store : Iw_store.t option;
       (* write-ahead log of committed diffs; present iff checkpoint_dir is.
@@ -89,6 +93,11 @@ type t = {
   t_metrics : Iw_metrics.t;
   t_flight : Iw_flight.t;
   t_slowlog : Iw_slowlog.t;
+  t_phase : Iw_phase.stats;  (* per-(variant, phase) exact histograms *)
+  t_ring : Iw_ring.t;  (* windowed metric history, rolled lazily *)
+  t_ring_mutex : Mutex.t;
+  mutable t_ring_last : (float * Iw_metrics.snapshot) option;
+  mutable t_ring_next : float;  (* wall time of the next roll *)
   t_version_advances : Iw_metrics.counter;
   t_locks_reclaimed : Iw_metrics.counter;
   t_sessions_resumed : Iw_metrics.counter;
@@ -107,6 +116,10 @@ let metrics t = t.t_metrics
 let flight t = t.t_flight
 
 let slowlog t = t.t_slowlog
+
+let phase_stats t = t.t_phase
+
+let ring t = t.t_ring
 
 let set_prediction t b = t.prediction <- b
 
@@ -941,6 +954,27 @@ let create ?checkpoint_dir ?(diff_cache_capacity = 64) ?lease_secs ?fsync () =
      O(K) memory and a comparison per request, and like the flight recorder
      it exists for the slowness nobody was watching for. *)
   let t_slowlog = Iw_slowlog.of_env () in
+  (* The one big lock, wrapped so its cost is measured at the seam the
+     per-shard split (ROADMAP item 1) will replace. *)
+  let lock = Mutex.create () in
+  let t_locked =
+    Iw_locked.create ~metrics:t_metrics ~prefix:"iw_server_lock" lock
+  in
+  Iw_metrics.probe t_metrics
+    ~help:"Requests inside the dispatch critical section (waiting or holding)"
+    ~kind:`Gauge "iw_server_inflight"
+    (fun () -> float_of_int (Iw_locked.inflight t_locked));
+  Iw_metrics.probe t_metrics
+    ~help:"Requests blocked waiting for the server lock" ~kind:`Gauge
+    "iw_server_lock_queue_depth"
+    (fun () -> float_of_int (Iw_locked.queue_depth t_locked));
+  (* A lock acquisition that waited past the contention threshold leaves a
+     flight-recorder breadcrumb, so a saturation episode is visible in
+     crash dumps, not just in histograms. *)
+  Iw_locked.set_on_contention t_locked (fun ~wait_us ~variant ~segment ->
+      if Iw_flight.enabled t_flight then
+        Iw_flight.record t_flight ~segment ~latency_us:wait_us
+          ("lock_contention:" ^ variant));
   let t_store =
     match checkpoint_dir with
     | None -> None
@@ -959,7 +993,8 @@ let create ?checkpoint_dir ?(diff_cache_capacity = 64) ?lease_secs ?fsync () =
       session_arch = Hashtbl.create 16;
       lease_secs;
       session_last = Hashtbl.create 16;
-      lock = Mutex.create ();
+      lock;
+      t_locked;
       checkpoint_dir;
       t_store;
       diff_cache_capacity;
@@ -970,6 +1005,11 @@ let create ?checkpoint_dir ?(diff_cache_capacity = 64) ?lease_secs ?fsync () =
       t_metrics;
       t_flight;
       t_slowlog;
+      t_phase = Iw_phase.create_stats ();
+      t_ring = Iw_ring.of_env ();
+      t_ring_mutex = Mutex.create ();
+      t_ring_last = None;
+      t_ring_next = 0.;
       t_version_advances =
         Iw_metrics.counter t_metrics ~help:"Segment version advances"
           "iw_server_version_advances_total";
@@ -1043,7 +1083,108 @@ let diff_ctx t name =
   | Some seg -> ctx_of_seg seg
   | None -> Iw_wire_check.empty_ctx
 
-let handle_locked t (req : Iw_proto.request) : Iw_proto.response =
+(* ---- Metric history ring ----
+
+   Every [IW_RING_WINDOW_S] seconds the request path (lazily — no
+   dedicated thread) folds the metric snapshot into one Iw_ring point of
+   derived scalars: counter and histogram rates, gauge levels, and
+   windowed p50/p99 from bucket deltas.  Only unlabeled server/store
+   series plus the per-variant request and per-phase histograms are kept,
+   so a point's size is bounded regardless of segment count. *)
+
+let ring_keep name =
+  (String.starts_with ~prefix:"iw_server_" name
+  || String.starts_with ~prefix:"iw_store_" name)
+  && (not (String.contains name '{')
+     || String.starts_with ~prefix:"iw_server_request_us{variant=" name
+     || String.starts_with ~prefix:"iw_server_phase_us{phase=" name)
+
+(* Bucket-wise histogram delta, clamped at zero so a restarted server (or
+   a reset registry) yields an empty window instead of negative counts. *)
+let ring_delta_hist (nw : Iw_metrics.hist_view) (old : Iw_metrics.hist_view option)
+    =
+  match old with
+  | Some o when Array.length o.hv_counts = Array.length nw.hv_counts ->
+    {
+      nw with
+      Iw_metrics.hv_counts =
+        Array.mapi (fun i c -> max 0 (c - o.hv_counts.(i))) nw.hv_counts;
+      hv_count = max 0 (nw.hv_count - o.hv_count);
+      hv_sum = Float.max 0. (nw.hv_sum -. o.hv_sum);
+    }
+  | Some _ | None -> nw
+
+let ring_point ~t0 ~t1 old_snap new_snap =
+  let dt = Float.max 1e-9 (t1 -. t0) in
+  let values =
+    List.concat_map
+      (fun (s : Iw_metrics.sample) ->
+        if not (ring_keep s.s_name) then []
+        else
+          match s.s_value with
+          | Iw_metrics.V_counter v ->
+            let prev =
+              match Iw_metrics.find old_snap s.s_name with
+              | Some (Iw_metrics.V_counter p) -> p
+              | _ -> 0.
+            in
+            [ (s.s_name ^ ":rate", Float.max 0. ((v -. prev) /. dt)) ]
+          | Iw_metrics.V_gauge v -> [ (s.s_name, v) ]
+          | Iw_metrics.V_hist hv ->
+            let prev =
+              match Iw_metrics.find old_snap s.s_name with
+              | Some (Iw_metrics.V_hist p) -> Some p
+              | _ -> None
+            in
+            let d = ring_delta_hist hv prev in
+            let rate = float_of_int d.Iw_metrics.hv_count /. dt in
+            if d.Iw_metrics.hv_count = 0 then [ (s.s_name ^ ":rate", rate) ]
+            else
+              [
+                (s.s_name ^ ":rate", rate);
+                (s.s_name ^ ":p50", Iw_metrics.hist_quantile d 0.5);
+                (s.s_name ^ ":p99", Iw_metrics.hist_quantile d 0.99);
+              ])
+      new_snap
+  in
+  { Iw_ring.p_t = t1; p_dur = t1 -. t0; p_values = values }
+
+(* Roll the ring if a window has elapsed.  Called at the end of request
+   dispatch (outside the server lock) and from the Metrics_history handler
+   (under it); the ring mutex is a leaf, so both orders are safe.  An idle
+   server rolls on its next request — the point's [p_dur] then honestly
+   exceeds the window. *)
+let maybe_roll t =
+  if Iw_metrics.enabled t.t_metrics then begin
+    let now = Unix.gettimeofday () in
+    if now >= t.t_ring_next then begin
+      Mutex.lock t.t_ring_mutex;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock t.t_ring_mutex)
+        (fun () ->
+          if now >= t.t_ring_next then begin
+            t.t_ring_next <- now +. Iw_ring.window_s t.t_ring;
+            let snap = Iw_metrics.snapshot t.t_metrics in
+            (match t.t_ring_last with
+            | Some (t0, old) when now > t0 ->
+              Iw_ring.push t.t_ring (ring_point ~t0 ~t1:now old snap)
+            | _ -> ());
+            t.t_ring_last <- Some (now, snap)
+          end)
+    end
+  end
+
+(* Bracket a write-ahead-log append as the WAL phase: it runs inside the
+   service (lock-held) phase, and exclusive attribution means the fsync
+   cost shows up as WAL, not service. *)
+let wal_phase timer f =
+  match timer with
+  | None -> f ()
+  | Some tm ->
+    Iw_phase.enter tm Iw_phase.Wal;
+    Fun.protect ~finally:(fun () -> Iw_phase.leave tm Iw_phase.Wal) f
+
+let handle_locked ?timer t (req : Iw_proto.request) : Iw_proto.response =
   t.t_stats.requests <- t.t_stats.requests + 1;
   (* Any request from a session refreshes its inactivity lease. *)
   (match t.lease_secs with
@@ -1217,12 +1358,13 @@ let handle_locked t (req : Iw_proto.request) : Iw_proto.response =
            and kills the connection — no ack without a durable record. *)
         (match t.t_store with
         | Some store when v > before ->
-          (* lck-ok: LCK002 log-before-ack requires the append inside the
-             commit's critical section; Iw_model invariant MDL02 is the
-             spec.  ROADMAP item 1 replaces this with per-shard group
-             commit rather than moving the append outside the lock. *)
-          Iw_store.append store ~segment:name
-            (Iw_store.Commit { session; version = v; diff })
+          wal_phase timer (fun () ->
+              (* lck-ok: LCK002 log-before-ack requires the append inside the
+                 commit's critical section; Iw_model invariant MDL02 is the
+                 spec.  ROADMAP item 1 replaces this with per-shard group
+                 commit rather than moving the append outside the lock. *)
+              Iw_store.append store ~segment:name
+                (Iw_store.Commit { session; version = v; diff }))
         | _ -> ());
         seg.s_writer <- None;
         Hashtbl.replace seg.s_releases session (diff.Iw_wire.Diff.from_version, v);
@@ -1258,11 +1400,12 @@ let handle_locked t (req : Iw_proto.request) : Iw_proto.response =
          replayed Create diff needs its descriptor already adopted. *)
       match t.t_store with
       | Some store ->
-        (* lck-ok: LCK002 descriptor registration must be durable before
-           R_serial goes out, same log-before-ack discipline as commits
-           (ROADMAP item 1 for the group-commit plan). *)
-        Iw_store.append store ~segment:name
-          (Iw_store.Desc { serial; version = seg.s_version; desc })
+        wal_phase timer (fun () ->
+            (* lck-ok: LCK002 descriptor registration must be durable before
+               R_serial goes out, same log-before-ack discipline as commits
+               (ROADMAP item 1 for the group-commit plan). *)
+            Iw_store.append store ~segment:name
+              (Iw_store.Desc { serial; version = seg.s_version; desc }))
       | None -> ()
     end;
     R_serial serial
@@ -1320,21 +1463,22 @@ let handle_locked t (req : Iw_proto.request) : Iw_proto.response =
     R_slow_log
       (if limit > 0 then Iw_slowlog.snapshot ~limit t.t_slowlog
        else Iw_slowlog.snapshot t.t_slowlog)
-
-let handle_plain t req =
-  Mutex.lock t.lock;
-  Fun.protect
-    ~finally:(fun () -> Mutex.unlock t.lock)
-    (fun () ->
-      try handle_locked t req with
-      | Reject msg -> R_error msg
-      | Iw_wire.Malformed msg -> R_error ("malformed: " ^ msg))
+  | Metrics_history { session = _; limit } ->
+    (* Roll first so an otherwise idle server still answers with a window
+       covering the time since the last roll. *)
+    maybe_roll t;
+    let pts = Iw_ring.points t.t_ring in
+    let n = List.length pts in
+    R_metrics_history
+      (if limit > 0 && n > limit then
+         List.filteri (fun i _ -> i >= n - limit) pts
+       else pts)
 
 (* What the flight recorder and span args can say about a request/response
    pair without holding the server lock. *)
 let request_segment : Iw_proto.request -> string = function
   | Hello _ | Checkpoint _ | Server_stats _ | Flight_recorder _ | Resume_session _
-  | Enable_crc _ | Slow_log _ ->
+  | Enable_crc _ | Slow_log _ | Metrics_history _ ->
     ""
   | Segment_stats { segment; _ } -> Option.value segment ~default:""
   | Open_segment { name; _ }
@@ -1349,26 +1493,73 @@ let request_segment : Iw_proto.request -> string = function
   | Subscribe { name; _ }
   | Unsubscribe { name; _ } -> name
 
+(* Dispatch through the instrumented critical section: the wait and hold
+   show up in the lock histograms (and in the request's phase timer as
+   Lock_wait/Service) attributed to this variant and segment. *)
+let handle_plain ?timer t req =
+  Iw_locked.with_lock t.t_locked
+    ~variant:(Iw_proto.request_variant req)
+    ~segment:(request_segment req) ?timer
+    (fun () ->
+      try handle_locked ?timer t req with
+      | Reject msg -> R_error msg
+      | Iw_wire.Malformed msg -> R_error ("malformed: " ^ msg))
+
 let response_version : Iw_proto.response -> int = function
   | R_segment { version } | R_meta { version; _ } | R_version version -> version
   | R_update diff | R_granted (Some diff) -> diff.Iw_wire.Diff.to_version
   | R_stat st -> st.Iw_proto.st_version
   | R_hello _ | R_up_to_date | R_granted None | R_busy | R_serial _ | R_ok
   | R_error _ | R_server_stats _ | R_segment_stats _ | R_flight _ | R_resumed _
-  | R_slow_log _ -> 0
+  | R_slow_log _ | R_metrics_history _ -> 0
+
+(* Fold one finished request's phase timer into the observability state:
+   per-phase registry histograms (exact sums, conservative quantiles — what
+   the contention view and the BENCH coverage check read), the exact
+   per-(variant, phase) Iw_hist accumulator, the end-to-end total
+   histogram, and a lazy ring roll.  Called by serve_conn after the reply
+   frame is written (so the reply phase is included) and by [handle] itself
+   for direct links, which have no transport phases. *)
+let finish_request t ~variant timer =
+  if Iw_metrics.enabled t.t_metrics then begin
+    let total = Iw_phase.total_us timer in
+    Iw_metrics.observe
+      (Iw_metrics.histogram_us t.t_metrics
+         ~help:"End-to-end request latency, arrival to reply written"
+         "iw_server_request_total_us")
+      total;
+    List.iter
+      (fun p ->
+        Iw_metrics.observe
+          (Iw_metrics.histogram_us t.t_metrics
+             ~help:"Exclusive request time by lifecycle phase"
+             (Iw_metrics.with_label "iw_server_phase_us" "phase" (Iw_phase.name p)))
+          (Iw_phase.elapsed_us timer p))
+      Iw_phase.phases;
+    Iw_phase.record t.t_phase ~variant ~total_us:total timer;
+    maybe_roll t
+  end
 
 (* Per-variant dispatch latency, span adoption, and flight recording.  The
    registry's own registration lock makes the histogram lookup safe from
    concurrent connection threads, and registration is idempotent, so there
    is no per-variant cache to race on.  When a request arrives with a trace
    context, the dispatch span joins the client's trace: same trace_id, the
-   client's span as parent. *)
-let handle ?ctx t req =
+   client's span as parent.
+
+   With [timer] (serve_conn passes one started at frame arrival), phase
+   attribution covers the whole connection-side lifecycle and the caller
+   finishes the timer after the reply is written; without one, a fresh
+   timer brackets just the dispatch and is finished here — the direct-link
+   path, where decode/reply phases do not exist. *)
+let handle ?ctx ?timer t req =
   let metrics_on = Iw_metrics.enabled t.t_metrics in
   let trace_on = Iw_trace.enabled () in
   let flight_on = Iw_flight.enabled t.t_flight in
-  if not (metrics_on || trace_on || flight_on) then handle_plain t req
+  if not (metrics_on || trace_on || flight_on) then handle_plain ?timer t req
   else begin
+    let owns_timer = timer = None && metrics_on in
+    let timer = if owns_timer then Some (Iw_phase.start ()) else timer in
     let variant = Iw_proto.request_variant req in
     let seq = match ctx with Some c -> c.Iw_proto.tc_seq | None -> 0 in
     if trace_on then begin
@@ -1387,7 +1578,7 @@ let handle ?ctx t req =
     end;
     let t0 = Iw_metrics.now_us () in
     let resp =
-      try handle_plain t req
+      try handle_plain ?timer t req
       with e ->
         (* handle_plain converts Reject/Malformed to R_error, so anything
            escaping it is the unexplained kind of failure the flight
@@ -1411,6 +1602,9 @@ let handle ?ctx t req =
     (* The slow log takes its own short mutex, never the server lock — the
        dispatch is already over.  Trace ids come straight from the envelope,
        so a slow entry can be found in the matching Perfetto trace. *)
+    let phase_us p =
+      match timer with Some tm -> Iw_phase.elapsed_us tm p | None -> 0.
+    in
     (match req with
     | Iw_proto.Slow_log _ -> () (* reading the log must not pollute it *)
     | _ ->
@@ -1421,11 +1615,29 @@ let handle ?ctx t req =
       in
       Iw_slowlog.observe t.t_slowlog ~variant ~segment:(request_segment req)
         ~session:(Option.value (Iw_proto.request_session req) ~default:0)
-        ~seq ~trace_id ~span_id dt);
+        ~seq ~trace_id ~span_id
+        ~wait_us:(phase_us Iw_phase.Lock_wait)
+        ~service_us:(phase_us Iw_phase.Service)
+        ~wal_us:(phase_us Iw_phase.Wal) dt);
     if flight_on then
       Iw_flight.record t.t_flight ~seq ~segment:(request_segment req)
         ~version:(response_version resp) ~latency_us:dt variant;
+    (* The phase breakdown lands on the timeline as an instant next to the
+       dispatch span (span_end carries no args). *)
+    if trace_on && timer <> None then
+      Iw_trace.instant
+        ~args:
+          (("variant", variant)
+          :: List.map
+               (fun p ->
+                 (Iw_phase.name p ^ "_us", Printf.sprintf "%.0f" (phase_us p)))
+               Iw_phase.phases)
+        "server.phases";
     if trace_on then Iw_trace.span_end "server.handle";
+    (if owns_timer then
+       match timer with
+       | Some tm -> finish_request t ~variant tm
+       | None -> ());
     resp
   end
 
@@ -1479,6 +1691,11 @@ let serve_conn t conn =
   (try
      let rec loop () =
        let frame = conn.Iw_transport.recv () in
+       (* The phase timer starts at frame arrival: decode, lock-wait,
+          service, WAL, and reply-write below account every microsecond of
+          this request's server-side life, exclusively. *)
+       let timer = Iw_phase.start () in
+       Iw_phase.enter timer Iw_phase.Decode;
        let r = Iw_wire.Reader.of_string frame in
        (* Two-phase decode: the envelope survives a malformed body, so the
           error reply and flight-recorder entry keep the request's seq —
@@ -1492,10 +1709,11 @@ let serve_conn t conn =
            | req -> Ok req
            | exception Iw_wire.Malformed msg -> Error msg)
        in
+       Iw_phase.leave timer Iw_phase.Decode;
        let seq = Option.map (fun c -> c.Iw_proto.tc_seq) ctx in
        (match req_result with
        | Ok req ->
-         let resp = handle ?ctx t req in
+         let resp = handle ?ctx ~timer t req in
          (* Notifications share the connection; conn.send is thread-safe
             and registration must take the server lock, because handlers
             iterate the notifier table while holding it. *)
@@ -1511,10 +1729,13 @@ let serve_conn t conn =
            | Iw_proto.Resume_session { session; _ } -> attach session
            | _ -> ())
          | _ -> ());
+         Iw_phase.enter timer Iw_phase.Reply;
          conn.Iw_transport.send (Iw_proto.response_frame ?seq resp);
+         Iw_phase.leave timer Iw_phase.Reply;
          (match (req, resp) with
          | Iw_proto.Enable_crc _, Iw_proto.R_ok -> Iw_transport.enable_send crc
-         | _ -> ())
+         | _ -> ());
+         finish_request t ~variant:(Iw_proto.request_variant req) timer
        | Error msg ->
          if Iw_flight.enabled t.t_flight then begin
            Iw_flight.record t.t_flight ?seq "decode_error";

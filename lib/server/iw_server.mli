@@ -51,13 +51,24 @@ val store : t -> Iw_store.t option
 (** The durability store backing [checkpoint_dir], when one is configured:
     its [iw_store_*] instruments land in {!metrics}. *)
 
-val handle : ?ctx:Iw_proto.trace_ctx -> t -> Iw_proto.request -> Iw_proto.response
+val handle :
+  ?ctx:Iw_proto.trace_ctx ->
+  ?timer:Iw_phase.timer ->
+  t ->
+  Iw_proto.request ->
+  Iw_proto.response
 (** Process one request.  Thread-safe: requests are serialized by an internal
     lock.  When [ctx] is given (a request arrived with a trace-context
     envelope), the dispatch span adopts it — same [trace_id], the client's
     span as [parent_span_id] — so client and server spans stitch into one
     Perfetto timeline, and the request's seq lands in the flight
-    recorder. *)
+    recorder.
+
+    When [timer] is given (a phase timer started at frame arrival —
+    {!serve_conn} does this), the dispatch brackets its lock wait, service,
+    and WAL time into it and leaves finishing to the caller; without one, a
+    fresh timer covers just the dispatch and is folded into {!phase_stats}
+    here — the direct-link path, which has no decode or reply phases. *)
 
 val direct_link : t -> Iw_proto.link
 (** An in-process link whose [call] is {!handle}.  No serialization overhead;
@@ -141,6 +152,24 @@ val slowlog : t -> Iw_slowlog.t
     ([IW_SLOWLOG_K]/[IW_SLOWLOG_WINDOW_S]/[IW_SLOWLOG_MIN_US] tune it,
     [IW_SLOWLOG_K=0] disables); served remotely by the
     {!Iw_proto.Slow_log} request and rendered by [iw-admin slowlog]. *)
+
+val phase_stats : t -> Iw_phase.stats
+(** This server's request-lifecycle phase accumulator: exact per-phase and
+    per-(variant, phase) {!Iw_hist} histograms of exclusive time in decode,
+    lock-wait, service, WAL, and reply-write, plus the end-to-end total —
+    what the ycsb bench's [phase] BENCH section reads on embedded runs.
+    The same decomposition is exported through the registry as
+    [iw_server_phase_us{phase="..."}] and [iw_server_request_total_us]
+    (exact sums, bucketed quantiles), served by [Server_stats], and its
+    lock-cost companions as [iw_server_lock_wait_us]/[iw_server_lock_hold_us]
+    with [iw_server_inflight] and [iw_server_lock_queue_depth] gauges. *)
+
+val ring : t -> Iw_ring.t
+(** This server's metric history ring: one point of derived scalar series
+    (rates, gauge levels, windowed p50/p99) per [IW_RING_WINDOW_S] window,
+    last [IW_RING_N] windows retained, rolled lazily from the request
+    path.  Served remotely by {!Iw_proto.Metrics_history}; powers the
+    sparkline columns of [iw-admin top] and [iw-admin contention]. *)
 
 val set_prediction : t -> bool -> unit
 (** Enable/disable last-block prediction (ablation; default on). *)

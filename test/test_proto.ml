@@ -46,6 +46,10 @@ let all_requests =
     Segment_stats { session = 12; segment = None };
     Segment_stats { session = 12; segment = Some "host/seg" };
     Flight_recorder { session = 13 };
+    Slow_log { session = 14; limit = 10 };
+    Slow_log { session = 14; limit = 0 };
+    Metrics_history { session = 15; limit = 0 };
+    Metrics_history { session = 15; limit = 8 };
   ]
 
 let all_responses =
@@ -102,6 +106,29 @@ let all_responses =
         };
       ];
     R_flight "{\"capacity\":256,\"recorded\":0,\"events\":[]}";
+    R_slow_log [];
+    R_slow_log
+      [
+        {
+          Iw_slowlog.e_t = 1700000000.5;
+          e_variant = "write_release";
+          e_segment = "a/b";
+          e_session = 3;
+          e_seq = 9;
+          e_trace_id = 0x1234;
+          e_span_id = 0x99;
+          e_latency_us = 1234.5;
+          e_wait_us = 1000.;
+          e_service_us = 200.5;
+          e_wal_us = 34.;
+        };
+      ];
+    R_metrics_history [];
+    R_metrics_history
+      [
+        { Iw_ring.p_t = 1.5; p_dur = 5.; p_values = [ ("a:rate", 2.5); ("g", 1.) ] };
+        { Iw_ring.p_t = 6.5; p_dur = 5.; p_values = [] };
+      ];
   ]
 
 let test_request_roundtrips () =
